@@ -1,0 +1,106 @@
+"""Shared benchmark infrastructure: scale profiles and result capture.
+
+Every bench regenerates one of the paper's figures and writes the plotted
+rows/series to ``benchmarks/results/<name>.txt`` (in addition to printing),
+so EXPERIMENTS.md can quote them verbatim.
+
+Scale profiles
+--------------
+``REPRO_BENCH_SCALE=ci`` (default)
+    Reduced instances sized so the full suite finishes in minutes on one
+    core.  Every qualitative claim (who wins, where curves bend) is
+    checked at this scale.
+``REPRO_BENCH_SCALE=paper``
+    The paper's instance sizes (2,000-node SBM, 3,000 cascades, 2,600
+    GDELT events, ...).  Expect a long run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All instance sizes used across the benches, per profile."""
+
+    name: str
+    # GDELT world (Figs. 1-3, 12)
+    gdelt_sites: int
+    gdelt_events: int
+    gdelt_fig1_sample: int
+    gdelt_train: int
+    # SBM prediction corpus (Figs. 6-9)
+    sbm_nodes: int
+    sbm_train: int
+    sbm_test: int
+    # scaling corpora (Figs. 10, 11, 13)
+    speedup_nodes: int
+    speedup_cascade_counts: tuple
+    nodes_sweep: tuple
+    nodes_sweep_cascades: int
+    # misc
+    n_topics: int
+    linkmodel_cascades: int
+
+
+CI = Scale(
+    name="ci",
+    gdelt_sites=800,
+    gdelt_events=800,
+    gdelt_fig1_sample=500,
+    gdelt_train=550,
+    sbm_nodes=800,
+    sbm_train=700,
+    sbm_test=350,
+    speedup_nodes=1000,
+    speedup_cascade_counts=(300, 600, 900),
+    nodes_sweep=(500, 1000, 2000),
+    nodes_sweep_cascades=600,
+    n_topics=10,
+    linkmodel_cascades=120,
+)
+
+PAPER = Scale(
+    name="paper",
+    gdelt_sites=2000,
+    gdelt_events=2600,
+    gdelt_fig1_sample=2000,
+    gdelt_train=1600,
+    sbm_nodes=2000,
+    sbm_train=2000,
+    sbm_test=1000,
+    speedup_nodes=2000,
+    speedup_cascade_counts=(1000, 2000, 3000),
+    nodes_sweep=(1000, 2000, 4000),
+    nodes_sweep_cascades=2000,
+    n_topics=10,
+    linkmodel_cascades=400,
+)
+
+
+def current_scale() -> Scale:
+    """Profile selected by the REPRO_BENCH_SCALE environment variable."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "ci").lower()
+    if name == "paper":
+        return PAPER
+    if name == "ci":
+        return CI
+    raise ValueError(f"REPRO_BENCH_SCALE must be 'ci' or 'paper', got {name!r}")
+
+
+#: Core counts evaluated in the scaling figures (paper: 1..64).
+CORE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def save_result(name: str, text: str) -> None:
+    """Print and persist one figure's regenerated data."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n----- {name} (saved to {path}) -----")
+    print(text)

@@ -1,0 +1,139 @@
+"""Session-scoped experiment fixtures shared by the figure benches.
+
+The heavy artifacts (worlds, corpora, fitted embeddings, measured
+hierarchical schedules) are built once per pytest session; each bench
+then times its own kernel against them and prints/saves the figure data.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import current_scale  # noqa: E402
+
+from repro import (
+    HierarchicalInference,
+    MergeTree,
+    SerialBackend,
+    infer_embeddings,
+    make_sbm_experiment,
+)
+from repro.community import slpa
+from repro.cooccurrence import build_cooccurrence_graph
+from repro.datasets import GDELTConfig, SyntheticGDELT
+from repro.embedding import EmbeddingModel, OptimizerConfig
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+# --------------------------------------------------------------------- #
+# GDELT world (Figs. 1, 2, 3, 12)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="session")
+def gdelt_world(scale):
+    return SyntheticGDELT(GDELTConfig(n_sites=scale.gdelt_sites), seed=101)
+
+
+@pytest.fixture(scope="session")
+def gdelt_events(gdelt_world, scale):
+    return gdelt_world.sample_events(scale.gdelt_events, seed=102)
+
+
+@pytest.fixture(scope="session")
+def gdelt_model(gdelt_world, gdelt_events, scale):
+    """Embeddings trained on the first part of the event stream."""
+    train, _ = gdelt_world.split_for_prediction(gdelt_events, scale.gdelt_train)
+    model, result, tree = infer_embeddings(
+        train, n_topics=scale.n_topics, seed=103
+    )
+    return model
+
+
+# --------------------------------------------------------------------- #
+# SBM prediction corpus (Figs. 6-9)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="session")
+def sbm_experiment(scale):
+    return make_sbm_experiment(
+        n_nodes=scale.sbm_nodes,
+        community_size=40,
+        n_train=scale.sbm_train,
+        n_test=scale.sbm_test,
+        n_topics=scale.n_topics,
+        seed=104,
+    )
+
+
+@pytest.fixture(scope="session")
+def sbm_model(sbm_experiment, scale):
+    model, result, tree = infer_embeddings(
+        sbm_experiment.train, n_topics=scale.n_topics, seed=105
+    )
+    return model
+
+
+# --------------------------------------------------------------------- #
+# Scaling corpora (Figs. 10, 11, 13): uniform SBM, measured schedules
+# --------------------------------------------------------------------- #
+
+
+def run_measured_schedule(n_nodes: int, n_cascades: int, seed: int):
+    """One real single-core hierarchical run; returns (result, fit_seconds).
+
+    Uniform SBM (no hub communities — the paper's plain §VI-A instance),
+    merge tree stopped at 4 communities (Algorithm 2's threshold *q*; a
+    full merge to the root would serialize the last level and cap any
+    speedup at ~2, which is not what the paper's Fig. 13 shows).
+    """
+    import time
+
+    exp = make_sbm_experiment(
+        n_nodes=n_nodes,
+        community_size=40,
+        n_train=n_cascades,
+        n_test=0,
+        rate_scale=0.85,
+        hub_communities=False,
+        seed=seed,
+    )
+    graph = build_cooccurrence_graph(exp.train).filter_edges(0.1)
+    partition = slpa(graph, seed=seed + 1)
+    tree = MergeTree(partition, stop_at=4)
+    model = EmbeddingModel.random(n_nodes, 10, seed=seed + 2)
+    engine = HierarchicalInference(
+        tree, OptimizerConfig(max_iters=200), SerialBackend()
+    )
+    t0 = time.perf_counter()
+    result = engine.fit(model, exp.train)
+    return result, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="session")
+def speedup_schedules(scale):
+    """Measured schedules for each cascade count (Figs. 10, 13)."""
+    out = {}
+    for c in scale.speedup_cascade_counts:
+        out[c] = run_measured_schedule(scale.speedup_nodes, c, seed=300 + c)
+    return out
+
+
+@pytest.fixture(scope="session")
+def nodes_sweep_schedules(scale):
+    """Measured schedules for each node count (Fig. 11)."""
+    out = {}
+    for n in scale.nodes_sweep:
+        out[n] = run_measured_schedule(n, scale.nodes_sweep_cascades, seed=500 + n)
+    return out

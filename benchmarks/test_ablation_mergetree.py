@@ -1,0 +1,114 @@
+"""Ablation — merge-tree balancing: tree-node vs graph-node pairing.
+
+§IV-B discusses load balancing: "in a core-periphery graph ... the
+community detection algorithm may output a large community, representing
+the core, along with many small ones.  The processors handling small
+communities might wait for the processor handling the large community to
+finish. ... it is recommended to balance the tree by the number of graph
+nodes contained in two different branches rather than the number of tree
+nodes.  We leave this improvement as the future work."
+
+This bench implements both strategies and quantifies the paper's
+prediction on exactly that adversarial shape: one dominant core
+community plus many small ones.
+"""
+
+import numpy as np
+
+from _common import CORE_COUNTS, save_result
+
+from repro import (
+    HierarchicalInference,
+    MergeTree,
+    ParallelCostModel,
+    SerialBackend,
+    make_sbm_experiment,
+)
+from repro.bench import format_table
+from repro.community import Partition
+from repro.embedding import EmbeddingModel, OptimizerConfig
+
+
+def test_ablation_mergetree(benchmark, scale):
+    exp = make_sbm_experiment(
+        n_nodes=scale.speedup_nodes,
+        community_size=40,
+        n_train=scale.speedup_cascade_counts[0],
+        n_test=0,
+        hub_communities=False,
+        rate_scale=0.85,
+        seed=701,
+    )
+    # The §IV-B adversarial partition: fuse a third of the planted blocks
+    # into one "core" community; keep the rest as small communities.
+    planted = exp.membership
+    n_blocks = int(planted.max()) + 1
+    core_blocks = n_blocks // 3
+    skewed = np.where(planted < core_blocks, 0, planted - core_blocks + 1)
+    partition = Partition(skewed)
+
+    results = {}
+    for strategy in ("tree", "graph"):
+        tree = MergeTree(partition, stop_at=4, strategy=strategy)
+        model = EmbeddingModel.random(exp.graph.n_nodes, 10, seed=703)
+        engine = HierarchicalInference(
+            tree, OptimizerConfig(max_iters=100), SerialBackend()
+        )
+        run = engine.fit(model, exp.train)
+        results[strategy] = (tree, run)
+
+    benchmark.pedantic(
+        lambda: MergeTree(partition, stop_at=4, strategy="graph"),
+        rounds=5,
+        iterations=1,
+    )
+
+    rows = []
+    speedup16 = {}
+    merged_imbalance = {}
+    for strategy, (tree, run) in results.items():
+        cm = ParallelCostModel.calibrated(run)
+        times = {p: cm.execution_time(p) for p in CORE_COUNTS}
+        speedup16[strategy] = times[1] / times[16]
+        # imbalance of the first *merged* level — the structural quantity
+        # the pairing strategy actually controls
+        merged_imbalance[strategy] = tree.imbalance()[1]
+        rows.append(
+            (
+                strategy,
+                merged_imbalance[strategy],
+                times[1],
+                times[16],
+                speedup16[strategy],
+            )
+        )
+    lines = [
+        "Ablation: merge-tree balancing strategy on a core-periphery "
+        f"partition (core = {core_blocks} fused blocks + "
+        f"{n_blocks - core_blocks} small communities)",
+        "",
+        format_table(
+            [
+                "strategy",
+                "merged-level imbalance",
+                "T(1) s",
+                "T(16) s",
+                "speedup @16",
+            ],
+            rows,
+        ),
+        "",
+        "Finding: graph-node pairing never balances a merged level worse "
+        "than tree-node pairing (here they tie: the fused core is the "
+        "largest merged community under any pairing), and when one core "
+        "community dominates the critical path, end-to-end wall-clock is "
+        "bounded by that community either way — the paper's §IV-B "
+        "future-work improvement only pays off once no single community "
+        "dominates.",
+    ]
+    save_result("ablation_mergetree", "\n".join(lines))
+
+    # the structural claim: greedy size pairing never balances worse
+    assert merged_imbalance["graph"] <= merged_imbalance["tree"] + 1e-9
+    # end-to-end speedups are core-community-bound and hence comparable
+    assert abs(speedup16["graph"] - speedup16["tree"]) < 0.3 * speedup16["tree"]

@@ -1,0 +1,80 @@
+"""Ablation — community-aware vs random cascade splitting.
+
+Algorithm 1 severs cross-community infections when it splits cascades.
+The paper's premise (§IV-B, citing the modularity literature) is that
+SLPA communities align with where propagation actually happens, so the
+severed information is minimal.  This bench replaces the SLPA partition
+with a random partition of the same community count and measures how
+much likelihood the leaf level loses — quantifying the premise.
+"""
+
+import numpy as np
+
+from _common import save_result
+
+from repro import HierarchicalInference, MergeTree, SerialBackend
+from repro.bench import format_table
+from repro.community import Partition, slpa
+from repro.cooccurrence import build_cooccurrence_graph
+from repro.embedding import EmbeddingModel, OptimizerConfig
+from repro.embedding.likelihood import corpus_log_likelihood
+from repro.parallel.splitting import split_cascades
+
+
+def test_ablation_partition(benchmark, sbm_experiment, scale):
+    exp = sbm_experiment
+    graph = build_cooccurrence_graph(exp.train).filter_edges(0.1)
+    slpa_part = slpa(graph, seed=801)
+    rng = np.random.default_rng(802)
+    random_part = Partition(
+        rng.integers(0, slpa_part.n_communities, size=exp.graph.n_nodes)
+    )
+
+    benchmark.pedantic(
+        lambda: split_cascades(exp.train, slpa_part), rounds=3, iterations=1
+    )
+
+    def severed_fraction(part):
+        subs = split_cascades(exp.train, part, min_size=1)
+        kept = sum(s.total_infections() for s in subs)
+        # infections are conserved; what is severed is *pairs*: count the
+        # predecessor pairs surviving within communities
+        total_pairs = 0
+        kept_pairs = 0
+        for c in exp.train:
+            m = part.membership[c.nodes]
+            k = c.size
+            total_pairs += k * (k - 1) // 2
+            for comm in np.unique(m):
+                s = int(np.sum(m == comm))
+                kept_pairs += s * (s - 1) // 2
+        return 1.0 - kept_pairs / max(total_pairs, 1)
+
+    rows = []
+    lls = {}
+    for name, part in (("slpa", slpa_part), ("random", random_part)):
+        tree = MergeTree(part, stop_at=part.n_communities)  # leaf level only
+        model = EmbeddingModel.random(exp.graph.n_nodes, scale.n_topics, seed=803)
+        engine = HierarchicalInference(
+            tree, OptimizerConfig(max_iters=100), SerialBackend()
+        )
+        engine.fit(model, exp.train)
+        ll = corpus_log_likelihood(model, exp.train)
+        lls[name] = ll
+        rows.append((name, part.n_communities, severed_fraction(part), ll))
+
+    lines = [
+        "Ablation: leaf-level fit quality, SLPA vs random partition "
+        "(same community count, one level, no merging)",
+        "",
+        format_table(
+            ["partition", "#communities", "severed pair fraction", "corpus loglik"],
+            rows,
+        ),
+        "",
+        "paper §IV-B: 'most cascades occur in local communities', so "
+        "community-aware splitting severs little of the likelihood",
+    ]
+    save_result("ablation_partition", "\n".join(lines))
+
+    assert lls["slpa"] > lls["random"]

@@ -1,0 +1,76 @@
+"""Extension — propagation-network reconstruction from node embeddings.
+
+§I contrasts the node model with edge-inference works ([1]-[5]) that
+"concentrate on modeling the links".  The node embeddings nevertheless
+imply a link structure (the hazard matrix A·Bᵀ); this bench measures how
+much of the hidden ground-truth topology the O(nK)-parameter model
+recovers, against a chance baseline.
+"""
+
+import numpy as np
+
+from _common import save_result
+
+from repro import make_sbm_experiment
+from repro.analysis import edge_auc, reconstruction_precision_recall
+from repro.bench import format_table
+from repro.embedding import EmbeddingModel, OptimizerConfig, ProjectedGradientAscent
+
+
+def test_ext_reconstruction(benchmark, scale):
+    exp = make_sbm_experiment(
+        n_nodes=300,
+        community_size=30,
+        n_train=400,
+        n_test=0,
+        hub_communities=False,
+        rate_scale=0.8,
+        seed=1301,
+    )
+    model = EmbeddingModel.random(300, 10, scale=0.2, seed=1302)
+    opt = ProjectedGradientAscent(
+        OptimizerConfig(max_iters=300, learning_rate=0.05, tol=1e-8, patience=5)
+    )
+    opt.fit(model, exp.train)
+
+    precision, recall = benchmark.pedantic(
+        reconstruction_precision_recall,
+        args=(model, exp.graph),
+        rounds=1,
+        iterations=1,
+    )
+
+    # chance baseline: picking m edges uniformly at random
+    n = exp.graph.n_nodes
+    chance = exp.graph.n_edges / (n * (n - 1))
+
+    # random-embedding baseline
+    random_model = EmbeddingModel.random(300, 10, seed=1303)
+    p_rand, _ = reconstruction_precision_recall(random_model, exp.graph)
+
+    auc_fit = edge_auc(model, exp.graph, seed=1304)
+    auc_rand = edge_auc(random_model, exp.graph, seed=1304)
+
+    rows = [
+        ("fitted embeddings", precision, auc_fit),
+        ("random embeddings", p_rand, auc_rand),
+        ("uniform chance", chance, 0.5),
+    ]
+    lines = [
+        "Extension: reconstructing the hidden propagation graph from the "
+        f"hazard matrix (top-{exp.graph.n_edges} predicted edges vs truth)",
+        "",
+        format_table(["model", "precision@m", "edge AUC"], rows),
+        "",
+        "The node-factorized model recovers block structure, not single "
+        "edges: every intra-community pair gets a similar rate, so "
+        "precision@m is bounded by the intra-community density (0.2 "
+        "here) while rank separation (AUC) shows the real learned "
+        "signal.  Paper §I: edge-inference methods pay O(n^2); the node "
+        "model gets this structural signal with O(nK) parameters.",
+    ]
+    save_result("ext_reconstruction", "\n".join(lines))
+
+    assert precision > 2 * chance
+    assert auc_fit > 0.6
+    assert auc_fit > auc_rand + 0.05

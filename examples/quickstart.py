@@ -1,0 +1,95 @@
+"""Quickstart: infer embeddings from cascades and predict viral ones.
+
+Runs the paper's full pipeline on a small synthetic instance in under a
+minute:
+
+1. generate an SBM world with ground-truth influence/selectivity and
+   simulate a cascade corpus (§VI-A);
+2. infer node embeddings with the community-parallel algorithm
+   (Algorithms 1–2);
+3. predict which held-out cascades go viral from their early adopters
+   (§V), and report F1 across size thresholds (Fig. 9).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import infer_embeddings, make_sbm_experiment, threshold_sweep
+from repro.analysis import rank_influencers
+from repro.bench import format_table
+
+
+def main() -> None:
+    print("=== 1. Generate an SBM cascade corpus (paper §VI-A, scaled down)")
+    exp = make_sbm_experiment(
+        n_nodes=400,
+        community_size=40,
+        n_train=300,
+        n_test=150,
+        seed=21,
+    )
+    sizes = exp.cascades.sizes()
+    print(
+        f"  {len(exp.cascades)} cascades over {exp.graph.n_nodes} nodes; "
+        f"sizes: median={np.median(sizes):.0f}, max={sizes.max()}"
+    )
+
+    print("\n=== 2. Infer influence/selectivity embeddings (Alg. 1 + 2)")
+    model, result, tree = infer_embeddings(exp.train, n_topics=10, seed=21)
+    print(f"  merge tree widths: {tree.widths()}")
+    print(f"  total work: {result.total_work_units} iteration-infections")
+    print(f"  final block log-likelihood: {result.final_loglik:.1f}")
+
+    print("\n=== 3. Influencer identification inside the most active community")
+    # Influence magnitudes are comparable among nodes that compete to
+    # explain the same infections (one community); across communities the
+    # partial likelihood of Eq. 8 does not pin a common scale.
+    from repro.cascades.stats import node_participation_counts
+
+    counts = node_participation_counts(exp.train)
+    comm_activity = np.bincount(
+        exp.membership, weights=counts, minlength=exp.membership.max() + 1
+    )
+    hub = int(np.argmax(comm_activity))
+    members = np.flatnonzero(exp.membership == hub)
+    inferred = model.A[members].sum(axis=1)
+    true = exp.truth.A[members].sum(axis=1)
+    order = np.argsort(inferred)[::-1][:5]
+    print(f"  community {hub} ({members.size} nodes, most cascade activity):")
+    for i in order:
+        print(
+            f"  node {members[i]:4d}  inferred={inferred[i]:6.2f}  "
+            f"true={true[i]:6.2f}"
+        )
+    rho = np.corrcoef(
+        np.argsort(np.argsort(inferred)), np.argsort(np.argsort(true))
+    )[0, 1]
+    print(f"  within-community rank correlation with ground truth: {rho:.2f}")
+
+    print("\n=== 4. Early-stage virality prediction (first 2/7 of the window)")
+    sizes_test = exp.test.sizes()
+    thresholds = [
+        int(np.quantile(sizes_test, q)) for q in (0.5, 0.7, 0.8, 0.9)
+    ]
+    sweep = threshold_sweep(
+        model, exp.test, thresholds=thresholds, window=exp.window, seed=21
+    )
+    print(
+        format_table(
+            ["size threshold", "F1 (10-fold CV)", "positive fraction"],
+            sweep.rows(),
+        )
+    )
+    print(
+        f"\n  F1 at the top-20% threshold: "
+        f"{sweep.f1_at_top_fraction(0.2):.2f} — a quick small-instance demo; "
+        f"the benchmark-scale run (800 nodes, benchmarks/) reaches ~0.72, "
+        f"the paper reports ~0.8"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""The §VI-A SBM experiment end to end, with feature diagnostics.
+
+Reproduces the analysis behind Figs. 6–9: train embeddings on 2/3 of an
+SBM cascade corpus, extract the early-adopter features diverA / normA /
+maxA on the held-out third, show how they separate viral from non-viral
+cascades, and sweep size thresholds to get the F1 curve.
+
+Usage::
+
+    python examples/sbm_virality.py
+"""
+
+import numpy as np
+
+from repro import infer_embeddings, make_sbm_experiment, threshold_sweep
+from repro.bench import format_series, format_table
+from repro.prediction import build_dataset
+
+
+def main() -> None:
+    print("=== Generate the §VI-A corpus (scaled)")
+    exp = make_sbm_experiment(
+        n_nodes=600,
+        community_size=40,
+        n_train=500,
+        n_test=250,
+        seed=31,
+    )
+    sizes = exp.test.sizes()
+    print(
+        f"  train={len(exp.train)}, test={len(exp.test)}; "
+        f"test sizes: median={np.median(sizes):.0f}, "
+        f"p90={np.percentile(sizes, 90):.0f}, max={sizes.max()}"
+    )
+
+    print("\n=== Infer embeddings on the training corpus")
+    model, result, tree = infer_embeddings(exp.train, n_topics=10, seed=32)
+    print(f"  merge tree: {tree.widths()}")
+
+    print("\n=== Figs. 6-8: early-adopter features vs final size")
+    ds = build_dataset(
+        model, exp.test, early_fraction=2 / 7, window=exp.window
+    )
+    viral_threshold = int(np.quantile(sizes, 0.8))
+    is_viral = ds.final_sizes >= viral_threshold
+    rows = []
+    for j, name in enumerate(ds.feature_names):
+        r = np.corrcoef(ds.X[:, j], ds.final_sizes)[0, 1]
+        rows.append(
+            (
+                name,
+                r,
+                float(ds.X[is_viral, j].mean()),
+                float(ds.X[~is_viral, j].mean()),
+            )
+        )
+    print(
+        format_table(
+            ["feature", "corr(final size)", "mean | viral", "mean | normal"],
+            rows,
+        )
+    )
+    print(
+        "  (the paper's Fig. 6 observation: large cascades have clearly "
+        "larger diverA/normA/maxA)"
+    )
+
+    print("\n=== Fig. 9: F1 vs size threshold (10-fold CV)")
+    thresholds = sorted(
+        {int(np.quantile(sizes, q)) for q in (0.3, 0.5, 0.65, 0.8, 0.9, 0.95)}
+    )
+    sweep = threshold_sweep(
+        model, exp.test, thresholds=thresholds, window=exp.window, seed=33
+    )
+    print(format_table(["threshold", "F1", "pos fraction"], sweep.rows()))
+    print(format_series(
+        "size histogram (bin start, count)",
+        sweep.hist_edges[:-1].tolist(),
+        sweep.hist_counts.tolist(),
+    ))
+    print(
+        f"\n  F1 at top-20%: {sweep.f1_at_top_fraction(0.2):.2f} "
+        f"(paper: ~0.8 on the full-scale corpus)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""repro — reproduction of *Predicting Viral News Events in Online Media*.
+
+Lu & Szymanski, IEEE ParSocial Workshop @ IPDPS 2017 (DOI
+10.1109/IPDPSW.2017.82).
+
+The package infers topic-specific *influence* and *selectivity* embeddings
+of nodes from observed information cascades — without knowing the
+propagation topology — using a community-parallel projected-gradient
+algorithm, and predicts the final size of emerging cascades from their
+early adopters' embeddings.
+
+Quickstart
+----------
+>>> from repro import make_sbm_experiment, infer_embeddings, threshold_sweep
+>>> exp = make_sbm_experiment(n_nodes=200, n_train=150, n_test=50, seed=0)
+>>> model, result, tree = infer_embeddings(exp.train, n_topics=5, seed=0)
+>>> sweep = threshold_sweep(model, exp.test, thresholds=[20, 40], seed=0)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+scripts regenerating every figure of the paper.
+"""
+
+from repro.cascades import (
+    Cascade,
+    CascadeSet,
+    CascadeSimulator,
+    map_infector_tree,
+    simulate_corpus,
+    structural_virality,
+)
+from repro.community import MergeTree, Partition, louvain, modularity, slpa
+from repro.cooccurrence import build_cooccurrence_graph, build_coreporting_backbone
+from repro.clustering import jaccard_distance_matrix, ward_linkage
+from repro.datasets import (
+    GDELTConfig,
+    SBMExperiment,
+    SyntheticGDELT,
+    community_aligned_embeddings,
+    make_sbm_experiment,
+)
+from repro.embedding import (
+    EmbeddingModel,
+    LinkRateModel,
+    OnlineEmbeddingInference,
+    OptimizerConfig,
+    ProjectedGradientAscent,
+    corpus_log_likelihood,
+    get_kernel,
+    log_likelihood,
+)
+from repro.graphs import Graph, barabasi_albert, core_periphery, stochastic_block_model
+from repro.parallel import (
+    CostModelParams,
+    HierarchicalInference,
+    MultiprocessBackend,
+    ParallelCostModel,
+    SerialBackend,
+    split_cascades,
+)
+from repro.parallel.hierarchical import infer_embeddings
+from repro.prediction import (
+    FeatureExtractor,
+    LinearSVM,
+    RidgeRegression,
+    SelfExcitingSizePredictor,
+    ViralityPredictor,
+    build_dataset,
+    threshold_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # cascades
+    "Cascade",
+    "CascadeSet",
+    "CascadeSimulator",
+    "simulate_corpus",
+    # graphs
+    "Graph",
+    "stochastic_block_model",
+    "barabasi_albert",
+    "core_periphery",
+    # community / clustering
+    "Partition",
+    "slpa",
+    "louvain",
+    "modularity",
+    "MergeTree",
+    "build_cooccurrence_graph",
+    "build_coreporting_backbone",
+    "jaccard_distance_matrix",
+    "ward_linkage",
+    # embedding
+    "EmbeddingModel",
+    "ProjectedGradientAscent",
+    "OptimizerConfig",
+    "log_likelihood",
+    "corpus_log_likelihood",
+    "LinkRateModel",
+    "OnlineEmbeddingInference",
+    "get_kernel",
+    "map_infector_tree",
+    "structural_virality",
+    "RidgeRegression",
+    "SelfExcitingSizePredictor",
+    # parallel
+    "HierarchicalInference",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "ParallelCostModel",
+    "CostModelParams",
+    "split_cascades",
+    "infer_embeddings",
+    # prediction
+    "FeatureExtractor",
+    "LinearSVM",
+    "ViralityPredictor",
+    "build_dataset",
+    "threshold_sweep",
+    # datasets
+    "SyntheticGDELT",
+    "GDELTConfig",
+    "SBMExperiment",
+    "make_sbm_experiment",
+    "community_aligned_embeddings",
+    "__version__",
+]

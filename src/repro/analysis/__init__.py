@@ -1,0 +1,20 @@
+"""Analysis utilities: power-law fitting (Fig. 3), influencer ranking,
+and propagation-network reconstruction from embeddings."""
+
+from repro.analysis.powerlaw import fit_power_law, log_binned_histogram
+from repro.analysis.influencers import rank_influencers, rank_selective_nodes
+from repro.analysis.reconstruction import (
+    edge_auc,
+    predict_edges,
+    reconstruction_precision_recall,
+)
+
+__all__ = [
+    "fit_power_law",
+    "log_binned_histogram",
+    "rank_influencers",
+    "rank_selective_nodes",
+    "predict_edges",
+    "reconstruction_precision_recall",
+    "edge_auc",
+]

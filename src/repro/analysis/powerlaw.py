@@ -1,0 +1,76 @@
+"""Power-law diagnostics for the Matthew-effect observation (Fig. 3).
+
+The paper plots the number of events reported per news site on log-log
+axes and notes the distribution follows a power law with a cutoff at 5,000
+events/year.  We provide the standard continuous maximum-likelihood
+exponent estimator (Clauset–Shalizi–Newman Eq. 3.1),
+
+.. math:: \\hat\\alpha = 1 + n \\Big/ \\sum_i \\ln \\frac{x_i}{x_{min}},
+
+and logarithmic binning for the histogram itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["fit_power_law", "log_binned_histogram"]
+
+
+def fit_power_law(
+    values: np.ndarray, x_min: Optional[float] = None
+) -> Tuple[float, float]:
+    """MLE exponent of a continuous power law above *x_min*.
+
+    Parameters
+    ----------
+    values:
+        Positive observations (e.g. events-per-site counts).
+    x_min:
+        Lower cutoff; defaults to the smallest positive observation (the
+        paper uses 5,000 events).
+
+    Returns
+    -------
+    (alpha, x_min)
+        Estimated exponent and the cutoff actually used.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    x = x[np.isfinite(x) & (x > 0)]
+    if x.size == 0:
+        raise ValueError("no positive observations")
+    if x_min is None:
+        x_min = float(x.min())
+    if x_min <= 0:
+        raise ValueError("x_min must be positive")
+    tail = x[x >= x_min]
+    if tail.size < 2:
+        raise ValueError("fewer than 2 observations above x_min")
+    alpha = 1.0 + tail.size / float(np.sum(np.log(tail / x_min)))
+    return alpha, x_min
+
+
+def log_binned_histogram(
+    values: np.ndarray, n_bins: int = 20, x_min: Optional[float] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Counts in logarithmically spaced bins (the Fig. 3 rendering).
+
+    Returns ``(bin_centers, counts)`` with geometric bin centers; empty
+    bins are kept (count 0) so log-log slopes read correctly.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    x = np.asarray(values, dtype=np.float64)
+    x = x[np.isfinite(x) & (x > 0)]
+    if x.size == 0:
+        raise ValueError("no positive observations")
+    lo = x_min if x_min is not None else float(x.min())
+    hi = float(x.max())
+    if hi <= lo:
+        hi = lo * 1.0001
+    edges = np.geomspace(lo, hi * (1 + 1e-12), n_bins + 1)
+    counts, _ = np.histogram(x[x >= lo], bins=edges)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    return centers, counts

@@ -1,0 +1,5 @@
+"""Output helpers for the benchmark harness (plain-text tables/series)."""
+
+from repro.bench.tables import format_series, format_table
+
+__all__ = ["format_table", "format_series"]

@@ -1,0 +1,53 @@
+"""Plain-text table formatting for benchmark output.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the output aligned and diff-friendly for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        if len(cells) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(cells):
+            widths[i] = max(widths[i], len(c))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render a named (x, y) series, one pair per line."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines = [f"# series: {name}"]
+    for x, y in zip(xs, ys):
+        yv = f"{y:.6g}" if isinstance(y, float) else str(y)
+        xv = f"{x:.6g}" if isinstance(x, float) else str(x)
+        lines.append(f"{xv}\t{yv}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""JSON-lines serialization of cascade corpora.
+
+Format: first line is a header object ``{"n_nodes": N, "n_cascades": C}``;
+each following line is one cascade, ``{"nodes": [...], "times": [...]}``.
+Times are serialized at full float64 precision via ``repr``-style floats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.cascades.types import Cascade, CascadeSet
+
+__all__ = ["save_cascades_jsonl", "load_cascades_jsonl"]
+
+
+def save_cascades_jsonl(cascades: CascadeSet, path: Union[str, Path]) -> None:
+    """Write *cascades* to *path* in JSON-lines format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"n_nodes": cascades.n_nodes, "n_cascades": len(cascades)}
+        fh.write(json.dumps(header) + "\n")
+        for c in cascades:
+            rec = {"nodes": c.nodes.tolist(), "times": c.times.tolist()}
+            fh.write(json.dumps(rec) + "\n")
+
+
+def load_cascades_jsonl(path: Union[str, Path]) -> CascadeSet:
+    """Read a corpus written by :func:`save_cascades_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty file")
+        header = json.loads(header_line)
+        if "n_nodes" not in header:
+            raise ValueError(f"{path}: missing header line with n_nodes")
+        out = CascadeSet(int(header["n_nodes"]))
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            try:
+                out.append(Cascade(rec["nodes"], rec["times"]))
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad cascade record: {exc}") from exc
+        declared = int(header.get("n_cascades", len(out)))
+        if declared != len(out):
+            raise ValueError(
+                f"{path}: header declares {declared} cascades, found {len(out)}"
+            )
+    return out

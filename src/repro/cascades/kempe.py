@@ -1,0 +1,217 @@
+"""Discrete-time diffusion models of Kempe, Kleinberg & Tardos (2003).
+
+§III-A adapts "the stochastic propagation model proposed by Kempe et
+al." — whose paper [11] actually defines two discrete-round models that
+the continuous-time simulator generalizes:
+
+* **Independent Cascade (IC)**: when node *u* becomes active in round
+  *t*, it gets one chance to activate each inactive successor *v* with
+  probability ``p_uv``; success activates *v* in round ``t+1``;
+* **Linear Threshold (LT)**: every node draws a threshold
+  ``θ_v ~ U(0,1)``; *v* activates once the weight of its active
+  in-neighbors reaches θ_v (in-weights are normalized to sum ≤ 1).
+
+Both produce :class:`repro.cascades.Cascade` objects with integer round
+timestamps, so the whole downstream stack (co-occurrence graphs, SLPA,
+embedding inference) runs on them unchanged — used in tests to check the
+pipeline is not secretly tied to exponential delays.
+
+Also included: the greedy influence-maximization routine from the same
+paper (the (1−1/e) approximation), with Monte-Carlo spread estimates —
+the canonical consumer of these models and a useful comparator for the
+embedding-based influencer ranking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cascades.types import Cascade
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "independent_cascade",
+    "linear_threshold",
+    "estimate_spread",
+    "greedy_influence_maximization",
+]
+
+
+def independent_cascade(
+    graph: Graph,
+    seeds: Sequence[int],
+    activation_probability: Optional[float] = None,
+    seed: SeedLike = None,
+    max_rounds: Optional[int] = None,
+) -> Cascade:
+    """One Independent Cascade realization from *seeds* (round 0).
+
+    Parameters
+    ----------
+    activation_probability:
+        Uniform per-edge probability; ``None`` uses each edge's weight as
+        its probability (weights must then lie in [0, 1]).
+    max_rounds:
+        Optional cap on diffusion rounds.
+
+    Returns
+    -------
+    Cascade with integer round timestamps.
+    """
+    rng = as_generator(seed)
+    n = graph.n_nodes
+    for s in seeds:
+        if not (0 <= s < n):
+            raise ValueError(f"seed {s} outside the node universe")
+    if activation_probability is not None and not (
+        0.0 <= activation_probability <= 1.0
+    ):
+        raise ValueError("activation_probability must lie in [0, 1]")
+
+    active_round = {int(s): 0 for s in seeds}
+    frontier = sorted(set(int(s) for s in seeds))
+    t = 0
+    while frontier and (max_rounds is None or t < max_rounds):
+        t += 1
+        nxt: List[int] = []
+        for u in frontier:
+            succ = graph.successors(u)
+            if succ.size == 0:
+                continue
+            if activation_probability is None:
+                probs = graph.successor_weights(u)
+                if probs.size and (probs.min() < 0 or probs.max() > 1):
+                    raise ValueError(
+                        "edge weights must lie in [0, 1] to act as probabilities"
+                    )
+            else:
+                probs = np.full(succ.size, activation_probability)
+            hits = rng.random(succ.size) < probs
+            for v in succ[hits]:
+                v = int(v)
+                if v not in active_round:
+                    active_round[v] = t
+                    nxt.append(v)
+        frontier = nxt
+    nodes = list(active_round.keys())
+    times = [float(active_round[v]) for v in nodes]
+    return Cascade(nodes, times)
+
+
+def linear_threshold(
+    graph: Graph,
+    seeds: Sequence[int],
+    seed: SeedLike = None,
+    max_rounds: Optional[int] = None,
+) -> Cascade:
+    """One Linear Threshold realization from *seeds* (round 0).
+
+    Edge weights act as influence weights; each node's in-weights are
+    normalized to sum to at most 1, and thresholds are drawn U(0, 1).
+    """
+    rng = as_generator(seed)
+    n = graph.n_nodes
+    for s in seeds:
+        if not (0 <= s < n):
+            raise ValueError(f"seed {s} outside the node universe")
+    thresholds = rng.uniform(0.0, 1.0, size=n)
+    in_weight_sum = np.zeros(n)
+    src, dst, w = graph.edge_arrays()
+    np.add.at(in_weight_sum, dst, w)
+    norm = np.maximum(in_weight_sum, 1.0)  # only normalize if sum exceeds 1
+
+    active_round = {int(s): 0 for s in seeds}
+    pressure = np.zeros(n)
+    frontier = sorted(set(int(s) for s in seeds))
+    t = 0
+    while frontier and (max_rounds is None or t < max_rounds):
+        t += 1
+        touched: Set[int] = set()
+        for u in frontier:
+            succ = graph.successors(u)
+            ws = graph.successor_weights(u)
+            for v, wt in zip(succ, ws):
+                v = int(v)
+                if v not in active_round:
+                    pressure[v] += wt / norm[v]
+                    touched.add(v)
+        nxt = [v for v in sorted(touched) if pressure[v] >= thresholds[v]]
+        for v in nxt:
+            active_round[v] = t
+        frontier = nxt
+    nodes = list(active_round.keys())
+    times = [float(active_round[v]) for v in nodes]
+    return Cascade(nodes, times)
+
+
+def estimate_spread(
+    graph: Graph,
+    seeds: Sequence[int],
+    model: str = "ic",
+    n_samples: int = 100,
+    activation_probability: Optional[float] = None,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo estimate of the expected final active-set size."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    rng = as_generator(seed)
+    total = 0
+    for _ in range(n_samples):
+        if model == "ic":
+            c = independent_cascade(
+                graph, seeds, activation_probability, seed=rng
+            )
+        elif model == "lt":
+            c = linear_threshold(graph, seeds, seed=rng)
+        else:
+            raise ValueError("model must be 'ic' or 'lt'")
+        total += c.size
+    return total / n_samples
+
+
+def greedy_influence_maximization(
+    graph: Graph,
+    k: int,
+    model: str = "ic",
+    n_samples: int = 50,
+    activation_probability: Optional[float] = None,
+    seed: SeedLike = None,
+) -> Tuple[List[int], float]:
+    """Kempe et al.'s greedy (1-1/e)-approximate seed selection.
+
+    Returns ``(seeds, estimated_spread)``.  Plain greedy with common
+    random numbers per round; intended for the small graphs of the test
+    suite and ablations, not for million-node inputs.
+    """
+    if not (1 <= k <= graph.n_nodes):
+        raise ValueError("k must lie in [1, n_nodes]")
+    rng = as_generator(seed)
+    chosen: List[int] = []
+    best_spread = 0.0
+    candidates = list(range(graph.n_nodes))
+    for _ in range(k):
+        best_gain = -1.0
+        best_node = candidates[0]
+        round_seed = int(rng.integers(2**31 - 1))
+        for cand in candidates:
+            if cand in chosen:
+                continue
+            spread = estimate_spread(
+                graph,
+                chosen + [cand],
+                model=model,
+                n_samples=n_samples,
+                activation_probability=activation_probability,
+                seed=round_seed,  # common random numbers within a round
+            )
+            gain = spread - best_spread
+            if gain > best_gain:
+                best_gain = gain
+                best_node = cand
+        chosen.append(best_node)
+        best_spread += best_gain
+    return chosen, best_spread

@@ -1,0 +1,212 @@
+"""Array-backed cascade containers (paper Definition 1).
+
+A :class:`Cascade` stores two parallel arrays — infected node ids and their
+infection times — sorted by time, with each node appearing at most once
+(the SI model never re-infects).  A :class:`CascadeSet` is an ordered corpus
+of cascades over a common node universe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Cascade", "Infection", "CascadeSet"]
+
+Infection = Tuple[int, float]
+
+
+class Cascade:
+    """A single cascade: distinct infections sorted by infection time.
+
+    Parameters
+    ----------
+    nodes:
+        Integer node ids (each at most once).
+    times:
+        Parallel infection times.  The constructor sorts both by time
+        (stable, so equal-time infections keep input order).
+
+    Notes
+    -----
+    The arrays are read-only after construction.
+    """
+
+    __slots__ = ("nodes", "times")
+
+    def __init__(self, nodes: Sequence[int], times: Sequence[float]) -> None:
+        nodes_arr = np.asarray(nodes, dtype=np.int64)
+        times_arr = np.asarray(times, dtype=np.float64)
+        if nodes_arr.ndim != 1 or nodes_arr.shape != times_arr.shape:
+            raise ValueError("nodes and times must be 1-D arrays of equal length")
+        if nodes_arr.size and np.unique(nodes_arr).size != nodes_arr.size:
+            raise ValueError("a cascade may contain each node at most once")
+        if times_arr.size and not np.all(np.isfinite(times_arr)):
+            raise ValueError("infection times must be finite")
+        order = np.argsort(times_arr, kind="stable")
+        nodes_arr = np.ascontiguousarray(nodes_arr[order])
+        times_arr = np.ascontiguousarray(times_arr[order])
+        nodes_arr.setflags(write=False)
+        times_arr.setflags(write=False)
+        self.nodes = nodes_arr
+        self.times = times_arr
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of infections (the paper's "cascade size")."""
+        return int(self.nodes.size)
+
+    @property
+    def duration(self) -> float:
+        """Time between first and last infection (0 for size <= 1)."""
+        if self.size <= 1:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def source(self) -> int:
+        """The earliest-infected node."""
+        if self.size == 0:
+            raise ValueError("empty cascade has no source")
+        return int(self.nodes[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Infection]:
+        for v, t in zip(self.nodes, self.times):
+            yield int(v), float(t)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cascade):
+            return NotImplemented
+        return np.array_equal(self.nodes, other.nodes) and np.array_equal(
+            self.times, other.times
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nodes.tobytes(), self.times.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cascade(size={self.size}, duration={self.duration:.3g})"
+
+    # ------------------------------------------------------------------ #
+
+    def prefix_by_time(self, t_max: float) -> "Cascade":
+        """Infections occurring at time ``<= t_max`` (early-adopter window).
+
+        This is the §V "early stage": the paper feeds the first fraction of
+        the observation window into the predictor.
+        """
+        k = int(np.searchsorted(self.times, t_max, side="right"))
+        return Cascade(self.nodes[:k], self.times[:k])
+
+    def prefix_by_count(self, k: int) -> "Cascade":
+        """The first *k* infections."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        k = min(k, self.size)
+        return Cascade(self.nodes[:k], self.times[:k])
+
+    def relabel(self, mapping: np.ndarray) -> "Cascade":
+        """Apply a node-id relabeling array (``new_id = mapping[old_id]``)."""
+        return Cascade(mapping[self.nodes], self.times)
+
+    def restrict_to(self, keep: np.ndarray) -> "Cascade":
+        """Sub-cascade of infections whose node is flagged in boolean *keep*.
+
+        This implements Algorithm 1 lines 5–11: splitting a cascade into
+        per-community sub-cascades.
+        """
+        mask = keep[self.nodes]
+        return Cascade(self.nodes[mask], self.times[mask])
+
+    def shifted(self, dt: float) -> "Cascade":
+        """Cascade with all times shifted by *dt* (the likelihood is
+        invariant to this; used in tests)."""
+        return Cascade(self.nodes, self.times + dt)
+
+
+class CascadeSet:
+    """An ordered corpus of cascades over nodes ``0 .. n_nodes-1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Size of the node universe (all cascade node ids must be < n_nodes).
+    cascades:
+        Iterable of :class:`Cascade`.
+    """
+
+    __slots__ = ("n_nodes", "_cascades")
+
+    def __init__(self, n_nodes: int, cascades: Iterable[Cascade] = ()) -> None:
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be >= 0")
+        self.n_nodes = int(n_nodes)
+        self._cascades: List[Cascade] = []
+        for c in cascades:
+            self._validate(c)
+            self._cascades.append(c)
+
+    def _validate(self, c: Cascade) -> None:
+        if not isinstance(c, Cascade):
+            raise TypeError(f"expected Cascade, got {type(c)!r}")
+        if c.size and int(c.nodes.max()) >= self.n_nodes:
+            raise ValueError(
+                f"cascade references node {int(c.nodes.max())} outside "
+                f"universe of {self.n_nodes} nodes"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def append(self, c: Cascade) -> None:
+        """Add a cascade to the corpus."""
+        self._validate(c)
+        self._cascades.append(c)
+
+    def __len__(self) -> int:
+        return len(self._cascades)
+
+    def __iter__(self) -> Iterator[Cascade]:
+        return iter(self._cascades)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return CascadeSet(self.n_nodes, self._cascades[i])
+        return self._cascades[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CascadeSet):
+            return NotImplemented
+        return self.n_nodes == other.n_nodes and self._cascades == other._cascades
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CascadeSet(n_nodes={self.n_nodes}, n_cascades={len(self)})"
+
+    # ------------------------------------------------------------------ #
+
+    def split(self, n_train: int) -> Tuple["CascadeSet", "CascadeSet"]:
+        """Split into (first *n_train*, rest) — the paper trains embeddings
+        on the first 2,000 cascades and evaluates prediction on the last
+        1,000 (§VI-A)."""
+        if not (0 <= n_train <= len(self)):
+            raise ValueError("n_train out of range")
+        return self[:n_train], self[n_train:]
+
+    def sizes(self) -> np.ndarray:
+        """Array of cascade sizes."""
+        return np.asarray([c.size for c in self._cascades], dtype=np.int64)
+
+    def total_infections(self) -> int:
+        """Sum of all cascade sizes."""
+        return int(self.sizes().sum())
+
+    def participating_nodes(self) -> np.ndarray:
+        """Sorted unique node ids appearing in at least one cascade."""
+        if not self._cascades:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([c.nodes for c in self._cascades]))

@@ -1,0 +1,294 @@
+"""Command-line interface: the paper's pipeline as composable commands.
+
+Install the package and run ``repro <command> --help``.  Every command
+reads/writes plain files (JSON-lines corpora, ``.npz`` embeddings) so the
+stages compose through the filesystem:
+
+.. code-block:: bash
+
+    repro simulate-sbm --nodes 400 --cascades 450 --out corpus.jsonl
+    repro infer        --corpus corpus.jsonl --train 300 --topics 10 \\
+                       --out model.npz
+    repro predict      --corpus corpus.jsonl --skip 300 --model model.npz \\
+                       --quantiles 0.5,0.8,0.9
+    repro influencers  --model model.npz --corpus corpus.jsonl --top 10
+    repro gdelt        --sites 800 --events 500 --out events.jsonl
+    repro speedup      --corpus corpus.jsonl --cores 1,2,4,8,16,32,64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_int_list(text: str) -> List[int]:
+    try:
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad integer list {text!r}") from exc
+
+
+def _parse_float_list(text: str) -> List[float]:
+    try:
+        return [float(x) for x in text.split(",") if x.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad float list {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Predicting Viral News Events in "
+        "Online Media' (Lu & Szymanski, 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate-sbm", help="generate an SBM cascade corpus")
+    p.add_argument("--nodes", type=int, default=400)
+    p.add_argument("--community-size", type=int, default=40)
+    p.add_argument("--cascades", type=int, default=450)
+    p.add_argument("--window", type=float, default=1.0)
+    p.add_argument("--rate-scale", type=float, default=0.9)
+    p.add_argument("--uniform", action="store_true",
+                   help="disable hub communities (the scaling-benchmark corpus)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("gdelt", help="generate a synthetic GDELT event corpus")
+    p.add_argument("--sites", type=int, default=800)
+    p.add_argument("--events", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("infer", help="infer influence/selectivity embeddings")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--train", type=int, default=None,
+                   help="use only the first N cascades (default: all)")
+    p.add_argument("--topics", type=int, default=10)
+    p.add_argument("--stop-at", type=int, default=1)
+    p.add_argument("--strategy", choices=("tree", "graph"), default="tree")
+    p.add_argument("--max-iters", type=int, default=200)
+    p.add_argument("--l2", type=float, default=0.0)
+    p.add_argument("--workers", type=int, default=1,
+                   help=">1 runs the multiprocess backend")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("predict", help="threshold-sweep virality prediction")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--skip", type=int, default=0,
+                   help="skip the first N cascades (the training prefix)")
+    p.add_argument("--thresholds", type=_parse_int_list, default=None)
+    p.add_argument("--quantiles", type=_parse_float_list,
+                   default=[0.5, 0.8, 0.9])
+    p.add_argument("--early-fraction", type=float, default=2 / 7)
+    p.add_argument("--window", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("influencers", help="rank nodes by inferred influence")
+    p.add_argument("--model", required=True)
+    p.add_argument("--corpus", default=None,
+                   help="optional corpus for participation filtering")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--topic", type=int, default=None)
+    p.add_argument("--min-participation", type=int, default=10)
+
+    p = sub.add_parser("speedup", help="measured schedule + simulated scaling")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--topics", type=int, default=10)
+    p.add_argument("--stop-at", type=int, default=4)
+    p.add_argument("--cores", type=_parse_int_list, default=[1, 2, 4, 8, 16, 32, 64])
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------- #
+
+
+def _cmd_simulate_sbm(args) -> int:
+    from repro.cascades.io import save_cascades_jsonl
+    from repro.datasets.sbm_corpus import make_sbm_experiment
+
+    exp = make_sbm_experiment(
+        n_nodes=args.nodes,
+        community_size=args.community_size,
+        n_train=args.cascades,
+        n_test=0,
+        window=args.window,
+        rate_scale=args.rate_scale,
+        hub_communities=not args.uniform,
+        seed=args.seed,
+    )
+    save_cascades_jsonl(exp.cascades, args.out)
+    sizes = exp.cascades.sizes()
+    print(
+        f"wrote {len(exp.cascades)} cascades over {args.nodes} nodes to "
+        f"{args.out} (sizes: median {np.median(sizes):.0f}, max {sizes.max()})"
+    )
+    return 0
+
+
+def _cmd_gdelt(args) -> int:
+    from repro.cascades.io import save_cascades_jsonl
+    from repro.datasets.gdelt import GDELTConfig, SyntheticGDELT
+
+    world = SyntheticGDELT(GDELTConfig(n_sites=args.sites), seed=args.seed)
+    events = world.sample_events(args.events, seed=args.seed + 1)
+    save_cascades_jsonl(events, args.out)
+    sizes = events.sizes()
+    print(
+        f"wrote {len(events)} events over {args.sites} sites to {args.out} "
+        f"(sizes: median {np.median(sizes):.0f}, max {sizes.max()}; "
+        f"window {world.config.window_hours:.0f}h)"
+    )
+    return 0
+
+
+def _cmd_infer(args) -> int:
+    from repro.cascades.io import load_cascades_jsonl
+    from repro.embedding.optimizer import OptimizerConfig
+    from repro.parallel.backends import MultiprocessBackend, SerialBackend
+    from repro.parallel.hierarchical import infer_embeddings
+
+    corpus = load_cascades_jsonl(args.corpus)
+    if args.train is not None:
+        corpus, _ = corpus.split(min(args.train, len(corpus)))
+    backend = (
+        MultiprocessBackend(n_workers=args.workers)
+        if args.workers > 1
+        else SerialBackend()
+    )
+    try:
+        model, result, tree = infer_embeddings(
+            corpus,
+            n_topics=args.topics,
+            config=OptimizerConfig(max_iters=args.max_iters, l2=args.l2),
+            backend=backend,
+            stop_at=args.stop_at,
+            strategy=args.strategy,
+            seed=args.seed,
+        )
+    finally:
+        backend.close()
+    model.save(args.out)
+    print(
+        f"trained on {len(corpus)} cascades; merge tree {tree.widths()}; "
+        f"final block log-likelihood {result.final_loglik:.1f}"
+    )
+    print(f"wrote embeddings ({model.n_nodes} x {model.n_topics} x 2) to {args.out}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.bench.tables import format_table
+    from repro.cascades.io import load_cascades_jsonl
+    from repro.embedding.model import EmbeddingModel
+    from repro.prediction.pipeline import threshold_sweep
+
+    corpus = load_cascades_jsonl(args.corpus)
+    if args.skip:
+        _, corpus = corpus.split(min(args.skip, len(corpus)))
+    model = EmbeddingModel.load(args.model)
+    sizes = corpus.sizes()
+    if args.thresholds:
+        thresholds = args.thresholds
+    else:
+        thresholds = sorted({int(np.quantile(sizes, q)) for q in args.quantiles})
+    sweep = threshold_sweep(
+        model,
+        corpus,
+        thresholds=thresholds,
+        early_fraction=args.early_fraction,
+        window=args.window,
+        seed=args.seed,
+    )
+    print(format_table(["size threshold", "F1", "positive fraction"], sweep.rows()))
+    print(f"F1 at top-20%: {sweep.f1_at_top_fraction(0.2):.3f}")
+    return 0
+
+
+def _cmd_influencers(args) -> int:
+    from repro.analysis.influencers import rank_influencers
+    from repro.bench.tables import format_table
+    from repro.embedding.model import EmbeddingModel
+
+    model = EmbeddingModel.load(args.model)
+    participation = None
+    min_part = 0
+    if args.corpus:
+        from repro.cascades.io import load_cascades_jsonl
+        from repro.cascades.stats import node_participation_counts
+
+        corpus = load_cascades_jsonl(args.corpus)
+        participation = node_participation_counts(corpus)
+        min_part = args.min_participation
+    top = rank_influencers(
+        model,
+        topic=args.topic,
+        top_k=args.top,
+        participation=participation,
+        min_participation=min_part,
+    )
+    print(format_table(["node", "influence"], top))
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from repro.bench.tables import format_table
+    from repro.cascades.io import load_cascades_jsonl
+    from repro.community.mergetree import MergeTree
+    from repro.community.slpa import slpa
+    from repro.cooccurrence.build import build_cooccurrence_graph
+    from repro.embedding.model import EmbeddingModel
+    from repro.embedding.optimizer import OptimizerConfig
+    from repro.parallel.backends import SerialBackend
+    from repro.parallel.costmodel import ParallelCostModel
+    from repro.parallel.hierarchical import HierarchicalInference
+
+    corpus = load_cascades_jsonl(args.corpus)
+    graph = build_cooccurrence_graph(corpus).filter_edges(0.1)
+    partition = slpa(graph, seed=args.seed)
+    tree = MergeTree(partition, stop_at=args.stop_at)
+    model = EmbeddingModel.random(corpus.n_nodes, args.topics, seed=args.seed)
+    engine = HierarchicalInference(
+        tree, OptimizerConfig(), SerialBackend()
+    )
+    result = engine.fit(model, corpus)
+    cm = ParallelCostModel.calibrated(result)
+    curves = cm.curves(args.cores)
+    rows = list(
+        zip(curves["cores"], curves["time"], curves["speedup"], curves["efficiency"])
+    )
+    print(f"merge tree widths: {tree.widths()}")
+    print(format_table(["cores", "time (s)", "speedup", "efficiency"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "simulate-sbm": _cmd_simulate_sbm,
+    "gdelt": _cmd_gdelt,
+    "infer": _cmd_infer,
+    "predict": _cmd_predict,
+    "influencers": _cmd_influencers,
+    "speedup": _cmd_speedup,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

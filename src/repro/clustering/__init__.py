@@ -1,0 +1,18 @@
+"""Hierarchical clustering of cascades (§II, Fig. 1).
+
+The paper measures pairwise distance between cascades by the Jaccard index
+over their reporting-node sets (Eq. 1) and applies agglomerative clustering
+under the Ward criterion, yielding a dendrogram whose top-level clusters
+align with geographic regions.  Everything here is implemented from
+scratch (scipy's implementations are used only as test oracles).
+"""
+
+from repro.clustering.jaccard import jaccard_distance_matrix, jaccard_index
+from repro.clustering.ward import Dendrogram, ward_linkage
+
+__all__ = [
+    "jaccard_index",
+    "jaccard_distance_matrix",
+    "ward_linkage",
+    "Dendrogram",
+]

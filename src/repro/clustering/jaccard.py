@@ -1,0 +1,63 @@
+"""Jaccard similarity between cascades (Eq. 1).
+
+The paper defines the distance between two news-event cascades *i* and *j*
+through the Jaccard index of their reporter sets,
+
+.. math:: J(i, j) = \\frac{|N(i) \\cap N(j)|}{|N(i) \\cup N(j)|},
+
+with :math:`N(i)` the set of nodes participating in cascade *i*.  The
+dissimilarity used for clustering is :math:`1 - J`.
+
+The all-pairs computation is a single dense matrix product over the
+cascade×node incidence matrix — O(C²·N/w) with BLAS doing the heavy
+lifting — rather than a Python double loop over pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cascades.types import Cascade, CascadeSet
+
+__all__ = ["jaccard_index", "jaccard_distance_matrix", "incidence_matrix"]
+
+
+def jaccard_index(a: Cascade, b: Cascade) -> float:
+    """Jaccard index of the node sets of two cascades (Eq. 1)."""
+    sa = set(a.nodes.tolist())
+    sb = set(b.nodes.tolist())
+    if not sa and not sb:
+        return 1.0
+    inter = len(sa & sb)
+    union = len(sa | sb)
+    return inter / union
+
+
+def incidence_matrix(cascades: CascadeSet, dtype=np.float32) -> np.ndarray:
+    """Dense (n_cascades × n_nodes) participation indicator matrix."""
+    M = np.zeros((len(cascades), cascades.n_nodes), dtype=dtype)
+    for i, c in enumerate(cascades):
+        M[i, c.nodes] = 1
+    return M
+
+
+def jaccard_distance_matrix(cascades: CascadeSet) -> np.ndarray:
+    """All-pairs Jaccard *distance* (1 − index) between cascades.
+
+    Returns a symmetric (C × C) float64 matrix with zero diagonal.  Two
+    empty cascades have distance 0 by convention.
+    """
+    C = len(cascades)
+    if C == 0:
+        return np.zeros((0, 0))
+    M = incidence_matrix(cascades, dtype=np.float32)
+    sizes = M.sum(axis=1).astype(np.float64)  # |N(i)|
+    inter = (M @ M.T).astype(np.float64)  # |N(i) ∩ N(j)|
+    union = sizes[:, None] + sizes[None, :] - inter
+    with np.errstate(invalid="ignore", divide="ignore"):
+        jac = np.where(union > 0, inter / union, 1.0)
+    dist = 1.0 - jac
+    np.fill_diagonal(dist, 0.0)
+    # Clamp tiny negative values from float32 accumulation.
+    np.clip(dist, 0.0, 1.0, out=dist)
+    return dist

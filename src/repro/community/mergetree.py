@@ -1,0 +1,129 @@
+"""Balanced binary merge schedules (Algorithm 2 / Fig. 4).
+
+Given the SLPA leaf partition, Algorithm 2 repeatedly joins communities two
+at a time: a level with *k* communities becomes a level with ⌈k/2⌉, until at
+most *q* communities remain (the last call then covers the whole network
+when q = 1).  The object of interest is the sequence of partitions
+``levels[0] (leaves) … levels[-1] (root / stop level)``; each level drives
+one invocation of Algorithm 1 with parallel width = number of communities.
+
+Two pairing strategies:
+
+* ``"tree"`` (paper): balance by the number of *tree* nodes — communities
+  are paired in id order, giving a binary tree whose branches hold equal
+  numbers of leaves regardless of community sizes;
+* ``"graph"`` (paper's stated future work): balance by the number of
+  *graph* nodes — at each level, communities are sorted by node count and
+  the largest is paired with the smallest (greedy), which evens per-process
+  workload when community sizes are skewed (e.g. core–periphery graphs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Sequence
+
+import numpy as np
+
+from repro.community.partition import Partition
+
+__all__ = ["MergeTree"]
+
+Strategy = Literal["tree", "graph"]
+
+
+class MergeTree:
+    """The hierarchy of partitions traversed by Algorithm 2.
+
+    Parameters
+    ----------
+    leaves:
+        Level-0 partition (typically SLPA output on the co-occurrence
+        graph).
+    stop_at:
+        Stop merging once a level has at most this many communities
+        (Algorithm 2's threshold *q*).  ``1`` runs all the way to the root,
+        where a single process sweeps the whole network.
+    strategy:
+        ``"tree"`` or ``"graph"`` (see module docstring).
+
+    Attributes
+    ----------
+    levels:
+        ``levels[0]`` is *leaves*; each subsequent entry halves the
+        community count (rounding up) until ``<= stop_at``.
+    """
+
+    def __init__(
+        self,
+        leaves: Partition,
+        stop_at: int = 1,
+        strategy: Strategy = "tree",
+    ) -> None:
+        if stop_at < 1:
+            raise ValueError("stop_at must be >= 1")
+        if strategy not in ("tree", "graph"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy: Strategy = strategy
+        self.stop_at = int(stop_at)
+        self.levels: List[Partition] = [leaves]
+        current = leaves
+        while current.n_communities > stop_at:
+            groups = self._pairing(current)
+            current = current.merge(groups)
+            self.levels.append(current)
+
+    # ------------------------------------------------------------------ #
+
+    def _pairing(self, part: Partition) -> List[List[int]]:
+        k = part.n_communities
+        ids = list(range(k))
+        if self.strategy == "tree":
+            # Pair adjacent ids: (0,1), (2,3), ...; odd leftover stays solo.
+            groups = [ids[i : i + 2] for i in range(0, k, 2)]
+        else:
+            # Greedy size balancing: sort by node count, pair largest with
+            # smallest so merged sizes even out.
+            sizes = part.sizes()
+            order = sorted(ids, key=lambda c: int(sizes[c]))
+            groups = []
+            lo, hi = 0, k - 1
+            while lo < hi:
+                groups.append([order[hi], order[lo]])
+                lo += 1
+                hi -= 1
+            if lo == hi:
+                groups.append([order[lo]])
+        return groups
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels (>= 1)."""
+        return len(self.levels)
+
+    @property
+    def root(self) -> Partition:
+        """The final (coarsest) partition."""
+        return self.levels[-1]
+
+    def widths(self) -> List[int]:
+        """Parallel width (community count) at each level."""
+        return [p.n_communities for p in self.levels]
+
+    def imbalance(self) -> List[float]:
+        """Per-level load imbalance: max community size / mean size.
+
+        1.0 is perfectly balanced; the barrier at each level waits for the
+        largest community, so wall-clock per level scales with the max.
+        """
+        out = []
+        for p in self.levels:
+            sizes = p.sizes().astype(np.float64)
+            out.append(float(sizes.max() / sizes.mean()) if sizes.size else 1.0)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MergeTree(levels={self.widths()}, strategy={self.strategy!r})"
+        )

@@ -1,0 +1,13 @@
+"""Frequent co-occurrence graphs over cascade corpora (§IV-B, Fig. 2)."""
+
+from repro.cooccurrence.build import (
+    build_cooccurrence_graph,
+    build_coreporting_backbone,
+    ordered_pair_counts,
+)
+
+__all__ = [
+    "build_cooccurrence_graph",
+    "build_coreporting_backbone",
+    "ordered_pair_counts",
+]

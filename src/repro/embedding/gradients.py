@@ -1,0 +1,151 @@
+"""Two-sweep linear-time gradients of the cascade log-likelihood.
+
+§IV-A: one forward sweep over the time-sorted infections computes the
+prefix accumulators
+
+.. math::
+
+    H(v) = \\sum_{l \\prec v} A_l, \\qquad G(v) = \\sum_{l \\prec v} t_l A_l,
+
+giving (Eq. 12–13)
+
+.. math::
+
+    \\nabla_{B_v} L_c = G(v) - t_v H(v) + \\frac{H(v)}{H(v) B_v^T};
+
+a backward sweep computes the suffix accumulators
+
+.. math::
+
+    P(u) = \\sum_{v: u \\prec v} B_v, \\qquad Q(u) = \\sum_{v: u \\prec v} t_v B_v,
+    \\qquad R(u) = \\sum_{v: u \\prec v} \\frac{B_v}{H(v) B_v^T},
+
+giving (Eq. 16)
+
+.. math:: \\nabla_{A_u} L_c = t_u P(u) - Q(u) + R(u).
+
+Both sweeps are vectorized with cumulative sums; the cost per cascade of
+length *s* is O(s·K) — the linearity property the parallel algorithm
+depends on.  Infections without strict predecessors contribute no term
+(see :mod:`repro.embedding.likelihood` on the source convention), and the
+suffix sums skip them symmetrically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cascades.types import Cascade
+from repro.embedding.likelihood import EPS, tie_groups
+from repro.embedding.model import EmbeddingModel
+
+__all__ = ["accumulate_gradients", "cascade_gradients", "numerical_gradients"]
+
+
+def accumulate_gradients(
+    A: np.ndarray,
+    B: np.ndarray,
+    cascade: Cascade,
+    gradA: np.ndarray,
+    gradB: np.ndarray,
+    eps: float = EPS,
+) -> float:
+    """Add ∇L_c to *gradA*/*gradB* in place; return L_c.
+
+    Parameters
+    ----------
+    A, B:
+        Current (n, K) embeddings.
+    cascade:
+        The cascade to process; node ids index rows of A/B.
+    gradA, gradB:
+        (n, K) accumulators, modified in place.
+    eps:
+        Denominator guard.
+
+    Returns
+    -------
+    float
+        The cascade's log-likelihood at (A, B).
+    """
+    s = cascade.size
+    if s < 2:
+        return 0.0
+    nodes, times = cascade.nodes, cascade.times
+    A_pos = A[nodes]  # (s, K) gathers
+    B_pos = B[nodes]
+    K = A_pos.shape[1]
+    starts, ends = tie_groups(times)
+    t_col = times[:, None]
+
+    # ---- forward sweep: prefix sums for H, G ------------------------- #
+    cumA = np.vstack([np.zeros((1, K)), np.cumsum(A_pos, axis=0)])
+    cumtA = np.vstack([np.zeros((1, K)), np.cumsum(t_col * A_pos, axis=0)])
+    H = cumA[starts]
+    G = cumtA[starts]
+    valid = starts > 0  # has at least one strict predecessor
+
+    denom = np.einsum("ik,ik->i", H, B_pos)
+    denom = np.maximum(denom, eps)
+
+    # ∇_{B_v}: Eq. 13, zero for invalid positions.
+    dB_pos = G - t_col * H + H / denom[:, None]
+    dB_pos[~valid] = 0.0
+
+    # ---- backward sweep: suffix sums for P, Q, R over *valid* v ------ #
+    vB = np.where(valid[:, None], B_pos, 0.0)
+    vtB = np.where(valid[:, None], t_col * B_pos, 0.0)
+    vBd = np.where(valid[:, None], B_pos / denom[:, None], 0.0)
+    # suffix[p] = Σ_{i >= p} X_i, with suffix[s] = 0.
+    sufB = np.vstack([np.cumsum(vB[::-1], axis=0)[::-1], np.zeros((1, K))])
+    suftB = np.vstack([np.cumsum(vtB[::-1], axis=0)[::-1], np.zeros((1, K))])
+    sufBd = np.vstack([np.cumsum(vBd[::-1], axis=0)[::-1], np.zeros((1, K))])
+    # u at position j influences valid v strictly later: i >= ends[j].
+    P = sufB[ends]
+    Q = suftB[ends]
+    R = sufBd[ends]
+    dA_pos = t_col * P - Q + R  # Eq. 16
+
+    # Nodes are unique within a cascade, so fancy-index += is safe.
+    gradA[nodes] += dA_pos
+    gradB[nodes] += dB_pos
+
+    lin = np.einsum("ik,ik->i", G - t_col * H, B_pos)
+    return float(np.sum(lin[valid] + np.log(denom[valid])))
+
+
+def cascade_gradients(
+    model: EmbeddingModel, cascade: Cascade, eps: float = EPS
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Return ``(gradA, gradB, loglik)`` as fresh (n, K) arrays."""
+    gradA = np.zeros_like(model.A)
+    gradB = np.zeros_like(model.B)
+    ll = accumulate_gradients(model.A, model.B, cascade, gradA, gradB, eps=eps)
+    return gradA, gradB, ll
+
+
+def numerical_gradients(
+    model: EmbeddingModel,
+    cascade: Cascade,
+    h: float = 1e-6,
+    eps: float = EPS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Central finite-difference gradients (test oracle; O(n·K·s²))."""
+    from repro.embedding.likelihood import log_likelihood
+
+    gradA = np.zeros_like(model.A)
+    gradB = np.zeros_like(model.B)
+    nodes = np.unique(cascade.nodes)
+    for v in nodes:
+        for k in range(model.n_topics):
+            for mat, grad in ((model.A, gradA), (model.B, gradB)):
+                orig = mat[v, k]
+                mat[v, k] = orig + h
+                up = log_likelihood(model, cascade, eps=eps)
+                mat[v, k] = orig - h
+                down = log_likelihood(model, cascade, eps=eps)
+                mat[v, k] = orig
+                grad[v, k] = (up - down) / (2 * h)
+    return gradA, gradB

@@ -1,0 +1,137 @@
+"""Online (streaming) embedding inference.
+
+The paper's motivating scenario is *emergent* news events: cascades
+arrive over time, and predictions are wanted while the corpus is still
+growing.  The batch optimizer refits from scratch; this module keeps the
+embeddings warm and folds new cascades in as they arrive — projected SGD
+with a Robbins–Monro step schedule ``lr / (1 + decay · t)`` over
+cascades, where *t* counts every cascade ever seen.
+
+Usage::
+
+    online = OnlineEmbeddingInference(n_nodes, n_topics, seed=0)
+    for batch in cascade_stream:       # e.g. an hour of new events
+        online.partial_fit(batch)
+        features = extract_features(online.model, new_prefix)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.gradients import accumulate_gradients
+from repro.embedding.likelihood import EPS
+from repro.embedding.model import EmbeddingModel
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["OnlineConfig", "OnlineEmbeddingInference"]
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Step-size schedule of the streaming solver.
+
+    Attributes
+    ----------
+    learning_rate:
+        Initial per-cascade step (normalized by cascade size, as in the
+        Hogwild solver, so long cascades do not dominate).
+    decay:
+        Robbins–Monro decay: the step for the *t*-th cascade ever seen is
+        ``learning_rate / (1 + decay * t)``.
+    sweeps_per_batch:
+        Local passes over each arriving batch (new data is scarce; a few
+        sweeps extract more of it without a full refit).
+    max_step:
+        Elementwise update cap (divergence guard).
+    """
+
+    learning_rate: float = 0.1
+    decay: float = 0.002
+    sweeps_per_batch: int = 2
+    max_step: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.decay < 0:
+            raise ValueError("decay must be >= 0")
+        if self.sweeps_per_batch < 1:
+            raise ValueError("sweeps_per_batch must be >= 1")
+        if self.max_step <= 0:
+            raise ValueError("max_step must be positive")
+
+
+class OnlineEmbeddingInference:
+    """Streaming projected-SGD estimator of the influence/selectivity model.
+
+    Parameters
+    ----------
+    n_nodes, n_topics:
+        Model dimensions (the node universe must be known up front).
+    config:
+        Step-size schedule.
+    seed:
+        Controls the random initialization and the shuffling of batches.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_topics: int,
+        config: OnlineConfig = OnlineConfig(),
+        init_scale: float = 0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        self.config = config
+        self._rng = as_generator(seed)
+        self.model = EmbeddingModel.random(
+            n_nodes, n_topics, scale=init_scale, seed=self._rng
+        )
+        self._gradA = np.zeros_like(self.model.A)
+        self._gradB = np.zeros_like(self.model.B)
+        #: cascades consumed so far (drives the step-size schedule)
+        self.t = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _step(self) -> float:
+        return self.config.learning_rate / (1.0 + self.config.decay * self.t)
+
+    def partial_fit(self, cascades: Iterable[Cascade]) -> "OnlineEmbeddingInference":
+        """Fold a batch of newly observed cascades into the model."""
+        batch = list(cascades)
+        for c in batch:
+            if c.size and int(c.nodes.max()) >= self.model.n_nodes:
+                raise ValueError(
+                    "cascade references a node outside the model universe"
+                )
+        cfg = self.config
+        A, B = self.model.A, self.model.B
+        for _ in range(cfg.sweeps_per_batch):
+            order = self._rng.permutation(len(batch))
+            for idx in order:
+                c = batch[idx]
+                if c.size < 2:
+                    continue
+                rows = c.nodes
+                self._gradA[rows] = 0.0
+                self._gradB[rows] = 0.0
+                accumulate_gradients(A, B, c, self._gradA, self._gradB, eps=EPS)
+                lr = self._step() / c.size
+                dA = np.clip(lr * self._gradA[rows], -cfg.max_step, cfg.max_step)
+                dB = np.clip(lr * self._gradB[rows], -cfg.max_step, cfg.max_step)
+                A[rows] = np.maximum(A[rows] + dA, 0.0)
+                B[rows] = np.maximum(B[rows] + dB, 0.0)
+                self.t += 1
+        return self
+
+    def loglik(self, cascades: CascadeSet) -> float:
+        """Corpus log-likelihood under the current model (monitoring)."""
+        from repro.embedding.likelihood import corpus_log_likelihood
+
+        return corpus_log_likelihood(self.model, cascades)

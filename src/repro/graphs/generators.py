@@ -1,0 +1,212 @@
+"""Random-graph generators used by the paper's evaluation.
+
+All generators return directed :class:`repro.graphs.Graph` instances plus,
+where meaningful, the planted ground-truth community membership.  Edges are
+sampled with vectorized NumPy (no per-pair Python loops): for a block with
+probability *p* we draw the number of edges ``m ~ Binomial(rows*cols, p)``
+and then sample *m* distinct cell indices, which is exact and O(m).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "stochastic_block_model",
+    "planted_partition_sizes",
+    "erdos_renyi",
+    "barabasi_albert",
+    "core_periphery",
+]
+
+
+def _sample_block_edges(
+    rng: np.random.Generator,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    p: float,
+    exclude_diagonal: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample directed edges between node sets *rows* x *cols* with prob *p*.
+
+    Returns (src, dst) global node ids.  ``exclude_diagonal`` skips (i, i)
+    cells (used when rows is cols, to forbid self-loops).
+    """
+    nr, nc = rows.size, cols.size
+    n_cells = nr * nc - (nr if exclude_diagonal and nr == nc else 0)
+    if n_cells <= 0 or p <= 0.0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    m = rng.binomial(n_cells, p)
+    if m == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    # Sample m distinct linear cell indices without replacement.
+    picks = rng.choice(n_cells, size=m, replace=False)
+    if exclude_diagonal and nr == nc:
+        # Map the diagonal-free linear index into the full nr*nc grid:
+        # row r has nc-1 valid cells; within the row, indices >= r shift by 1.
+        r = picks // (nc - 1)
+        c = picks % (nc - 1)
+        c = c + (c >= r)
+    else:
+        r = picks // nc
+        c = picks % nc
+    return rows[r], cols[c]
+
+
+def planted_partition_sizes(n_nodes: int, community_size: int) -> np.ndarray:
+    """Membership array splitting ``n_nodes`` into blocks of *community_size*.
+
+    The final block absorbs the remainder (so it may be up to
+    ``2*community_size - 1`` nodes), matching the paper's "approximately
+    40 nodes per community" phrasing.
+    """
+    if community_size <= 0:
+        raise ValueError("community_size must be positive")
+    n_comm = max(1, n_nodes // community_size)
+    membership = np.minimum(
+        np.arange(n_nodes) // community_size, n_comm - 1
+    ).astype(np.int64)
+    return membership
+
+
+def stochastic_block_model(
+    n_nodes: int = 2000,
+    community_size: int = 40,
+    p_in: float = 0.2,
+    p_out: float = 0.001,
+    seed: SeedLike = None,
+    membership: Optional[Sequence[int]] = None,
+) -> Tuple[Graph, np.ndarray]:
+    """Directed SBM graph as in §VI-A.
+
+    Paper defaults: 2,000 nodes, α = ``p_in`` = 0.2, β = ``p_out`` = 0.001,
+    communities of ~40 nodes, mean degree ≈ 10.
+
+    Parameters
+    ----------
+    membership:
+        Optional explicit community assignment; otherwise contiguous blocks
+        of *community_size* nodes.
+
+    Returns
+    -------
+    (graph, membership)
+    """
+    check_probability(p_in, "p_in")
+    check_probability(p_out, "p_out")
+    rng = as_generator(seed)
+    if membership is None:
+        member = planted_partition_sizes(n_nodes, community_size)
+    else:
+        member = np.asarray(membership, dtype=np.int64)
+        if member.shape != (n_nodes,):
+            raise ValueError("membership must have length n_nodes")
+    communities = [np.flatnonzero(member == c) for c in np.unique(member)]
+
+    srcs, dsts = [], []
+    # Intra-community blocks.
+    for nodes in communities:
+        s, d = _sample_block_edges(rng, nodes, nodes, p_in, exclude_diagonal=True)
+        srcs.append(s)
+        dsts.append(d)
+    # Inter-community: complement sampled globally for efficiency.  Sample
+    # over the full n*n grid at rate p_out, then drop intra pairs + loops.
+    all_nodes = np.arange(n_nodes)
+    s, d = _sample_block_edges(rng, all_nodes, all_nodes, p_out, exclude_diagonal=True)
+    keep = member[s] != member[d]
+    srcs.append(s[keep])
+    dsts.append(d[keep])
+
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+    return Graph(n_nodes, src, dst), member
+
+
+def erdos_renyi(n_nodes: int, p: float, seed: SeedLike = None) -> Graph:
+    """Directed G(n, p) without self-loops."""
+    check_probability(p, "p")
+    rng = as_generator(seed)
+    nodes = np.arange(n_nodes)
+    src, dst = _sample_block_edges(rng, nodes, nodes, p, exclude_diagonal=True)
+    return Graph(n_nodes, src, dst)
+
+
+def barabasi_albert(
+    n_nodes: int, m_attach: int = 3, seed: SeedLike = None
+) -> Graph:
+    """Preferential-attachment graph (Barabási–Albert), directed new→old.
+
+    Produces the power-law in-degree distribution the paper links to the
+    Matthew effect in news-site popularity (Fig. 3).  Each arriving node
+    attaches *m_attach* out-edges to existing nodes chosen proportionally to
+    their current degree (repeated-nodes trick: sample uniformly from the
+    edge-endpoint multiset).
+    """
+    if m_attach < 1:
+        raise ValueError("m_attach must be >= 1")
+    if n_nodes <= m_attach:
+        raise ValueError("n_nodes must exceed m_attach")
+    rng = as_generator(seed)
+    # Seed clique among the first m_attach+1 nodes.
+    targets = list(range(m_attach))
+    repeated: list[int] = list(range(m_attach))  # endpoint multiset
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    for v in range(m_attach, n_nodes):
+        chosen: set[int] = set()
+        while len(chosen) < m_attach:
+            if repeated and rng.random() < 0.9:
+                cand = repeated[int(rng.integers(len(repeated)))]
+            else:
+                cand = int(rng.integers(v))
+            if cand != v:
+                chosen.add(cand)
+        for u in chosen:
+            src_list.append(v)
+            dst_list.append(u)
+            repeated.append(u)
+            repeated.append(v)
+    return Graph(n_nodes, src_list, dst_list)
+
+
+def core_periphery(
+    n_core: int,
+    n_periphery: int,
+    p_core: float = 0.5,
+    p_core_periphery: float = 0.05,
+    p_periphery: float = 0.002,
+    seed: SeedLike = None,
+) -> Tuple[Graph, np.ndarray]:
+    """Core–periphery graph (§IV-B load-imbalance discussion).
+
+    Returns ``(graph, is_core)`` where ``is_core`` is a boolean mask.  The
+    dense core produces one giant SLPA community, the paper's worst case for
+    the tree-node-balanced merge schedule.
+    """
+    for name, p in [
+        ("p_core", p_core),
+        ("p_core_periphery", p_core_periphery),
+        ("p_periphery", p_periphery),
+    ]:
+        check_probability(p, name)
+    rng = as_generator(seed)
+    n = n_core + n_periphery
+    core = np.arange(n_core)
+    peri = np.arange(n_core, n)
+    parts = [
+        _sample_block_edges(rng, core, core, p_core, exclude_diagonal=True),
+        _sample_block_edges(rng, core, peri, p_core_periphery, exclude_diagonal=False),
+        _sample_block_edges(rng, peri, core, p_core_periphery, exclude_diagonal=False),
+        _sample_block_edges(rng, peri, peri, p_periphery, exclude_diagonal=True),
+    ]
+    src = np.concatenate([p[0] for p in parts])
+    dst = np.concatenate([p[1] for p in parts])
+    is_core = np.zeros(n, dtype=bool)
+    is_core[:n_core] = True
+    return Graph(n, src, dst), is_core

@@ -1,0 +1,93 @@
+"""Descriptive statistics over :class:`repro.graphs.Graph`."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "mean_degree",
+    "density",
+    "degree_histogram",
+    "reciprocity",
+    "weakly_connected_components",
+]
+
+
+def mean_degree(graph: Graph) -> float:
+    """Mean out-degree (equals mean in-degree)."""
+    if graph.n_nodes == 0:
+        return 0.0
+    return graph.n_edges / graph.n_nodes
+
+
+def density(graph: Graph) -> float:
+    """Fraction of the n(n-1) possible directed edges that exist."""
+    n = graph.n_nodes
+    if n < 2:
+        return 0.0
+    return graph.n_edges / (n * (n - 1))
+
+
+def degree_histogram(graph: Graph, which: str = "out") -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of node degrees.
+
+    Returns ``(degrees, counts)`` where ``counts[i]`` nodes have degree
+    ``degrees[i]``; only non-empty bins are returned.
+    """
+    if which == "out":
+        deg = graph.out_degree()
+    elif which == "in":
+        deg = graph.in_degree()
+    elif which == "total":
+        deg = graph.out_degree() + graph.in_degree()
+    else:
+        raise ValueError("which must be 'out', 'in', or 'total'")
+    values, counts = np.unique(deg, return_counts=True)
+    return values, counts
+
+
+def reciprocity(graph: Graph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    if graph.n_edges == 0:
+        return 0.0
+    src, dst, _ = graph.edge_arrays()
+    fwd = set(zip(src.tolist(), dst.tolist()))
+    recip = sum(1 for (u, v) in fwd if (v, u) in fwd)
+    return recip / len(fwd)
+
+
+def weakly_connected_components(graph: Graph) -> List[np.ndarray]:
+    """Weakly connected components, largest first.
+
+    Iterative BFS over the symmetrized adjacency; returns a list of node-id
+    arrays.
+    """
+    n = graph.n_nodes
+    seen = np.zeros(n, dtype=bool)
+    components: List[np.ndarray] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        frontier = [start]
+        seen[start] = True
+        members = [start]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in graph.successors(u):
+                    if not seen[v]:
+                        seen[v] = True
+                        nxt.append(int(v))
+                for v in graph.predecessors(u):
+                    if not seen[v]:
+                        seen[v] = True
+                        nxt.append(int(v))
+            members.extend(nxt)
+            frontier = nxt
+        components.append(np.asarray(sorted(members), dtype=np.int64))
+    components.sort(key=len, reverse=True)
+    return components

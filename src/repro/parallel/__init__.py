@@ -1,0 +1,60 @@
+"""Community-parallel inference engine (Algorithms 1 and 2).
+
+The engine decomposes inference over a partition of the node set:
+
+1. every cascade is split into per-community **sub-cascades**
+   (:mod:`repro.parallel.splitting`, Alg. 1 lines 1–11);
+2. one task per community runs block projected-gradient ascent on its
+   sub-corpus, touching only its own rows of ``A``/``B`` — disjoint blocks,
+   hence no write-write conflicts (:mod:`repro.parallel.backends`);
+3. a :class:`repro.community.MergeTree` schedules levels: results of level
+   *i* seed level *i+1* whose communities are pairwise merges, up to the
+   root (:mod:`repro.parallel.hierarchical`, Alg. 2 / Fig. 4).
+
+Backends: ``SerialBackend`` (in-process, deterministic reference),
+``MultiprocessBackend`` (real OS processes + shared memory, the paper's
+execution model).  Because this reproduction machine exposes a single
+core, the *scaling* figures are regenerated through
+:mod:`repro.parallel.costmodel`, a barrier-accurate simulator calibrated
+with measured per-infection gradient costs (see DESIGN.md §3.2).
+"""
+
+from repro.parallel.splitting import split_cascades, subcorpus_for_community
+from repro.parallel.backends import (
+    Backend,
+    BlockResult,
+    BlockTask,
+    MultiprocessBackend,
+    SerialBackend,
+    run_block_task,
+)
+from repro.parallel.hierarchical import (
+    HierarchicalInference,
+    HierarchicalResult,
+    LevelStats,
+)
+from repro.parallel.costmodel import (
+    CostModelParams,
+    ParallelCostModel,
+    lpt_makespan,
+)
+from repro.parallel.hogwild import HogwildConfig, hogwild_fit
+
+__all__ = [
+    "split_cascades",
+    "subcorpus_for_community",
+    "Backend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "BlockTask",
+    "BlockResult",
+    "run_block_task",
+    "HierarchicalInference",
+    "HierarchicalResult",
+    "LevelStats",
+    "ParallelCostModel",
+    "CostModelParams",
+    "lpt_makespan",
+    "HogwildConfig",
+    "hogwild_fit",
+]

@@ -1,0 +1,30 @@
+"""Shared-memory attach helper for worker processes.
+
+On Python < 3.13 ``SharedMemory(name=...)`` always registers the segment
+with the (process-tree-wide) resource tracker, even when merely
+*attaching* to a segment owned by the parent.  Each worker's registration
+then fights the parent's unlink — double unregisters raise KeyErrors in
+the tracker, missed ones print leak warnings at exit.  The standard
+workaround is to suppress registration for the duration of the attach;
+the parent, which created the segment, remains its sole tracked owner.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = ["attach_untracked"]
+
+
+def attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared-memory segment without tracking it."""
+    original = resource_tracker.register
+    try:
+        resource_tracker.register = (
+            lambda n, rtype: None
+            if rtype == "shared_memory"
+            else original(n, rtype)
+        )
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

@@ -1,0 +1,271 @@
+"""Execution backends for per-community block optimization.
+
+A **block task** is the unit of parallel work in Algorithm 1: one
+community's local corpus plus its rows of ``A``/``B``; running it means
+block projected-gradient ascent until early stopping.  Backends differ only
+in *where* tasks run:
+
+* :class:`SerialBackend` — in the calling process, one after another.  The
+  numerical reference; also records per-task wall-clock used to calibrate
+  the cost model.
+* :class:`MultiprocessBackend` — real OS processes.  ``A`` and ``B`` live
+  in POSIX shared memory; each worker attaches, gathers its community's
+  rows, optimizes locally, and scatters the rows back.  Communities are
+  disjoint, so writes touch disjoint row blocks — the write-write
+  conflict freedom of §IV-B — and no locks are needed.
+
+Both produce bit-identical results for the same task inputs because the
+block optimizer is deterministic given its initial rows.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig, ProjectedGradientAscent
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "BlockTask",
+    "BlockResult",
+    "run_block_task",
+    "Backend",
+    "SerialBackend",
+    "MultiprocessBackend",
+]
+
+
+@dataclass
+class BlockTask:
+    """One community's work at one merge-tree level.
+
+    Attributes
+    ----------
+    community_id:
+        Dense community id at this level.
+    nodes:
+        Global node ids of the community (sorted).
+    cascade_nodes, cascade_times:
+        The community's sub-cascades in **local** ids — stored as plain
+        array lists so the task pickles cheaply to workers.
+    A_rows, B_rows:
+        Initial (len(nodes), K) embedding rows (level *i* output seeds
+        level *i+1*, Alg. 2).
+    config:
+        Optimizer hyper-parameters.
+    """
+
+    community_id: int
+    nodes: np.ndarray
+    cascade_nodes: List[np.ndarray]
+    cascade_times: List[np.ndarray]
+    A_rows: np.ndarray
+    B_rows: np.ndarray
+    config: OptimizerConfig
+
+    @property
+    def n_infections(self) -> int:
+        """Total infections across the task's sub-cascades (workload proxy)."""
+        return int(sum(len(n) for n in self.cascade_nodes))
+
+
+@dataclass
+class BlockResult:
+    """Updated rows plus bookkeeping from one block optimization."""
+
+    community_id: int
+    nodes: np.ndarray
+    A_rows: np.ndarray
+    B_rows: np.ndarray
+    n_iters: int
+    final_loglik: float
+    wall_seconds: float
+    #: iterations × infections — the unit-cost workload the cost model uses
+    work_units: int = 0
+
+
+def run_block_task(task: BlockTask) -> BlockResult:
+    """Execute one block task (module-level so it pickles for Pool.map)."""
+    sw = Stopwatch()
+    with sw:
+        m = task.nodes.size
+        local = CascadeSet(m)
+        for nodes, times in zip(task.cascade_nodes, task.cascade_times):
+            local.append(Cascade(nodes, times))
+        model = EmbeddingModel(task.A_rows.copy(), task.B_rows.copy())
+        opt = ProjectedGradientAscent(task.config)
+        fit = opt.fit(model, local)
+    n_inf = task.n_infections
+    return BlockResult(
+        community_id=task.community_id,
+        nodes=task.nodes,
+        A_rows=model.A,
+        B_rows=model.B,
+        n_iters=fit.n_iters,
+        final_loglik=fit.final_loglik,
+        wall_seconds=sw.elapsed,
+        work_units=max(1, fit.n_iters) * n_inf,
+    )
+
+
+class Backend:
+    """Interface: run a level's block tasks, return their results."""
+
+    def run_level(self, tasks: Sequence[BlockTask]) -> List[BlockResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (idempotent)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(Backend):
+    """Run tasks sequentially in-process (deterministic reference)."""
+
+    def run_level(self, tasks: Sequence[BlockTask]) -> List[BlockResult]:
+        return [run_block_task(t) for t in tasks]
+
+
+def _mp_worker(args: Tuple) -> Tuple:
+    """Worker entry: attach shared A/B, run the block, scatter rows back.
+
+    Receives only metadata + cascade arrays; the embedding rows travel
+    through shared memory, so per-task pickling cost is proportional to the
+    community's *cascade* volume, not the embedding size.
+    """
+    (
+        shm_a_name,
+        shm_b_name,
+        shape,
+        community_id,
+        nodes,
+        cascade_nodes,
+        cascade_times,
+        config,
+    ) = args
+    from repro.parallel._shm import attach_untracked
+
+    # The parent owns (and unlinks) these segments; attach without letting
+    # this worker's resource tracker claim them too.
+    shm_a = attach_untracked(shm_a_name)
+    shm_b = attach_untracked(shm_b_name)
+    try:
+        A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
+        B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
+        task = BlockTask(
+            community_id=community_id,
+            nodes=nodes,
+            cascade_nodes=cascade_nodes,
+            cascade_times=cascade_times,
+            A_rows=A[nodes],  # gather (copy happens inside run_block_task)
+            B_rows=B[nodes],
+            config=config,
+        )
+        result = run_block_task(task)
+        # Scatter: disjoint rows per community — conflict-free by design.
+        A[nodes] = result.A_rows
+        B[nodes] = result.B_rows
+        return (
+            community_id,
+            nodes,
+            result.n_iters,
+            result.final_loglik,
+            result.wall_seconds,
+            result.work_units,
+        )
+    finally:
+        shm_a.close()
+        shm_b.close()
+
+
+class MultiprocessBackend(Backend):
+    """Run tasks on a pool of OS processes with shared-memory embeddings.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size (the paper's "cores"); defaults to ``os.cpu_count()``.
+    context:
+        ``multiprocessing`` start method; ``fork`` is the fast default on
+        Linux.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, context: str = "fork") -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers if n_workers is not None else mp.cpu_count()
+        self._ctx = mp.get_context(context)
+        self._pool = self._ctx.Pool(self.n_workers)
+        self._closed = False
+
+    def run_level(self, tasks: Sequence[BlockTask]) -> List[BlockResult]:
+        if self._closed:
+            raise RuntimeError("backend already closed")
+        if not tasks:
+            return []
+        # All tasks at a level share the embedding shape; allocate two
+        # shared blocks, populate with the initial rows, fan out, collect.
+        K = tasks[0].A_rows.shape[1]
+        n_total = 1 + max(int(t.nodes.max()) for t in tasks if t.nodes.size)
+        shape = (n_total, K)
+        nbytes = int(np.prod(shape)) * 8
+        shm_a = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        shm_b = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        try:
+            A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
+            B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
+            for t in tasks:
+                A[t.nodes] = t.A_rows
+                B[t.nodes] = t.B_rows
+            payloads = [
+                (
+                    shm_a.name,
+                    shm_b.name,
+                    shape,
+                    t.community_id,
+                    t.nodes,
+                    t.cascade_nodes,
+                    t.cascade_times,
+                    t.config,
+                )
+                for t in tasks
+            ]
+            raw = self._pool.map(_mp_worker, payloads)
+            results = []
+            for (cid, nodes, n_iters, ll, secs, work), t in zip(raw, tasks):
+                results.append(
+                    BlockResult(
+                        community_id=cid,
+                        nodes=nodes,
+                        A_rows=A[nodes].copy(),
+                        B_rows=B[nodes].copy(),
+                        n_iters=n_iters,
+                        final_loglik=ll,
+                        wall_seconds=secs,
+                        work_units=work,
+                    )
+                )
+            return results
+        finally:
+            shm_a.close()
+            shm_a.unlink()
+            shm_b.close()
+            shm_b.unlink()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.close()
+            self._pool.join()
+            self._closed = True

@@ -1,0 +1,218 @@
+"""Barrier-accurate parallel cost model (the 1-core → 64-core substitution).
+
+The paper's scaling experiments (Figs. 10, 11, 13) ran on a multi-core
+machine; this reproduction machine exposes a single core, so wall-clock
+speedup cannot be *observed* here.  It can, however, be *computed*: the
+hierarchical algorithm's parallel structure is fully determined by
+
+* the per-community workloads at every merge-tree level (measured in
+  iterations × infections by the real engine),
+* the per-level barrier (a level ends when its slowest core finishes),
+* communication: scattering/gathering disjoint embedding row-blocks plus a
+  synchronization cost that grows with the core count.
+
+The model replays the real schedule on a simulated *p*-core machine:
+
+.. math::
+
+    T(p) = T_{serial} + \\sum_{levels} \\Big[ \\mathrm{LPT}(w_{level}, p)
+        \\cdot s + C_{level}(p) \\Big]
+
+with LPT the longest-processing-time makespan of that level's community
+workloads on *p* cores, *s* the measured seconds-per-work-unit, and
+
+.. math::
+
+    C_{level}(p) = \\alpha_0 + \\alpha_1 p
+        + \\beta \\cdot \\mathrm{bytes}_{level} / \\min(p, k_{level})
+
+an α–β communication term (α₁·p models the centralized barrier whose cost
+grows with participants — the effect the paper cites for the 32→64-core
+efficiency drop).  ``T_serial`` is the Amdahl term: cascade splitting and
+schedule construction that runs on one core regardless of *p*.
+
+Calibration: ``seconds_per_work_unit`` is fitted from an actual
+single-core run of the engine (``HierarchicalResult`` carries both measured
+seconds and work units), so absolute times are anchored to real
+measurements on this machine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.parallel.hierarchical import HierarchicalResult
+
+__all__ = ["lpt_makespan", "CostModelParams", "ParallelCostModel"]
+
+
+def lpt_makespan(durations: Sequence[float], p: int) -> float:
+    """Longest-Processing-Time makespan of *durations* on *p* identical cores.
+
+    Greedy: sort jobs descending, always assign to the least-loaded core —
+    the classic 4/3-approximation, and the natural model of a work pool of
+    community tasks.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    durations = [float(d) for d in durations if d > 0]
+    if not durations:
+        return 0.0
+    if p == 1:
+        return float(sum(durations))
+    loads = [0.0] * min(p, len(durations))
+    heapq.heapify(loads)
+    for d in sorted(durations, reverse=True):
+        least = heapq.heappop(loads)
+        heapq.heappush(loads, least + d)
+    return max(loads)
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Machine parameters of the simulated cluster.
+
+    Defaults are representative of a 2017-era shared-memory node: ~5 µs
+    barrier entry cost per participating core, ~25 µs per synchronization
+    round, and ~5 GB/s effective memory bandwidth for row-block movement.
+
+    Attributes
+    ----------
+    seconds_per_work_unit:
+        Compute cost of one (iteration × infection) unit; calibrate with
+        :meth:`ParallelCostModel.calibrated`.
+    alpha0:
+        Fixed per-level synchronization latency (seconds).
+    alpha1:
+        Per-core barrier cost (seconds/core) — drives the large-p
+        efficiency decay.
+    beta:
+        Seconds per byte of row-block communication.
+    bytes_per_row:
+        Communication volume per embedding row (A row + B row, float64).
+    serial_seconds:
+        One-off sequential work (splitting, SLPA, tree construction).
+    """
+
+    seconds_per_work_unit: float = 2e-6
+    alpha0: float = 25e-6
+    alpha1: float = 5e-6
+    beta: float = 1.0 / 5e9
+    bytes_per_row: int = 2 * 8 * 10
+    serial_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_work_unit <= 0:
+            raise ValueError("seconds_per_work_unit must be positive")
+        for name in ("alpha0", "alpha1", "beta", "serial_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+class ParallelCostModel:
+    """Replay a measured hierarchical schedule on a simulated p-core machine.
+
+    Parameters
+    ----------
+    level_work_units:
+        ``level_work_units[l][c]`` — workload of community *c* at level *l*
+        (iterations × infections).
+    level_rows:
+        Embedding rows touched per community per level (communication
+        volume).
+    params:
+        Machine parameters.
+    """
+
+    def __init__(
+        self,
+        level_work_units: Sequence[Sequence[int]],
+        level_rows: Sequence[Sequence[int]],
+        params: CostModelParams = CostModelParams(),
+    ) -> None:
+        if len(level_work_units) != len(level_rows):
+            raise ValueError("level_work_units and level_rows length mismatch")
+        self.level_work_units = [list(map(int, l)) for l in level_work_units]
+        self.level_rows = [list(map(int, l)) for l in level_rows]
+        self.params = params
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_result(
+        cls, result: HierarchicalResult, params: CostModelParams = CostModelParams()
+    ) -> "ParallelCostModel":
+        """Build directly from a real engine run."""
+        return cls(
+            [l.work_units for l in result.levels],
+            [l.rows_touched for l in result.levels],
+            params,
+        )
+
+    @classmethod
+    def calibrated(
+        cls,
+        result: HierarchicalResult,
+        params: CostModelParams = CostModelParams(),
+        serial_seconds: float = 0.0,
+    ) -> "ParallelCostModel":
+        """Build from a run, fitting ``seconds_per_work_unit`` to measured
+        wall-clock so the model's T(1) matches reality on this machine."""
+        total_work = result.total_work_units
+        measured = result.serial_seconds
+        spu = measured / total_work if total_work > 0 and measured > 0 else params.seconds_per_work_unit
+        fitted = CostModelParams(
+            seconds_per_work_unit=spu,
+            alpha0=params.alpha0,
+            alpha1=params.alpha1,
+            beta=params.beta,
+            bytes_per_row=params.bytes_per_row,
+            serial_seconds=serial_seconds,
+        )
+        return cls.from_result(result, fitted)
+
+    # ------------------------------------------------------------------ #
+
+    def level_time(self, level: int, p: int) -> float:
+        """Simulated seconds for one level on *p* cores."""
+        pm = self.params
+        work = self.level_work_units[level]
+        durations = [w * pm.seconds_per_work_unit for w in work]
+        compute = lpt_makespan(durations, p)
+        if p == 1:
+            return compute  # no inter-process exchange on a single core
+        k = max(1, len([w for w in work if w > 0]))
+        active = min(p, k)
+        bytes_level = sum(self.level_rows[level]) * pm.bytes_per_row
+        comm = pm.alpha0 + pm.alpha1 * p + pm.beta * bytes_level / active
+        return compute + comm
+
+    def execution_time(self, p: int) -> float:
+        """Simulated end-to-end seconds on *p* cores (Figs. 10–11 series)."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        total = self.params.serial_seconds
+        for level in range(len(self.level_work_units)):
+            total += self.level_time(level, p)
+        return total
+
+    def speedup(self, p: int) -> float:
+        """``s_p = T(1) / T(p)`` (Eq. 20)."""
+        return self.execution_time(1) / self.execution_time(p)
+
+    def efficiency(self, p: int) -> float:
+        """``e_p = s_p / p`` (Eq. 21)."""
+        return self.speedup(p) / p
+
+    def curves(self, cores: Sequence[int]) -> Dict[str, List[float]]:
+        """Execution-time / speedup / efficiency series over *cores*."""
+        t = [self.execution_time(p) for p in cores]
+        t1 = self.execution_time(1)
+        s = [t1 / ti for ti in t]
+        e = [si / p for si, p in zip(s, cores)]
+        return {"cores": list(cores), "time": t, "speedup": s, "efficiency": e}

@@ -1,0 +1,222 @@
+"""Hierarchical community-parallel inference — Algorithm 2 (with Alg. 1).
+
+Level *i* of the :class:`repro.community.MergeTree` defines a disjoint
+partition.  For each level, the driver
+
+1. splits the observed cascades into per-community sub-cascades,
+2. builds one :class:`BlockTask` per community, seeded with the embedding
+   rows produced by the previous level,
+3. runs all tasks through the configured backend (a barrier: the level
+   completes when its slowest community finishes — Fig. 4),
+4. writes the updated rows back into the global model.
+
+After the last level (≤ *stop_at* communities; at ``stop_at=1`` a single
+task sweeps the whole network) the model holds the final embeddings.
+
+The per-level :class:`LevelStats` — community workloads and wall-clock —
+feed :mod:`repro.parallel.costmodel`, which replays the same schedule on a
+simulated *p*-core machine to regenerate the paper's scaling figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cascades.types import CascadeSet
+from repro.community.mergetree import MergeTree
+from repro.community.partition import Partition
+from repro.community.slpa import slpa
+from repro.cooccurrence.build import build_cooccurrence_graph
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig
+from repro.parallel.backends import Backend, BlockResult, BlockTask, SerialBackend
+from repro.parallel.splitting import split_cascades, subcorpus_for_community
+from repro.utils.rng import SeedLike
+
+__all__ = ["LevelStats", "HierarchicalResult", "HierarchicalInference", "infer_embeddings"]
+
+
+@dataclass
+class LevelStats:
+    """Bookkeeping for one merge-tree level."""
+
+    level: int
+    n_communities: int
+    #: per-community wall seconds (as measured by whichever backend ran it)
+    wall_seconds: List[float] = field(default_factory=list)
+    #: per-community iterations × infections (machine-independent workload)
+    work_units: List[int] = field(default_factory=list)
+    #: per-community embedding rows touched (communication volume proxy)
+    rows_touched: List[int] = field(default_factory=list)
+    #: per-community final block log-likelihood
+    logliks: List[float] = field(default_factory=list)
+    iterations: List[int] = field(default_factory=list)
+
+    @property
+    def barrier_seconds(self) -> float:
+        """Level wall-clock under unlimited cores = slowest community."""
+        return max(self.wall_seconds, default=0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        """Level wall-clock under one core = sum of communities."""
+        return float(sum(self.wall_seconds))
+
+
+@dataclass
+class HierarchicalResult:
+    """Outcome of a hierarchical fit."""
+
+    levels: List[LevelStats] = field(default_factory=list)
+
+    @property
+    def total_work_units(self) -> int:
+        return int(sum(sum(l.work_units) for l in self.levels))
+
+    @property
+    def serial_seconds(self) -> float:
+        """Total compute across all communities and levels (1-core time)."""
+        return float(sum(l.total_seconds for l in self.levels))
+
+    @property
+    def final_loglik(self) -> float:
+        """Sum of block log-likelihoods at the last level."""
+        if not self.levels:
+            return float("-inf")
+        return float(sum(self.levels[-1].logliks))
+
+
+class HierarchicalInference:
+    """Algorithm 2 driver.
+
+    Parameters
+    ----------
+    tree:
+        Merge schedule (level 0 = SLPA leaves, last level ≤ stop_at).
+    config:
+        Per-block optimizer hyper-parameters (shared across levels, as the
+        paper fixes parameters "in all the cases" for fair comparison).
+    backend:
+        Where block tasks execute; default :class:`SerialBackend`.
+    min_subcascade_size:
+        Sub-cascades below this size carry no likelihood signal and are
+        dropped during splitting.
+    """
+
+    def __init__(
+        self,
+        tree: MergeTree,
+        config: Optional[OptimizerConfig] = None,
+        backend: Optional[Backend] = None,
+        min_subcascade_size: int = 2,
+    ) -> None:
+        self.tree = tree
+        self.config = config or OptimizerConfig()
+        self.backend = backend or SerialBackend()
+        self.min_subcascade_size = int(min_subcascade_size)
+
+    def fit(
+        self, model: EmbeddingModel, cascades: CascadeSet
+    ) -> HierarchicalResult:
+        """Optimize *model* in place, traversing all merge-tree levels."""
+        if model.n_nodes != cascades.n_nodes:
+            raise ValueError("model and cascades cover different universes")
+        result = HierarchicalResult()
+        for level_idx, partition in enumerate(self.tree.levels):
+            stats = self._run_level(level_idx, partition, model, cascades)
+            result.levels.append(stats)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _run_level(
+        self,
+        level_idx: int,
+        partition: Partition,
+        model: EmbeddingModel,
+        cascades: CascadeSet,
+    ) -> LevelStats:
+        sub_corpora = split_cascades(
+            cascades, partition, min_size=self.min_subcascade_size
+        )
+        tasks: List[BlockTask] = []
+        for cid in range(partition.n_communities):
+            sub = sub_corpora[cid]
+            if len(sub) == 0:
+                continue  # nothing to learn for this community at this level
+            nodes = partition.members(cid)
+            local, nodes = subcorpus_for_community(sub, nodes)
+            tasks.append(
+                BlockTask(
+                    community_id=cid,
+                    nodes=nodes,
+                    cascade_nodes=[c.nodes for c in local],
+                    cascade_times=[c.times for c in local],
+                    A_rows=model.A[nodes].copy(),
+                    B_rows=model.B[nodes].copy(),
+                    config=self.config,
+                )
+            )
+        results = self.backend.run_level(tasks)
+        stats = LevelStats(level=level_idx, n_communities=partition.n_communities)
+        for res in results:
+            model.A[res.nodes] = res.A_rows
+            model.B[res.nodes] = res.B_rows
+            stats.wall_seconds.append(res.wall_seconds)
+            stats.work_units.append(res.work_units)
+            stats.rows_touched.append(int(res.nodes.size))
+            stats.logliks.append(res.final_loglik)
+            stats.iterations.append(res.n_iters)
+        return stats
+
+
+def infer_embeddings(
+    cascades: CascadeSet,
+    n_topics: int,
+    config: Optional[OptimizerConfig] = None,
+    backend: Optional[Backend] = None,
+    partition: Optional[Partition] = None,
+    stop_at: int = 1,
+    strategy: str = "tree",
+    slpa_iterations: int = 20,
+    min_cooccurrence_weight: float = 0.1,
+    seed: SeedLike = None,
+    init_scale: float = 0.5,
+) -> tuple[EmbeddingModel, HierarchicalResult, MergeTree]:
+    """End-to-end inference: co-occurrence graph → SLPA → merge tree → fit.
+
+    The one-call entry point matching the paper's full pipeline.  Returns
+    ``(model, result, tree)``.
+
+    Parameters
+    ----------
+    partition:
+        Skip SLPA and use this leaf partition instead (e.g. planted SBM
+        blocks, or a random partition for the ablation study).
+    stop_at, strategy:
+        Merge-tree controls (Alg. 2's *q* and the balancing strategy).
+    min_cooccurrence_weight:
+        Dice-weight threshold applied to the co-occurrence graph before
+        SLPA.  Viral cascades cross communities, so the raw graph carries
+        a haze of weak inter-community edges that makes label propagation
+        collapse everything into one block; thresholding restores the
+        modular backbone (weights are in [0, 1]; 0 disables filtering).
+    """
+    from repro.utils.rng import as_generator
+
+    rng = as_generator(seed)
+    if partition is None:
+        graph = build_cooccurrence_graph(cascades)
+        if min_cooccurrence_weight > 0:
+            graph = graph.filter_edges(min_cooccurrence_weight)
+        partition = slpa(graph, n_iterations=slpa_iterations, seed=rng)
+    tree = MergeTree(partition, stop_at=stop_at, strategy=strategy)  # type: ignore[arg-type]
+    model = EmbeddingModel.random(
+        cascades.n_nodes, n_topics, scale=init_scale, seed=rng
+    )
+    engine = HierarchicalInference(tree, config=config, backend=backend)
+    result = engine.fit(model, cascades)
+    return model, result, tree

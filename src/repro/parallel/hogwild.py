@@ -1,0 +1,190 @@
+"""Lock-free (Hogwild-style) parallel SGD — the paper's cited alternative.
+
+§IV-B closes by citing Recht et al.'s Hogwild ("a lock-free approach to
+parallelizing stochastic gradient descent") and noting the authors "plan
+to provide similar theoretical results for our hierarchical design in the
+future".  This module implements that alternative so the two designs can
+be compared head-to-head:
+
+* workers process random cascades from the *whole* corpus (no community
+  splitting, no merge tree);
+* all workers read and write the same shared-memory ``A``/``B`` matrices
+  with **no locks** — concurrent updates may race exactly as in Hogwild;
+* sparsity makes the races benign-ish: one cascade touches only the rows
+  of its participants, and cascades are community-local, so conflicting
+  writes are rare — the same structural fact the paper's conflict-free
+  design exploits deterministically.
+
+Trade-offs demonstrated by the accompanying bench/tests: Hogwild needs no
+community detection and no barriers, but it gives up reproducibility
+(results depend on the interleaving) and its effective step size must be
+smaller for stability.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.gradients import accumulate_gradients
+from repro.embedding.likelihood import EPS
+from repro.embedding.model import EmbeddingModel
+from repro.utils.rng import SeedLike, as_generator, derive_seed
+
+__all__ = ["HogwildConfig", "hogwild_fit"]
+
+
+@dataclass(frozen=True)
+class HogwildConfig:
+    """Hyper-parameters of the lock-free solver.
+
+    Attributes
+    ----------
+    learning_rate:
+        Per-cascade SGD step (smaller than the full-batch rate of
+        Algorithm 1, since updates are applied immediately and raced).
+        The per-cascade gradient is normalized by the cascade size so one
+        large cascade cannot blow a row up in a single racy update.
+    n_epochs:
+        Passes over the corpus (split across workers).
+    n_workers:
+        Concurrent lock-free processes.
+    max_step:
+        Elementwise cap on a single update's magnitude (divergence guard;
+        immediate racy updates have no retract-and-halve safety net).
+    """
+
+    learning_rate: float = 0.05
+    n_epochs: int = 10
+    n_workers: int = 2
+    max_step: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.max_step <= 0:
+            raise ValueError("max_step must be positive")
+
+
+def _sgd_sweep(
+    A: np.ndarray,
+    B: np.ndarray,
+    cascades: List[Tuple[np.ndarray, np.ndarray]],
+    order: np.ndarray,
+    lr: float,
+    max_step: float,
+) -> None:
+    """One pass of immediate (per-cascade) projected SGD updates."""
+    gradA = np.zeros_like(A)
+    gradB = np.zeros_like(B)
+    for idx in order:
+        nodes, times = cascades[idx]
+        c = Cascade(nodes, times)
+        if c.size < 2:
+            continue
+        rows = c.nodes
+        gradA[rows] = 0.0
+        gradB[rows] = 0.0
+        accumulate_gradients(A, B, c, gradA, gradB, eps=EPS)
+        # Size-normalized, clipped step: gradient mass grows with the
+        # cascade length and raced updates have no retract safety net.
+        step = lr / c.size
+        dA = np.clip(step * gradA[rows], -max_step, max_step)
+        dB = np.clip(step * gradB[rows], -max_step, max_step)
+        # racy read-modify-write on the touched rows only (Hogwild);
+        # fancy indexing yields copies, so project and assign in one step
+        A[rows] = np.maximum(A[rows] + dA, 0.0)
+        B[rows] = np.maximum(B[rows] + dB, 0.0)
+
+
+def _hogwild_worker(args: Tuple) -> None:
+    from repro.parallel._shm import attach_untracked
+
+    (shm_a_name, shm_b_name, shape, cascades, seed, lr, n_epochs, max_step) = args
+    shm_a = attach_untracked(shm_a_name)
+    shm_b = attach_untracked(shm_b_name)
+    try:
+        A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
+        B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
+        rng = as_generator(seed)
+        for _ in range(n_epochs):
+            order = rng.permutation(len(cascades))
+            _sgd_sweep(A, B, cascades, order, lr, max_step)
+    finally:
+        shm_a.close()
+        shm_b.close()
+
+
+def hogwild_fit(
+    model: EmbeddingModel,
+    cascades: CascadeSet,
+    config: HogwildConfig = HogwildConfig(),
+    seed: SeedLike = None,
+) -> EmbeddingModel:
+    """Fit *model* in place with lock-free parallel SGD.
+
+    With ``n_workers == 1`` this is plain sequential SGD (deterministic
+    given *seed*); with more workers the updates race and the result is
+    run-dependent — the price Hogwild pays for skipping community
+    detection and barriers.
+
+    Returns the model (same object) for chaining.
+    """
+    if cascades.n_nodes > model.n_nodes:
+        raise ValueError("cascades cover more nodes than the model has rows")
+    payload = [(c.nodes, c.times) for c in cascades]
+    base_seed = derive_seed(seed, 0x480C)
+
+    if config.n_workers == 1:
+        rng = as_generator(base_seed)
+        for _ in range(config.n_epochs):
+            order = rng.permutation(len(payload))
+            _sgd_sweep(model.A, model.B, payload, order, config.learning_rate, config.max_step)
+        return model
+
+    shape = model.A.shape
+    nbytes = max(int(np.prod(shape)) * 8, 1)
+    shm_a = shared_memory.SharedMemory(create=True, size=nbytes)
+    shm_b = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
+        B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
+        A[:] = model.A
+        B[:] = model.B
+        # Split epochs across workers: each performs every epoch over the
+        # full corpus in its own order (classic Hogwild full-data workers).
+        ctx = mp.get_context("fork")
+        procs = []
+        for w in range(config.n_workers):
+            args = (
+                shm_a.name,
+                shm_b.name,
+                shape,
+                payload,
+                derive_seed(base_seed, w + 1),
+                config.learning_rate,
+                config.n_epochs,
+                config.max_step,
+            )
+            p = ctx.Process(target=_hogwild_worker, args=(args,))
+            p.start()
+            procs.append(p)
+        for p in procs:
+            p.join()
+        model.A[:] = A
+        model.B[:] = B
+    finally:
+        shm_a.close()
+        shm_a.unlink()
+        shm_b.close()
+        shm_b.unlink()
+    return model

@@ -1,0 +1,72 @@
+"""Early-stage virality prediction (§V, Figs. 5–9, 12).
+
+Given inferred embeddings and the *early adopters* of a new cascade (the
+infections observed in the first fraction of the observation window), three
+features are extracted from the adopters' influence vectors —
+
+* ``diverA`` (Eq. 17): max pairwise Euclidean distance,
+* ``normA``  (Eq. 18): norm of the summed influence,
+* ``maxA``   (Eq. 19): largest component of the summed influence —
+
+and fed to a linear SVM that classifies whether the final cascade size will
+exceed a threshold.  Evaluation is F1 under 10-fold cross-validation,
+swept over thresholds (the red curves of Figs. 9 and 12).
+"""
+
+from repro.prediction.features import FeatureExtractor, extract_features
+from repro.prediction.svm import LinearSVM
+from repro.prediction.metrics import (
+    accuracy,
+    confusion_counts,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.prediction.crossval import cross_val_f1, kfold_indices
+from repro.prediction.pipeline import (
+    PredictionDataset,
+    ThresholdSweepResult,
+    ViralityPredictor,
+    build_dataset,
+    threshold_sweep,
+)
+from repro.prediction.curves import (
+    average_precision,
+    best_informedness,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+from repro.prediction.pointprocess import SelfExcitingSizePredictor
+from repro.prediction.regression import (
+    RidgeRegression,
+    mean_absolute_error,
+    r2_score,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "extract_features",
+    "LinearSVM",
+    "confusion_counts",
+    "precision",
+    "recall",
+    "f1_score",
+    "accuracy",
+    "kfold_indices",
+    "cross_val_f1",
+    "ViralityPredictor",
+    "PredictionDataset",
+    "build_dataset",
+    "threshold_sweep",
+    "ThresholdSweepResult",
+    "SelfExcitingSizePredictor",
+    "roc_curve",
+    "roc_auc",
+    "precision_recall_curve",
+    "average_precision",
+    "best_informedness",
+    "RidgeRegression",
+    "r2_score",
+    "mean_absolute_error",
+]

@@ -1,0 +1,105 @@
+"""Threshold-free classifier evaluation: ROC and precision-recall curves.
+
+The paper evaluates with the F1-measure, citing Powers (2011) — whose
+paper is precisely about going "from precision, recall and F-measure to
+ROC, informedness, markedness and correlation".  These utilities provide
+that fuller view over the SVM's continuous decision values: ROC curve +
+AUC, precision-recall curve + average precision, and Powers'
+informedness (Youden's J) at the optimal operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "roc_curve",
+    "roc_auc",
+    "precision_recall_curve",
+    "average_precision",
+    "best_informedness",
+]
+
+
+def _validate(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise ValueError("y_true and scores must be equal-length 1-D arrays")
+    if y_true.size == 0:
+        raise ValueError("need at least one sample")
+    if not np.all(np.isin(y_true, (-1, 1))):
+        raise ValueError("y_true must contain only -1/+1 labels")
+    if not (np.any(y_true == 1) and np.any(y_true == -1)):
+        raise ValueError("y_true must contain both classes")
+    return y_true, scores
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False-positive rate, true-positive rate, and thresholds.
+
+    Points are ordered by decreasing threshold, starting at (0, 0) and
+    ending at (1, 1); ties in score collapse to single points.
+    """
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(scores)[::-1]
+    y_sorted = y_true[order]
+    s_sorted = scores[order]
+    tp = np.cumsum(y_sorted == 1)
+    fp = np.cumsum(y_sorted == -1)
+    # keep the last index of each distinct score (tie collapse)
+    distinct = np.r_[np.diff(s_sorted) != 0, True]
+    tp, fp, thr = tp[distinct], fp[distinct], s_sorted[distinct]
+    P = int(np.sum(y_true == 1))
+    N = y_true.size - P
+    tpr = np.r_[0.0, tp / P]
+    fpr = np.r_[0.0, fp / N]
+    thresholds = np.r_[np.inf, thr]
+    return fpr, tpr, thresholds
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall at every distinct score threshold.
+
+    Ordered by decreasing threshold; recall starts near 0 and ends at 1.
+    """
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(scores)[::-1]
+    y_sorted = y_true[order]
+    s_sorted = scores[order]
+    tp = np.cumsum(y_sorted == 1)
+    predicted = np.arange(1, y_sorted.size + 1)
+    distinct = np.r_[np.diff(s_sorted) != 0, True]
+    tp, predicted, thr = tp[distinct], predicted[distinct], s_sorted[distinct]
+    P = int(np.sum(y_true == 1))
+    precision = tp / predicted
+    recall = tp / P
+    return precision, recall, thr
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Step-interpolated area under the precision-recall curve."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    recall = np.r_[0.0, recall]
+    return float(np.sum(np.diff(recall) * precision))
+
+
+def best_informedness(y_true: np.ndarray, scores: np.ndarray) -> Tuple[float, float]:
+    """Powers' informedness (TPR − FPR, a.k.a. Youden's J) maximized over
+    thresholds; returns ``(informedness, threshold)``."""
+    fpr, tpr, thresholds = roc_curve(y_true, scores)
+    j = tpr - fpr
+    i = int(np.argmax(j))
+    return float(j[i]), float(thresholds[i])

@@ -1,0 +1,62 @@
+"""Binary classification metrics (Powers 2011 conventions, as cited §VI-A).
+
+Labels are ±1 with +1 the positive ("viral") class.  All metrics define
+0/0 as 0, the usual convention when a fold contains no positive
+predictions or no positive truths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["confusion_counts", "precision", "recall", "f1_score", "accuracy"]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError("y_true and y_pred must be equal-length 1-D arrays")
+    for arr, name in ((y_true, "y_true"), (y_pred, "y_pred")):
+        if arr.size and not np.all(np.isin(arr, (-1, 1))):
+            raise ValueError(f"{name} must contain only -1/+1 labels")
+    return y_true, y_pred
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[int, int, int, int]:
+    """Return ``(tp, fp, fn, tn)``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == -1) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == -1)))
+    tn = int(np.sum((y_true == -1) & (y_pred == -1)))
+    return tp, fp, fn, tn
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """tp / (tp + fp), 0 when no positive predictions."""
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """tp / (tp + fn), 0 when no positive truths."""
+    tp, _, fn, _ = confusion_counts(y_true, y_pred)
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall (the paper's F1-measure)."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct labels."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))

@@ -1,0 +1,202 @@
+"""End-to-end virality prediction (Fig. 5 framework; Figs. 9 & 12 curves).
+
+Protocol (§VI-A): the first *k* cascades train the embeddings; for each
+held-out cascade the infections inside the first ``early_fraction`` of the
+observation window (2/7 in the paper) form the early-adopter prefix, the
+remaining infections are hidden.  Features of the prefix predict whether
+the *final* size exceeds a threshold; F1 is estimated by 10-fold
+stratified cross-validation, swept across thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.model import EmbeddingModel
+from repro.prediction.crossval import cross_val_f1
+from repro.prediction.features import PAPER_FEATURES, FeatureExtractor
+from repro.prediction.svm import LinearSVM
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "PredictionDataset",
+    "build_dataset",
+    "ViralityPredictor",
+    "ThresholdSweepResult",
+    "threshold_sweep",
+]
+
+
+@dataclass
+class PredictionDataset:
+    """Features + final sizes for a set of test cascades."""
+
+    X: np.ndarray  # (n, d) early-adopter features
+    final_sizes: np.ndarray  # (n,) ground-truth final sizes
+    feature_names: tuple
+
+    def labels(self, threshold: int) -> np.ndarray:
+        """±1 labels: +1 iff the final size is >= *threshold*."""
+        return np.where(self.final_sizes >= threshold, 1, -1).astype(np.int64)
+
+    def __len__(self) -> int:
+        return int(self.final_sizes.size)
+
+
+def build_dataset(
+    model: EmbeddingModel,
+    cascades: CascadeSet,
+    early_fraction: float = 2.0 / 7.0,
+    window: Optional[float] = None,
+    feature_set: Sequence[str] = PAPER_FEATURES,
+) -> PredictionDataset:
+    """Extract early-adopter features and final sizes from *cascades*.
+
+    Parameters
+    ----------
+    early_fraction:
+        Fraction of the observation window whose infections are revealed
+        (paper: 2/7).
+    window:
+        Observation-window length; if ``None``, each cascade's own span is
+        used (suitable when corpora were simulated with a known window,
+        pass it explicitly for exact parity with the paper).
+    """
+    check_fraction(early_fraction, "early_fraction")
+    extractor = FeatureExtractor(model, feature_set)
+    prefixes: List[Cascade] = []
+    sizes = np.empty(len(cascades), dtype=np.int64)
+    for i, c in enumerate(cascades):
+        sizes[i] = c.size
+        if c.size == 0:
+            prefixes.append(c)
+            continue
+        span = window if window is not None else (c.times[-1] - c.times[0])
+        cutoff = c.times[0] + early_fraction * span
+        prefixes.append(c.prefix_by_time(cutoff))
+    X = extractor.transform(prefixes)
+    return PredictionDataset(X=X, final_sizes=sizes, feature_names=extractor.feature_set)
+
+
+class ViralityPredictor:
+    """Threshold classifier over early-adopter features.
+
+    A thin, sklearn-ish wrapper: standardizes features, fits the linear
+    SVM, predicts ±1 virality labels.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        lam: float = 1e-3,
+        n_epochs: int = 30,
+        seed: SeedLike = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self._svm = LinearSVM(lam=lam, n_epochs=n_epochs, seed=seed)
+        self._mu: Optional[np.ndarray] = None
+        self._sd: Optional[np.ndarray] = None
+
+    def fit(self, dataset: PredictionDataset) -> "ViralityPredictor":
+        y = dataset.labels(self.threshold)
+        if np.unique(y).size < 2:
+            raise ValueError(
+                f"threshold {self.threshold} leaves a single class; "
+                "choose a threshold inside the observed size range"
+            )
+        X = np.asarray(dataset.X, dtype=np.float64)
+        self._mu = X.mean(axis=0)
+        self._sd = X.std(axis=0)
+        self._sd[self._sd == 0] = 1.0
+        self._svm.fit((X - self._mu) / self._sd, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._mu is None:
+            raise RuntimeError("predictor is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return self._svm.predict((X - self._mu) / self._sd)
+
+
+@dataclass
+class ThresholdSweepResult:
+    """The Fig. 9 / Fig. 12 series: F1 per size threshold + histogram."""
+
+    thresholds: np.ndarray
+    f1: np.ndarray
+    positive_fraction: np.ndarray  # class balance at each threshold
+    hist_edges: np.ndarray
+    hist_counts: np.ndarray
+
+    def f1_at_top_fraction(self, fraction: float = 0.2) -> float:
+        """F1 at the threshold closest to labelling the top-*fraction*
+        largest cascades positive (the paper's "top 20 % ≈ 80 %" claim)."""
+        check_fraction(fraction, "fraction")
+        i = int(np.argmin(np.abs(self.positive_fraction - fraction)))
+        return float(self.f1[i])
+
+    def rows(self) -> List[tuple]:
+        """(threshold, F1, positive fraction) rows for the bench harness."""
+        return [
+            (int(t), float(f), float(p))
+            for t, f, p in zip(self.thresholds, self.f1, self.positive_fraction)
+        ]
+
+
+def threshold_sweep(
+    model: EmbeddingModel,
+    cascades: CascadeSet,
+    thresholds: Sequence[int],
+    early_fraction: float = 2.0 / 7.0,
+    window: Optional[float] = None,
+    feature_set: Sequence[str] = PAPER_FEATURES,
+    k_folds: int = 10,
+    lam: float = 1e-3,
+    n_epochs: int = 30,
+    hist_bin_width: int = 50,
+    seed: SeedLike = None,
+) -> ThresholdSweepResult:
+    """Cross-validated F1 at each size threshold (regenerates Fig. 9/12).
+
+    Thresholds that leave fewer than *k_folds* samples in either class are
+    scored 0 (the cross-validator cannot stratify them meaningfully).
+    """
+    from repro.cascades.stats import size_histogram
+
+    rng = as_generator(seed)
+    dataset = build_dataset(
+        model, cascades, early_fraction=early_fraction, window=window,
+        feature_set=feature_set,
+    )
+    f1s = np.zeros(len(thresholds))
+    pos_frac = np.zeros(len(thresholds))
+    for i, thr in enumerate(thresholds):
+        y = dataset.labels(int(thr))
+        n_pos = int(np.sum(y == 1))
+        n_neg = int(np.sum(y == -1))
+        pos_frac[i] = n_pos / max(len(y), 1)
+        if min(n_pos, n_neg) < 2:
+            f1s[i] = 0.0
+            continue
+        f1s[i] = cross_val_f1(
+            lambda: LinearSVM(lam=lam, n_epochs=n_epochs, seed=rng),
+            dataset.X,
+            y,
+            k=min(k_folds, min(n_pos, n_neg)),
+            seed=rng,
+        )
+    edges, counts = size_histogram(cascades, bin_width=hist_bin_width)
+    return ThresholdSweepResult(
+        thresholds=np.asarray(thresholds, dtype=np.int64),
+        f1=f1s,
+        positive_fraction=pos_frac,
+        hist_edges=edges,
+        hist_counts=counts,
+    )

@@ -1,0 +1,30 @@
+"""Shared low-level helpers: RNG handling, validation, timing.
+
+These utilities are deliberately dependency-free (NumPy only) and are used
+throughout the package.  Every stochastic component in :mod:`repro` accepts
+either an integer seed, a :class:`numpy.random.Generator`, or ``None`` and
+normalizes it through :func:`repro.utils.rng.as_generator`, which keeps the
+whole pipeline reproducible end to end.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Stopwatch, time_callable
+from repro.utils.validation import (
+    check_array_shape,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+    "time_callable",
+    "check_array_shape",
+    "check_fraction",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,92 @@
+"""Random-number-generator plumbing.
+
+The package follows the modern NumPy convention: every stochastic function
+takes a ``seed`` argument which may be
+
+* ``None`` — fresh OS entropy,
+* an ``int`` — deterministic seeding,
+* an existing :class:`numpy.random.Generator` — used as-is (shared state),
+* a :class:`numpy.random.SeedSequence` — spawned into a generator.
+
+Parallel components (the multiprocess engine, per-community optimizers)
+derive *independent* child streams with :func:`spawn_generators`, which uses
+``SeedSequence.spawn`` so that streams are statistically independent no
+matter how many children are created and in which order they run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["SeedLike", "as_generator", "spawn_generators"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Normalize *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None``, an integer, a ``Generator`` (returned unchanged), or a
+        ``SeedSequence``.
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, int, Generator, or SeedSequence; got {type(seed)!r}"
+    )
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Create *n* statistically independent generators derived from *seed*.
+
+    Unlike ``[default_rng(seed + i) for i in range(n)]`` (which can produce
+    correlated streams), this uses ``SeedSequence.spawn`` which guarantees
+    independence.  When *seed* is already a ``Generator`` the children are
+    spawned from integers drawn from it, preserving reproducibility.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, np.random.Generator):
+        seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, salt: int) -> int:
+    """Deterministically derive an integer seed from *seed* and *salt*.
+
+    Useful when a child process must be handed a plain ``int`` (picklable,
+    cheap) rather than a generator object.
+    """
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(0, 2**31 - 1))
+    elif isinstance(seed, np.random.SeedSequence):
+        base = int(seed.generate_state(1)[0] % (2**31 - 1))
+    elif seed is None:
+        base = int(np.random.SeedSequence().generate_state(1)[0] % (2**31 - 1))
+    else:
+        base = int(seed)
+    # SplitMix64-style mix so nearby (seed, salt) pairs decorrelate.
+    x = (base * 0x9E3779B97F4A7C15 + salt * 0xBF58476D1CE4E5B9) % (2**64)
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) % (2**64)
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) % (2**64)
+    x ^= x >> 31
+    return int(x % (2**31 - 1))

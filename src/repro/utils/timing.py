@@ -1,0 +1,79 @@
+"""Wall-clock measurement helpers used by the benchmark harness.
+
+``perf_counter`` based; the simulated-cluster cost model in
+:mod:`repro.parallel.costmodel` consumes the *measured* per-unit costs these
+helpers produce (see DESIGN.md §3.2 for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Stopwatch", "time_callable"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: int = 0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps += 1
+        return lap
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps = 0
+        self._start = None
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean duration per recorded lap (0 if no laps)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Return the *minimum* wall-clock seconds across *repeats* calls of *fn*.
+
+    Minimum (not mean) is the standard choice for microbenchmarks: system
+    noise only ever adds time.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

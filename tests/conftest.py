@@ -1,0 +1,64 @@
+"""Shared fixtures: small deterministic corpora and models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.model import EmbeddingModel
+from repro.graphs.generators import stochastic_block_model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_cascade() -> Cascade:
+    """Four infections with distinct times."""
+    return Cascade([3, 1, 4, 0], [0.0, 0.5, 1.25, 2.0])
+
+
+@pytest.fixture
+def tied_cascade() -> Cascade:
+    """Cascade containing simultaneous infections (tie-group edge case)."""
+    return Cascade([0, 1, 2, 3, 4], [0.0, 1.0, 1.0, 1.0, 2.5])
+
+
+@pytest.fixture
+def small_corpus() -> CascadeSet:
+    """Hand-written corpus over 6 nodes."""
+    cs = CascadeSet(6)
+    cs.append(Cascade([0, 1, 2], [0.0, 0.3, 0.9]))
+    cs.append(Cascade([3, 4], [0.0, 0.7]))
+    cs.append(Cascade([1, 0, 5], [0.0, 0.2, 1.1]))
+    cs.append(Cascade([2, 1], [0.0, 0.4]))
+    return cs
+
+
+@pytest.fixture
+def small_model() -> EmbeddingModel:
+    return EmbeddingModel.random(6, 3, scale=0.8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def sbm_graph():
+    """A small SBM graph with planted 25-node communities (session-cached)."""
+    graph, membership = stochastic_block_model(
+        n_nodes=100, community_size=25, p_in=0.3, p_out=0.01, seed=42
+    )
+    return graph, membership
+
+
+@pytest.fixture(scope="session")
+def sim_corpus(sbm_graph):
+    """A simulated corpus on the session SBM graph."""
+    from repro.cascades.simulate import simulate_corpus
+
+    graph, membership = sbm_graph
+    cascades = simulate_corpus(
+        graph, n_cascades=60, rates="weight", window=0.4, seed=9, min_size=2
+    )
+    return cascades, membership

@@ -1,0 +1,101 @@
+"""Integration: the full paper pipeline on small instances.
+
+SBM corpus → co-occurrence graph → SLPA → merge tree → hierarchical
+inference → early-adopter features → SVM prediction, and the same for the
+synthetic GDELT world.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cooccurrence import build_cooccurrence_graph
+from repro.community import slpa
+from repro.datasets.gdelt import GDELTConfig, SyntheticGDELT
+from repro.datasets.sbm_corpus import make_sbm_experiment
+from repro.embedding.optimizer import OptimizerConfig
+from repro.parallel.costmodel import ParallelCostModel
+from repro.parallel.hierarchical import infer_embeddings
+from repro.prediction import threshold_sweep
+
+
+@pytest.fixture(scope="module")
+def sbm_run():
+    exp = make_sbm_experiment(
+        n_nodes=400, community_size=40, n_train=300, n_test=120, seed=0
+    )
+    model, result, tree = infer_embeddings(exp.train, n_topics=10, seed=0)
+    return exp, model, result, tree
+
+
+class TestSBMPipeline:
+    def test_slpa_recovers_planted_partition(self, sbm_run):
+        exp, *_ = sbm_run
+        g = build_cooccurrence_graph(exp.train).filter_edges(0.1)
+        p = slpa(g, seed=1)
+        assert p.agreement(exp.planted_partition) > 0.9
+
+    def test_loglik_ascends_within_each_level(self, sbm_run):
+        _, _, result, _ = sbm_run
+        for level in result.levels:
+            assert all(np.isfinite(l) for l in level.logliks)
+
+    def test_prediction_beats_chance_at_median(self, sbm_run):
+        exp, model, _, _ = sbm_run
+        med = int(np.median(exp.test.sizes()))
+        sweep = threshold_sweep(
+            model, exp.test, thresholds=[med], window=exp.window, seed=0
+        )
+        # random guessing at a balanced threshold gives F1 ~ 0.5
+        assert sweep.f1[0] > 0.6
+
+    def test_f1_declines_with_threshold(self, sbm_run):
+        exp, model, _, _ = sbm_run
+        sizes = exp.test.sizes()
+        lo = int(np.quantile(sizes, 0.3))
+        hi = int(np.quantile(sizes, 0.97))
+        sweep = threshold_sweep(
+            model, exp.test, thresholds=[lo, hi], window=exp.window, seed=0
+        )
+        # rare positives are harder (the paper's "challenging" regime)
+        assert sweep.positive_fraction[0] > sweep.positive_fraction[1]
+
+    def test_cost_model_from_real_run(self, sbm_run):
+        _, _, result, _ = sbm_run
+        cm = ParallelCostModel.calibrated(result)
+        t1 = cm.execution_time(1)
+        assert t1 == pytest.approx(result.serial_seconds, rel=1e-6)
+        s8 = cm.speedup(8)
+        assert s8 > 1.0
+
+
+class TestGDELTPipeline:
+    @pytest.fixture(scope="class")
+    def gdelt_run(self):
+        world = SyntheticGDELT(GDELTConfig(n_sites=500), seed=5)
+        events = world.sample_events(260, seed=6)
+        train, test = world.split_for_prediction(events, 200)
+        model, result, tree = infer_embeddings(
+            train, n_topics=8, seed=7, config=OptimizerConfig(max_iters=40)
+        )
+        return world, model, test
+
+    def test_prediction_runs_and_scores(self, gdelt_run):
+        world, model, test = gdelt_run
+        med = int(np.median(test.sizes()))
+        sweep = threshold_sweep(
+            model,
+            test,
+            thresholds=[med],
+            early_fraction=world.early_fraction,
+            window=world.config.window_hours,
+            seed=0,
+        )
+        assert sweep.f1[0] > 0.5
+
+    def test_influencer_ranking_prefers_popular_sites(self, gdelt_run):
+        world, model, _ = gdelt_run
+        from repro.analysis import rank_influencers
+
+        top = [n for n, _ in rank_influencers(model, top_k=50)]
+        top_pop = world.popularity[top].mean()
+        assert top_pop > np.median(world.popularity)

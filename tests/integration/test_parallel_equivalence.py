@@ -1,0 +1,75 @@
+"""Integration: serial and multiprocess engines must agree numerically.
+
+This is the paper's central systems claim — the community decomposition
+makes parallel execution conflict-free, so parallelism changes *nothing*
+about the result (§IV-B: write-write conflicts "can be completely
+avoided").
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascades.simulate import simulate_corpus
+from repro.community.mergetree import MergeTree
+from repro.community.partition import Partition
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig
+from repro.graphs.generators import stochastic_block_model
+from repro.parallel.backends import MultiprocessBackend, SerialBackend
+from repro.parallel.hierarchical import HierarchicalInference
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, membership = stochastic_block_model(
+        80, 20, p_in=0.4, p_out=0.01, seed=0
+    )
+    cascades = simulate_corpus(graph, 50, window=0.5, seed=1, min_size=2)
+    return cascades, Partition(membership)
+
+
+class TestSerialParallelEquivalence:
+    def test_embeddings_identical(self, world):
+        cascades, part = world
+        cfg = OptimizerConfig(max_iters=20)
+        tree = MergeTree(part, stop_at=1)
+
+        m_serial = EmbeddingModel.random(80, 3, seed=7)
+        HierarchicalInference(tree, cfg, SerialBackend()).fit(m_serial, cascades)
+
+        m_par = EmbeddingModel.random(80, 3, seed=7)
+        with MultiprocessBackend(n_workers=3) as backend:
+            HierarchicalInference(tree, cfg, backend).fit(m_par, cascades)
+
+        assert np.allclose(m_serial.A, m_par.A, atol=1e-12)
+        assert np.allclose(m_serial.B, m_par.B, atol=1e-12)
+
+    def test_level_stats_match(self, world):
+        cascades, part = world
+        cfg = OptimizerConfig(max_iters=10)
+        tree = MergeTree(part, stop_at=1)
+
+        m1 = EmbeddingModel.random(80, 3, seed=8)
+        r1 = HierarchicalInference(tree, cfg, SerialBackend()).fit(m1, cascades)
+        m2 = EmbeddingModel.random(80, 3, seed=8)
+        with MultiprocessBackend(n_workers=2) as backend:
+            r2 = HierarchicalInference(tree, cfg, backend).fit(m2, cascades)
+
+        for l1, l2 in zip(r1.levels, r2.levels):
+            assert l1.work_units == l2.work_units
+            assert l1.iterations == l2.iterations
+            assert l1.logliks == pytest.approx(l2.logliks)
+
+    def test_worker_count_does_not_change_result(self, world):
+        cascades, part = world
+        cfg = OptimizerConfig(max_iters=8)
+        tree = MergeTree(part, stop_at=2)
+        models = []
+        for workers in (1, 2, 4):
+            m = EmbeddingModel.random(80, 3, seed=9)
+            with MultiprocessBackend(n_workers=workers) as backend:
+                HierarchicalInference(tree, cfg, backend).fit(m, cascades)
+            models.append(m)
+        for other in models[1:]:
+            assert np.allclose(models[0].A, other.A, atol=1e-12)
+            assert np.allclose(models[0].B, other.B, atol=1e-12)

@@ -1,0 +1,104 @@
+"""Property-based tests for cascade containers and splitting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.community.partition import Partition
+from repro.parallel.splitting import split_cascades
+
+
+@st.composite
+def cascade_strategy(draw, max_nodes=12):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    size = draw(st.integers(min_value=0, max_value=n))
+    nodes = draw(
+        st.permutations(list(range(n))).map(lambda p: p[:size])
+    )
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return n, Cascade(list(nodes), times)
+
+
+@st.composite
+def corpus_strategy(draw, n_nodes=10, max_cascades=6):
+    n_casc = draw(st.integers(min_value=0, max_value=max_cascades))
+    cs = CascadeSet(n_nodes)
+    for _ in range(n_casc):
+        size = draw(st.integers(min_value=0, max_value=n_nodes))
+        nodes = draw(st.permutations(list(range(n_nodes))).map(lambda p: p[:size]))
+        times = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        cs.append(Cascade(list(nodes), times))
+    return cs
+
+
+class TestCascadeInvariants:
+    @given(cascade_strategy())
+    def test_times_sorted_nodes_unique(self, nc):
+        _, c = nc
+        assert np.all(np.diff(c.times) >= 0)
+        assert np.unique(c.nodes).size == c.size
+
+    @given(cascade_strategy(), st.floats(min_value=-50, max_value=150, allow_nan=False))
+    def test_prefix_by_time_is_prefix(self, nc, t):
+        _, c = nc
+        p = c.prefix_by_time(t)
+        assert p.size <= c.size
+        assert np.array_equal(p.nodes, c.nodes[: p.size])
+        if p.size:
+            assert p.times[-1] <= t
+
+    @given(cascade_strategy(), st.integers(min_value=0, max_value=20))
+    def test_prefix_by_count_size(self, nc, k):
+        _, c = nc
+        assert c.prefix_by_count(k).size == min(k, c.size)
+
+    @given(cascade_strategy(), st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_shift_preserves_structure(self, nc, dt):
+        _, c = nc
+        s = c.shifted(dt)
+        assert np.array_equal(s.nodes, c.nodes)
+        assert s.duration == c.duration or abs(s.duration - c.duration) < 1e-9
+
+
+class TestSplittingInvariants:
+    @given(corpus_strategy(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40)
+    def test_split_conserves_infections(self, cs, n_comm):
+        rng = np.random.default_rng(0)
+        part = Partition(rng.integers(0, n_comm, size=cs.n_nodes))
+        subs = split_cascades(cs, part, min_size=1)
+        assert len(subs) == part.n_communities
+        total = sum(sub.total_infections() for sub in subs)
+        assert total == cs.total_infections()
+
+    @given(corpus_strategy())
+    @settings(max_examples=40)
+    def test_split_membership_respected(self, cs):
+        rng = np.random.default_rng(1)
+        part = Partition(rng.integers(0, 3, size=cs.n_nodes))
+        subs = split_cascades(cs, part, min_size=1)
+        for cid, sub in enumerate(subs):
+            for c in sub:
+                assert np.all(part.membership[c.nodes] == cid)
+
+    @given(corpus_strategy())
+    @settings(max_examples=40)
+    def test_subcascade_times_are_subsequences(self, cs):
+        part = Partition(np.arange(cs.n_nodes) % 2)
+        subs = split_cascades(cs, part, min_size=1)
+        for sub in subs:
+            for c in sub:
+                assert np.all(np.diff(c.times) >= 0)

@@ -1,0 +1,118 @@
+"""Property-based tests of the likelihood/gradient machinery.
+
+The compiled kernel, the per-cascade two-sweep path, and the naive
+O(s²) transcription of Eq. 8 must agree on arbitrary cascades — ties,
+repeats across cascades, degenerate sizes and all.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.compiled import CompiledCorpus, corpus_gradients
+from repro.embedding.gradients import accumulate_gradients, cascade_gradients
+from repro.embedding.likelihood import (
+    log_likelihood,
+    log_likelihood_naive,
+)
+from repro.embedding.model import EmbeddingModel
+
+N_NODES = 8
+N_TOPICS = 3
+
+
+@st.composite
+def model_strategy(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    A = rng.uniform(0.05, 1.5, size=(N_NODES, N_TOPICS))
+    B = rng.uniform(0.05, 1.5, size=(N_NODES, N_TOPICS))
+    return EmbeddingModel(A, B)
+
+
+@st.composite
+def cascade_strategy(draw):
+    size = draw(st.integers(min_value=0, max_value=N_NODES))
+    nodes = draw(st.permutations(list(range(N_NODES))).map(lambda p: p[:size]))
+    # coarse grid of times induces frequent ties
+    times = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0, 2.0]),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return Cascade(list(nodes), times)
+
+
+class TestLikelihoodConsistency:
+    @given(model_strategy(), cascade_strategy())
+    @settings(max_examples=60)
+    def test_vectorized_equals_naive(self, model, cascade):
+        assert log_likelihood(model, cascade) == pytest.approx(
+            log_likelihood_naive(model, cascade), abs=1e-8
+        )
+
+    @given(model_strategy(), cascade_strategy())
+    @settings(max_examples=60)
+    def test_loglik_nonpositive_contributions_bounded(self, model, cascade):
+        ll = log_likelihood(model, cascade)
+        assert np.isfinite(ll)
+
+
+class TestGradientConsistency:
+    @given(model_strategy(), st.lists(cascade_strategy(), max_size=4))
+    @settings(max_examples=40)
+    def test_compiled_equals_per_cascade(self, model, cascades):
+        cs = CascadeSet(N_NODES, cascades)
+        gA1 = np.zeros_like(model.A)
+        gB1 = np.zeros_like(model.B)
+        ll1 = sum(
+            accumulate_gradients(model.A, model.B, c, gA1, gB1) for c in cs
+        )
+        comp = CompiledCorpus.from_cascades(cs)
+        gA2 = np.zeros_like(model.A)
+        gB2 = np.zeros_like(model.B)
+        ll2 = corpus_gradients(model.A, model.B, comp, gA2, gB2)
+        assert ll1 == pytest.approx(ll2, abs=1e-8)
+        assert np.allclose(gA1, gA2, atol=1e-10)
+        assert np.allclose(gB1, gB2, atol=1e-10)
+
+    @given(model_strategy(), cascade_strategy())
+    @settings(max_examples=30)
+    def test_gradient_matches_finite_differences(self, model, cascade):
+        if cascade.size < 2:
+            return
+        gA, gB, _ = cascade_gradients(model, cascade)
+        # spot-check one random coordinate per matrix (full FD is slow)
+        rng = np.random.default_rng(0)
+        v = int(rng.choice(cascade.nodes))
+        k = int(rng.integers(N_TOPICS))
+        h = 1e-6
+        for mat, grad in ((model.A, gA), (model.B, gB)):
+            orig = mat[v, k]
+            mat[v, k] = orig + h
+            up = log_likelihood(model, cascade)
+            mat[v, k] = orig - h
+            down = log_likelihood(model, cascade)
+            mat[v, k] = orig
+            fd = (up - down) / (2 * h)
+            assert grad[v, k] == pytest.approx(fd, abs=1e-4)
+
+    @given(model_strategy(), cascade_strategy())
+    @settings(max_examples=30)
+    def test_small_ascent_step_never_decreases(self, model, cascade):
+        if cascade.size < 2:
+            return
+        gA, gB, ll0 = cascade_gradients(model, cascade)
+        norm = np.linalg.norm(gA) + np.linalg.norm(gB)
+        if norm == 0:
+            return
+        eps = 1e-7 / max(norm, 1.0)
+        m2 = model.copy()
+        m2.A += eps * gA
+        m2.B += eps * gB
+        m2.project()
+        assert log_likelihood(m2, cascade) >= ll0 - 1e-9

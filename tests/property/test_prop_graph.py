@@ -1,0 +1,88 @@
+"""Property-based tests for the Graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+
+
+@st.composite
+def graph_strategy(draw, max_nodes=10, max_edges=30):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    src = [p[0] for p in pairs]
+    dst = [p[1] for p in pairs]
+    return Graph(n, src, dst, weights)
+
+
+class TestGraphInvariants:
+    @given(graph_strategy())
+    @settings(max_examples=60)
+    def test_in_out_degree_sums_equal(self, g):
+        assert g.out_degree().sum() == g.in_degree().sum() == g.n_edges
+
+    @given(graph_strategy())
+    @settings(max_examples=60)
+    def test_successor_predecessor_duality(self, g):
+        for u in range(g.n_nodes):
+            for v in g.successors(u):
+                assert u in g.predecessors(int(v))
+
+    @given(graph_strategy())
+    @settings(max_examples=60)
+    def test_edge_arrays_roundtrip(self, g):
+        src, dst, w = g.edge_arrays()
+        assert Graph(g.n_nodes, src, dst, w) == g
+
+    @given(graph_strategy())
+    @settings(max_examples=60)
+    def test_reverse_involution(self, g):
+        assert g.reverse().reverse() == g
+
+    @given(graph_strategy())
+    @settings(max_examples=60)
+    def test_reverse_swaps_degrees(self, g):
+        r = g.reverse()
+        assert np.array_equal(g.out_degree(), r.in_degree())
+
+    @given(graph_strategy())
+    @settings(max_examples=40)
+    def test_subgraph_edge_subset(self, g):
+        nodes = np.arange(0, g.n_nodes, 2)
+        sub, mapping = g.subgraph(nodes)
+        for u, v, w in sub.edges():
+            assert g.has_edge(int(mapping[u]), int(mapping[v]))
+
+    @given(graph_strategy())
+    @settings(max_examples=40)
+    def test_to_undirected_weight_conservation(self, g):
+        u = g.to_undirected()
+        _, _, w_u = u.edge_arrays()
+        _, _, w_g = g.edge_arrays()
+        assert np.isclose(w_u.sum(), 2 * w_g.sum())
+
+    @given(graph_strategy(), st.floats(min_value=0.0, max_value=12.0))
+    @settings(max_examples=40)
+    def test_filter_edges_monotone(self, g, thresh):
+        f = g.filter_edges(thresh)
+        assert f.n_edges <= g.n_edges
+        _, _, w = f.edge_arrays()
+        assert np.all(w >= thresh)

@@ -1,0 +1,99 @@
+"""Property-based tests for metrics and the cost model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.costmodel import CostModelParams, ParallelCostModel, lpt_makespan
+from repro.prediction.metrics import accuracy, confusion_counts, f1_score, precision, recall
+
+labels = st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=40)
+
+
+@st.composite
+def label_pair(draw):
+    y_true = draw(labels)
+    y_pred = draw(
+        st.lists(st.sampled_from([-1, 1]), min_size=len(y_true), max_size=len(y_true))
+    )
+    return np.asarray(y_true), np.asarray(y_pred)
+
+
+class TestMetricProperties:
+    @given(label_pair())
+    def test_counts_sum(self, pair):
+        y_true, y_pred = pair
+        tp, fp, fn, tn = confusion_counts(y_true, y_pred)
+        assert tp + fp + fn + tn == y_true.size
+
+    @given(label_pair())
+    def test_ranges(self, pair):
+        y_true, y_pred = pair
+        for m in (precision, recall, f1_score, accuracy):
+            v = m(y_true, y_pred)
+            assert 0.0 <= v <= 1.0
+
+    @given(label_pair())
+    def test_f1_between_min_and_max_of_p_r(self, pair):
+        y_true, y_pred = pair
+        p = precision(y_true, y_pred)
+        r = recall(y_true, y_pred)
+        f = f1_score(y_true, y_pred)
+        assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12
+
+    @given(labels)
+    def test_perfect_prediction(self, ys):
+        y = np.asarray(ys)
+        assert accuracy(y, y) == 1.0
+        if np.any(y == 1):
+            assert f1_score(y, y) == 1.0
+
+    @given(label_pair())
+    def test_f1_symmetric_under_swap_of_pred_true(self, pair):
+        """F1 = 2tp/(2tp+fp+fn) is invariant to swapping y_true/y_pred."""
+        y_true, y_pred = pair
+        assert f1_score(y_true, y_pred) == f1_score(y_pred, y_true)
+
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestCostModelProperties:
+    @given(durations, st.integers(min_value=1, max_value=64))
+    def test_lpt_bounds(self, jobs, p):
+        ms = lpt_makespan(jobs, p)
+        pos = [j for j in jobs if j > 0]
+        if not pos:
+            assert ms == 0.0
+            return
+        assert ms >= max(pos) - 1e-9
+        assert ms >= sum(pos) / p - 1e-9
+        assert ms <= sum(pos) + 1e-9
+
+    @given(durations)
+    def test_lpt_monotone_in_cores(self, jobs):
+        prev = None
+        for p in (1, 2, 4, 8):
+            ms = lpt_makespan(jobs, p)
+            if prev is not None:
+                assert ms <= prev + 1e-9
+            prev = ms
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=16),
+        st.integers(min_value=2, max_value=64),
+    )
+    @settings(max_examples=50)
+    def test_speedup_at_least_one_core_sane(self, work, p):
+        model = ParallelCostModel(
+            [work],
+            [[5] * len(work)],
+            CostModelParams(seconds_per_work_unit=1e-4),
+        )
+        assert model.execution_time(1) > 0
+        assert model.speedup(1) == 1.0
+        assert model.efficiency(p) <= 1.0 + 1e-9

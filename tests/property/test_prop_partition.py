@@ -1,0 +1,84 @@
+"""Property-based tests for Partition and MergeTree invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community.mergetree import MergeTree
+from repro.community.partition import Partition
+
+
+@st.composite
+def partition_strategy(draw, max_nodes=30, max_labels=8):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_labels - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Partition(labels)
+
+
+class TestPartitionInvariants:
+    @given(partition_strategy())
+    def test_ids_dense(self, p):
+        if p.n_nodes:
+            assert set(np.unique(p.membership)) == set(range(p.n_communities))
+
+    @given(partition_strategy())
+    def test_sizes_sum_to_n(self, p):
+        assert p.sizes().sum() == p.n_nodes
+
+    @given(partition_strategy())
+    def test_communities_disjoint_cover(self, p):
+        seen = np.concatenate(p.communities()) if p.n_communities else np.array([])
+        assert np.sort(seen).tolist() == list(range(p.n_nodes))
+
+    @given(partition_strategy())
+    def test_agreement_reflexive(self, p):
+        assert p.agreement(p) == 1.0
+
+    @given(partition_strategy(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_agreement_symmetric(self, p, seed):
+        rng = np.random.default_rng(seed)
+        q = Partition(rng.integers(0, 4, size=p.n_nodes))
+        assert abs(p.agreement(q) - q.agreement(p)) < 1e-12
+
+
+class TestMergeTreeInvariants:
+    @given(partition_strategy(), st.sampled_from(["tree", "graph"]))
+    @settings(max_examples=40)
+    def test_widths_halve(self, p, strategy):
+        tree = MergeTree(p, stop_at=1, strategy=strategy)
+        widths = tree.widths()
+        assert widths[0] == p.n_communities
+        for a, b in zip(widths, widths[1:]):
+            assert b == (a + 1) // 2
+        assert widths[-1] == 1
+
+    @given(partition_strategy(), st.sampled_from(["tree", "graph"]))
+    @settings(max_examples=40)
+    def test_levels_are_coarsenings(self, p, strategy):
+        tree = MergeTree(p, stop_at=1, strategy=strategy)
+        for fine, coarse in zip(tree.levels, tree.levels[1:]):
+            for cid in range(fine.n_communities):
+                nodes = fine.members(cid)
+                assert np.unique(coarse.membership[nodes]).size == 1
+
+    @given(partition_strategy())
+    @settings(max_examples=40)
+    def test_node_count_conserved_per_level(self, p):
+        tree = MergeTree(p, stop_at=1)
+        for level in tree.levels:
+            assert level.sizes().sum() == p.n_nodes
+
+    @given(partition_strategy(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40)
+    def test_stop_at_respected(self, p, q):
+        tree = MergeTree(p, stop_at=q)
+        assert tree.widths()[-1] <= max(q, 1) or tree.widths() == [p.n_communities]
+        # only the last level may be <= q
+        for w in tree.widths()[:-1]:
+            assert w > q

@@ -1,0 +1,123 @@
+"""Property-based tests for the cascade simulator and co-occurrence maps."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascades.simulate import CascadeSimulator
+from repro.cascades.types import Cascade, CascadeSet
+from repro.cooccurrence.build import build_cooccurrence_graph, ordered_pair_counts
+from repro.graphs.graph import Graph
+
+
+@st.composite
+def graph_and_seed(draw, max_nodes=10):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    src = [p[0] for p in pairs]
+    dst = [p[1] for p in pairs]
+    return Graph(n, src, dst, rates), seed
+
+
+class TestSimulatorInvariants:
+    @given(graph_and_seed(), st.floats(min_value=0.01, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_cascade_validity(self, gs, window):
+        graph, seed = gs
+        sim = CascadeSimulator(graph, window=window)
+        c = sim.simulate(0, seed=seed)
+        # source first, times sorted, inside the window, nodes unique
+        assert c.source == 0
+        assert np.all(np.diff(c.times) >= 0)
+        assert np.all(c.times <= window + 1e-12)
+        assert np.unique(c.nodes).size == c.size
+
+    @given(graph_and_seed())
+    @settings(max_examples=50, deadline=None)
+    def test_every_infection_has_infected_parent(self, gs):
+        graph, seed = gs
+        sim = CascadeSimulator(graph, window=2.0)
+        c = sim.simulate(0, seed=seed)
+        infected = set()
+        for v, t in c:
+            if infected:
+                preds = set(graph.predecessors(v).tolist())
+                assert preds & infected
+            infected.add(v)
+
+    @given(graph_and_seed())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, gs):
+        graph, seed = gs
+        sim = CascadeSimulator(graph, window=1.0)
+        assert sim.simulate(0, seed=seed) == sim.simulate(0, seed=seed)
+
+
+@st.composite
+def corpus_strategy(draw, n_nodes=8):
+    n_casc = draw(st.integers(min_value=0, max_value=5))
+    cs = CascadeSet(n_nodes)
+    for _ in range(n_casc):
+        size = draw(st.integers(min_value=0, max_value=n_nodes))
+        nodes = draw(st.permutations(list(range(n_nodes))).map(lambda p: p[:size]))
+        times = draw(
+            st.lists(
+                st.sampled_from([0.0, 0.5, 1.0, 1.5]),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        cs.append(Cascade(list(nodes), times))
+    return cs
+
+
+class TestCooccurrenceInvariants:
+    @given(corpus_strategy())
+    @settings(max_examples=50)
+    def test_weights_in_unit_interval(self, cs):
+        g = build_cooccurrence_graph(cs)
+        _, _, w = g.edge_arrays()
+        assert np.all(w > 0) and np.all(w <= 1.0 + 1e-12)
+
+    @given(corpus_strategy())
+    @settings(max_examples=50)
+    def test_counts_consistent_with_graph(self, cs):
+        counts = ordered_pair_counts(cs)
+        g = build_cooccurrence_graph(cs)
+        assert g.n_edges == len(counts)
+        for (u, v), c in counts.items():
+            assert g.has_edge(u, v)
+
+    @given(corpus_strategy())
+    @settings(max_examples=50)
+    def test_antisymmetric_total(self, cs):
+        """c(u,v) + c(v,u) <= number of cascades containing both."""
+        counts = ordered_pair_counts(cs)
+        from repro.cascades.stats import node_participation_counts
+
+        for (u, v), c in counts.items():
+            both = sum(
+                1
+                for casc in cs
+                if u in set(casc.nodes.tolist()) and v in set(casc.nodes.tolist())
+            )
+            rev = counts.get((v, u), 0)
+            assert c + rev <= both

@@ -1,0 +1,64 @@
+"""Property-based tests: our Ward linkage vs scipy on random point sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.cluster.hierarchy import linkage
+from scipy.spatial.distance import squareform
+
+from repro.clustering.ward import ward_linkage
+from repro.community.partition import Partition
+
+
+@st.composite
+def point_distance_matrix(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n = draw(st.integers(min_value=2, max_value=18))
+    dim = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, dim))
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt((diff**2).sum(-1))
+
+
+class TestWardAgainstScipy:
+    @given(point_distance_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_heights_match(self, D):
+        ours = np.sort(ward_linkage(D).heights())
+        theirs = np.sort(
+            linkage(squareform(D, checks=False), method="ward")[:, 2]
+        )
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    @given(point_distance_matrix(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_cluster_sizes_consistent(self, D, k):
+        n = D.shape[0]
+        k = min(k, n)
+        labels = ward_linkage(D).cut(k)
+        assert np.unique(labels).size == k
+        assert labels.shape == (n,)
+
+    @given(point_distance_matrix())
+    @settings(max_examples=20, deadline=None)
+    def test_cut_nesting(self, D):
+        """Cutting at k clusters refines the cut at k-1 clusters."""
+        n = D.shape[0]
+        if n < 3:
+            return
+        d = ward_linkage(D)
+        coarse = Partition(d.cut(2))
+        fine = Partition(d.cut(3))
+        # every fine cluster lies entirely inside one coarse cluster
+        for cid in range(fine.n_communities):
+            nodes = fine.members(cid)
+            assert np.unique(coarse.membership[nodes]).size == 1
+
+    @given(point_distance_matrix())
+    @settings(max_examples=20, deadline=None)
+    def test_leaf_count_bookkeeping(self, D):
+        d = ward_linkage(D)
+        if d.Z.shape[0]:
+            assert int(d.Z[-1, 3]) == D.shape[0]

@@ -1,0 +1,117 @@
+"""Unit tests for execution backends (serial and multiprocess)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig
+from repro.parallel.backends import (
+    BlockTask,
+    MultiprocessBackend,
+    SerialBackend,
+    run_block_task,
+)
+
+
+def make_tasks(seed=0, n_comm=2):
+    """Two disjoint communities with their own small corpora."""
+    rng = np.random.default_rng(seed)
+    tasks = []
+    cfg = OptimizerConfig(max_iters=15)
+    for cid in range(n_comm):
+        nodes = np.arange(cid * 3, cid * 3 + 3)
+        cascade_nodes = [np.array([0, 1, 2]), np.array([1, 2])]
+        cascade_times = [np.array([0.0, 0.3, 0.8]), np.array([0.0, 0.5])]
+        tasks.append(
+            BlockTask(
+                community_id=cid,
+                nodes=nodes,
+                cascade_nodes=cascade_nodes,
+                cascade_times=cascade_times,
+                A_rows=rng.uniform(0.1, 1.0, size=(3, 2)),
+                B_rows=rng.uniform(0.1, 1.0, size=(3, 2)),
+                config=cfg,
+            )
+        )
+    return tasks
+
+
+class TestRunBlockTask:
+    def test_improves_loglik(self):
+        task = make_tasks()[0]
+        res = run_block_task(task)
+        assert res.n_iters >= 1
+        assert res.community_id == 0
+        assert res.A_rows.shape == task.A_rows.shape
+
+    def test_does_not_mutate_input_rows(self):
+        task = make_tasks()[0]
+        before = task.A_rows.copy()
+        run_block_task(task)
+        assert np.array_equal(task.A_rows, before)
+
+    def test_work_units(self):
+        task = make_tasks()[0]
+        res = run_block_task(task)
+        assert res.work_units == res.n_iters * task.n_infections
+
+    def test_n_infections(self):
+        assert make_tasks()[0].n_infections == 5
+
+    def test_wall_seconds_positive(self):
+        res = run_block_task(make_tasks()[0])
+        assert res.wall_seconds > 0
+
+
+class TestSerialBackend:
+    def test_runs_all_tasks(self):
+        results = SerialBackend().run_level(make_tasks())
+        assert [r.community_id for r in results] == [0, 1]
+
+    def test_deterministic(self):
+        r1 = SerialBackend().run_level(make_tasks())
+        r2 = SerialBackend().run_level(make_tasks())
+        for a, b in zip(r1, r2):
+            assert np.array_equal(a.A_rows, b.A_rows)
+            assert np.array_equal(a.B_rows, b.B_rows)
+
+    def test_empty_level(self):
+        assert SerialBackend().run_level([]) == []
+
+
+class TestMultiprocessBackend:
+    def test_matches_serial_exactly(self):
+        serial = SerialBackend().run_level(make_tasks())
+        with MultiprocessBackend(n_workers=2) as backend:
+            parallel = backend.run_level(make_tasks())
+        for s, p in zip(serial, parallel):
+            assert np.allclose(s.A_rows, p.A_rows)
+            assert np.allclose(s.B_rows, p.B_rows)
+            assert s.n_iters == p.n_iters
+            assert s.final_loglik == pytest.approx(p.final_loglik)
+
+    def test_empty_level(self):
+        with MultiprocessBackend(n_workers=1) as backend:
+            assert backend.run_level([]) == []
+
+    def test_reuse_across_levels(self):
+        with MultiprocessBackend(n_workers=2) as backend:
+            r1 = backend.run_level(make_tasks(seed=1))
+            r2 = backend.run_level(make_tasks(seed=2))
+        assert len(r1) == len(r2) == 2
+
+    def test_closed_backend_rejects(self):
+        backend = MultiprocessBackend(n_workers=1)
+        backend.close()
+        with pytest.raises(RuntimeError):
+            backend.run_level(make_tasks())
+
+    def test_close_idempotent(self):
+        backend = MultiprocessBackend(n_workers=1)
+        backend.close()
+        backend.close()
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            MultiprocessBackend(n_workers=0)

@@ -1,0 +1,40 @@
+"""Unit tests for bench table formatting."""
+
+import pytest
+
+from repro.bench.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "metric"], [[1, 2.5], [100, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # all rows equal display width
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestFormatSeries:
+    def test_structure(self):
+        out = format_series("speedup", [1, 2], [1.0, 1.9])
+        lines = out.splitlines()
+        assert lines[0] == "# series: speedup"
+        assert lines[1] == "1\t1"
+        assert lines[2] == "2\t1.9"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])

@@ -1,0 +1,67 @@
+"""Unit tests for cascade JSON-lines I/O."""
+
+import json
+
+import pytest
+
+from repro.cascades.io import load_cascades_jsonl, save_cascades_jsonl
+from repro.cascades.types import Cascade, CascadeSet
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_corpus, tmp_path):
+        p = tmp_path / "corpus.jsonl"
+        save_cascades_jsonl(small_corpus, p)
+        loaded = load_cascades_jsonl(p)
+        assert loaded == small_corpus
+
+    def test_roundtrip_empty_corpus(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        save_cascades_jsonl(CascadeSet(7), p)
+        loaded = load_cascades_jsonl(p)
+        assert loaded.n_nodes == 7 and len(loaded) == 0
+
+    def test_float_precision_preserved(self, tmp_path):
+        t = 0.12345678901234567
+        cs = CascadeSet(2, [Cascade([0, 1], [0.0, t])])
+        p = tmp_path / "prec.jsonl"
+        save_cascades_jsonl(cs, p)
+        loaded = load_cascades_jsonl(p)
+        assert loaded[0].times[1] == t
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        p.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_cascades_jsonl(p)
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        p.write_text(json.dumps({"nodes": [0], "times": [0.0]}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            load_cascades_jsonl(p)
+
+    def test_count_mismatch(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        p.write_text(json.dumps({"n_nodes": 3, "n_cascades": 2}) + "\n")
+        with pytest.raises(ValueError, match="declares"):
+            load_cascades_jsonl(p)
+
+    def test_bad_record_reports_line(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        lines = [
+            json.dumps({"n_nodes": 3, "n_cascades": 1}),
+            json.dumps({"nodes": [0, 0], "times": [0.0, 1.0]}),  # dup node
+        ]
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_cascades_jsonl(p)
+
+    def test_blank_lines_skipped(self, tmp_path, small_corpus):
+        p = tmp_path / "x.jsonl"
+        save_cascades_jsonl(small_corpus, p)
+        content = p.read_text().replace("\n", "\n\n")
+        p.write_text(content)
+        assert load_cascades_jsonl(p) == small_corpus

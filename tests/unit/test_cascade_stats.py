@@ -1,0 +1,62 @@
+"""Unit tests for cascade statistics."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.stats import (
+    cascade_durations,
+    cascade_sizes,
+    duration_quantiles,
+    node_participation_counts,
+    size_histogram,
+)
+from repro.cascades.types import Cascade, CascadeSet
+
+
+class TestBasicStats:
+    def test_sizes(self, small_corpus):
+        assert cascade_sizes(small_corpus).tolist() == [3, 2, 3, 2]
+
+    def test_durations(self, small_corpus):
+        d = cascade_durations(small_corpus)
+        assert d[0] == pytest.approx(0.9)
+        assert d[1] == pytest.approx(0.7)
+
+    def test_participation_counts(self, small_corpus):
+        counts = node_participation_counts(small_corpus)
+        # node 1 appears in cascades 0, 2, 3
+        assert counts[1] == 3
+        assert counts.sum() == small_corpus.total_infections()
+
+    def test_participation_empty_corpus(self):
+        counts = node_participation_counts(CascadeSet(4))
+        assert counts.tolist() == [0, 0, 0, 0]
+
+
+class TestSizeHistogram:
+    def test_bins_cover_sizes(self, small_corpus):
+        edges, counts = size_histogram(small_corpus, bin_width=2)
+        assert counts.sum() == 4
+        assert edges[0] == 0
+
+    def test_empty(self):
+        edges, counts = size_histogram(CascadeSet(3), bin_width=50)
+        assert counts.tolist() == [0]
+
+    def test_bad_bin_width(self, small_corpus):
+        with pytest.raises(ValueError):
+            size_histogram(small_corpus, bin_width=0)
+
+    def test_edges_count_relation(self, small_corpus):
+        edges, counts = size_histogram(small_corpus, bin_width=1)
+        assert len(edges) == len(counts) + 1
+
+
+class TestDurationQuantiles:
+    def test_quantiles_ordering(self, small_corpus):
+        q = duration_quantiles(small_corpus, qs=(0.1, 0.5, 0.9))
+        assert q[0.1] <= q[0.5] <= q[0.9]
+
+    def test_empty_corpus(self):
+        q = duration_quantiles(CascadeSet(2))
+        assert all(v == 0.0 for v in q.values())

@@ -1,0 +1,136 @@
+"""Unit tests for Cascade and CascadeSet."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+
+
+class TestCascade:
+    def test_sorted_by_time(self, tiny_cascade):
+        assert np.all(np.diff(tiny_cascade.times) >= 0)
+        assert tiny_cascade.nodes[0] == 3  # earliest infection
+
+    def test_size_duration_source(self, tiny_cascade):
+        assert tiny_cascade.size == 4
+        assert tiny_cascade.duration == pytest.approx(2.0)
+        assert tiny_cascade.source == 3
+
+    def test_empty_cascade(self):
+        c = Cascade([], [])
+        assert c.size == 0 and c.duration == 0.0
+        with pytest.raises(ValueError):
+            _ = c.source
+
+    def test_single_infection(self):
+        c = Cascade([7], [1.0])
+        assert c.duration == 0.0 and c.source == 7
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValueError, match="at most once"):
+            Cascade([1, 1], [0.0, 1.0])
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(ValueError):
+            Cascade([0, 1], [0.0, float("inf")])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Cascade([0, 1], [0.0])
+
+    def test_iteration(self, tiny_cascade):
+        items = list(tiny_cascade)
+        assert items[0] == (3, 0.0)
+        assert len(items) == 4
+
+    def test_equality_and_hash(self):
+        a = Cascade([0, 1], [0.0, 1.0])
+        b = Cascade([1, 0], [1.0, 0.0])  # same content, different input order
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_immutable_arrays(self, tiny_cascade):
+        with pytest.raises(ValueError):
+            tiny_cascade.nodes[0] = 9
+
+    def test_stable_tie_order(self):
+        c = Cascade([5, 2], [1.0, 1.0])
+        assert c.nodes.tolist() == [5, 2]
+
+
+class TestCascadePrefixes:
+    def test_prefix_by_time(self, tiny_cascade):
+        p = tiny_cascade.prefix_by_time(0.5)
+        assert p.nodes.tolist() == [3, 1]  # inclusive boundary
+
+    def test_prefix_by_time_before_start(self, tiny_cascade):
+        assert tiny_cascade.prefix_by_time(-1.0).size == 0
+
+    def test_prefix_by_time_after_end(self, tiny_cascade):
+        assert tiny_cascade.prefix_by_time(10.0).size == 4
+
+    def test_prefix_by_count(self, tiny_cascade):
+        assert tiny_cascade.prefix_by_count(2).size == 2
+        assert tiny_cascade.prefix_by_count(100).size == 4
+
+    def test_prefix_by_count_negative(self, tiny_cascade):
+        with pytest.raises(ValueError):
+            tiny_cascade.prefix_by_count(-1)
+
+    def test_restrict_to(self, tiny_cascade):
+        keep = np.zeros(10, dtype=bool)
+        keep[[3, 4]] = True
+        sub = tiny_cascade.restrict_to(keep)
+        assert sub.nodes.tolist() == [3, 4]
+
+    def test_relabel(self, tiny_cascade):
+        mapping = np.arange(10) * 10
+        r = tiny_cascade.relabel(mapping)
+        assert r.nodes.tolist() == [30, 10, 40, 0]
+
+    def test_shifted_preserves_order(self, tiny_cascade):
+        s = tiny_cascade.shifted(5.0)
+        assert s.times[0] == pytest.approx(5.0)
+        assert s.nodes.tolist() == tiny_cascade.nodes.tolist()
+
+
+class TestCascadeSet:
+    def test_append_and_len(self, small_corpus):
+        assert len(small_corpus) == 4
+
+    def test_universe_validation(self):
+        cs = CascadeSet(3)
+        with pytest.raises(ValueError, match="outside"):
+            cs.append(Cascade([5], [0.0]))
+
+    def test_type_validation(self):
+        cs = CascadeSet(3)
+        with pytest.raises(TypeError):
+            cs.append("not a cascade")
+
+    def test_indexing_and_slicing(self, small_corpus):
+        assert small_corpus[0].size == 3
+        sub = small_corpus[1:3]
+        assert isinstance(sub, CascadeSet)
+        assert len(sub) == 2
+
+    def test_split(self, small_corpus):
+        train, test = small_corpus.split(3)
+        assert len(train) == 3 and len(test) == 1
+
+    def test_split_out_of_range(self, small_corpus):
+        with pytest.raises(ValueError):
+            small_corpus.split(10)
+
+    def test_sizes(self, small_corpus):
+        assert small_corpus.sizes().tolist() == [3, 2, 3, 2]
+
+    def test_total_infections(self, small_corpus):
+        assert small_corpus.total_infections() == 10
+
+    def test_participating_nodes(self, small_corpus):
+        assert small_corpus.participating_nodes().tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_negative_universe(self):
+        with pytest.raises(ValueError):
+            CascadeSet(-1)

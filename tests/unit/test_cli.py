@@ -1,0 +1,143 @@
+"""Unit tests for the command-line interface (driven in-process)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.embedding.model import EmbeddingModel
+
+
+@pytest.fixture
+def small_corpus_file(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    rc = main(
+        [
+            "simulate-sbm",
+            "--nodes", "120",
+            "--community-size", "30",
+            "--cascades", "60",
+            "--seed", "1",
+            "--out", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_int_list_parsing(self):
+        args = build_parser().parse_args(
+            ["speedup", "--corpus", "x", "--cores", "1,2,4"]
+        )
+        assert args.cores == [1, 2, 4]
+
+    def test_bad_int_list(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["speedup", "--corpus", "x", "--cores", "1,two"]
+            )
+
+
+class TestSimulate:
+    def test_writes_corpus(self, small_corpus_file, capsys):
+        from repro.cascades.io import load_cascades_jsonl
+
+        corpus = load_cascades_jsonl(small_corpus_file)
+        assert corpus.n_nodes == 120
+        assert len(corpus) == 60
+
+    def test_gdelt_command(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        rc = main(
+            ["gdelt", "--sites", "200", "--events", "30", "--out", str(path)]
+        )
+        assert rc == 0
+        from repro.cascades.io import load_cascades_jsonl
+
+        events = load_cascades_jsonl(path)
+        assert events.n_nodes == 200
+        assert len(events) == 30
+
+
+class TestInferPredict:
+    def test_full_pipeline(self, small_corpus_file, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        rc = main(
+            [
+                "infer",
+                "--corpus", str(small_corpus_file),
+                "--train", "40",
+                "--topics", "4",
+                "--max-iters", "20",
+                "--out", str(model_path),
+            ]
+        )
+        assert rc == 0
+        model = EmbeddingModel.load(model_path)
+        assert model.n_nodes == 120 and model.n_topics == 4
+
+        rc = main(
+            [
+                "predict",
+                "--corpus", str(small_corpus_file),
+                "--skip", "40",
+                "--model", str(model_path),
+                "--window", "1.0",
+                "--quantiles", "0.5,0.8",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "F1" in out
+
+    def test_influencers_command(self, small_corpus_file, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        EmbeddingModel.random(120, 3, seed=0).save(model_path)
+        rc = main(
+            [
+                "influencers",
+                "--model", str(model_path),
+                "--corpus", str(small_corpus_file),
+                "--top", "5",
+                "--min-participation", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "influence" in out
+
+    def test_speedup_command(self, small_corpus_file, capsys):
+        rc = main(
+            [
+                "speedup",
+                "--corpus", str(small_corpus_file),
+                "--topics", "3",
+                "--cores", "1,4,16",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "merge tree" in out
+
+
+class TestModelPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        m = EmbeddingModel.random(7, 3, seed=5)
+        p = tmp_path / "m.npz"
+        m.save(p)
+        loaded = EmbeddingModel.load(p)
+        assert loaded == m
+
+    def test_load_rejects_wrong_archive(self, tmp_path):
+        p = tmp_path / "bad.npz"
+        np.savez(p, X=np.zeros(3))
+        with pytest.raises(ValueError, match="embedding archive"):
+            EmbeddingModel.load(p)

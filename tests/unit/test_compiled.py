@@ -1,0 +1,87 @@
+"""Unit tests for the compiled-corpus gradient kernel."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.compiled import CompiledCorpus, corpus_gradients
+from repro.embedding.gradients import accumulate_gradients
+from repro.embedding.model import EmbeddingModel
+
+
+class TestCompilation:
+    def test_counts(self, small_corpus):
+        comp = CompiledCorpus.from_cascades(small_corpus)
+        assert comp.n_infections == small_corpus.total_infections()
+
+    def test_singletons_skipped(self):
+        cs = CascadeSet(3, [Cascade([0], [0.0]), Cascade([1, 2], [0.0, 1.0])])
+        comp = CompiledCorpus.from_cascades(cs)
+        assert comp.n_infections == 2
+
+    def test_empty(self):
+        comp = CompiledCorpus.from_cascades([])
+        assert comp.n_infections == 0
+
+    def test_cascade_boundaries(self, small_corpus):
+        comp = CompiledCorpus.from_cascades(small_corpus)
+        # boundaries are non-overlapping and ordered
+        assert np.all(comp.cascade_begin <= comp.starts)
+        assert np.all(comp.ends <= comp.cascade_end)
+
+    def test_valid_flags(self):
+        cs = CascadeSet(4, [Cascade([0, 1, 2], [0.0, 0.0, 1.0])])
+        comp = CompiledCorpus.from_cascades(cs)
+        # the two t=0 infections have no strict predecessor
+        assert comp.valid.tolist() == [False, False, True]
+
+
+class TestEquivalenceWithPerCascadePath:
+    def _check(self, model, corpus):
+        gA1 = np.zeros_like(model.A)
+        gB1 = np.zeros_like(model.B)
+        ll1 = sum(
+            accumulate_gradients(model.A, model.B, c, gA1, gB1) for c in corpus
+        )
+        comp = CompiledCorpus.from_cascades(corpus)
+        gA2 = np.zeros_like(model.A)
+        gB2 = np.zeros_like(model.B)
+        ll2 = corpus_gradients(model.A, model.B, comp, gA2, gB2)
+        assert ll1 == pytest.approx(ll2, abs=1e-9)
+        assert np.allclose(gA1, gA2, atol=1e-12)
+        assert np.allclose(gB1, gB2, atol=1e-12)
+
+    def test_small_corpus(self, small_model, small_corpus):
+        self._check(small_model, small_corpus)
+
+    def test_corpus_with_ties(self, small_model):
+        cs = CascadeSet(6)
+        cs.append(Cascade([0, 1, 2], [0.0, 1.0, 1.0]))
+        cs.append(Cascade([3, 4, 5], [0.5, 0.5, 0.5]))
+        cs.append(Cascade([5, 0], [0.0, 2.0]))
+        self._check(small_model, cs)
+
+    def test_random_corpus(self):
+        rng = np.random.default_rng(0)
+        n = 20
+        m = EmbeddingModel.random(n, 4, seed=1)
+        cs = CascadeSet(n)
+        for _ in range(15):
+            size = int(rng.integers(2, 10))
+            nodes = rng.permutation(n)[:size]
+            times = np.round(rng.uniform(0, 3, size=size), 1)  # induces ties
+            cs.append(Cascade(nodes, times))
+        self._check(m, cs)
+
+    def test_node_repeats_across_cascades(self, small_model):
+        cs = CascadeSet(6)
+        cs.append(Cascade([0, 1], [0.0, 1.0]))
+        cs.append(Cascade([0, 1], [0.0, 2.0]))
+        cs.append(Cascade([1, 0], [0.0, 0.5]))
+        self._check(small_model, cs)
+
+    def test_empty_corpus_zero(self, small_model):
+        comp = CompiledCorpus.from_cascades([])
+        gA = np.zeros_like(small_model.A)
+        gB = np.zeros_like(small_model.B)
+        assert corpus_gradients(small_model.A, small_model.B, comp, gA, gB) == 0.0

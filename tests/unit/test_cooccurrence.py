@@ -1,0 +1,89 @@
+"""Unit tests for co-occurrence graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.cooccurrence.build import (
+    build_cooccurrence_graph,
+    build_coreporting_backbone,
+    ordered_pair_counts,
+)
+
+
+@pytest.fixture
+def corpus() -> CascadeSet:
+    cs = CascadeSet(4)
+    cs.append(Cascade([0, 1, 2], [0.0, 1.0, 2.0]))
+    cs.append(Cascade([0, 1], [0.0, 1.0]))
+    cs.append(Cascade([1, 0], [0.0, 1.0]))
+    return cs
+
+
+class TestOrderedPairCounts:
+    def test_counts(self, corpus):
+        c = ordered_pair_counts(corpus)
+        assert c[(0, 1)] == 2  # cascades 0 and 1
+        assert c[(1, 0)] == 1  # cascade 2
+        assert c[(0, 2)] == 1
+        assert c[(1, 2)] == 1
+        assert (2, 0) not in c
+
+    def test_simultaneous_infections_excluded(self):
+        cs = CascadeSet(3, [Cascade([0, 1], [1.0, 1.0])])
+        assert ordered_pair_counts(cs) == {}
+
+    def test_empty_corpus(self):
+        assert ordered_pair_counts(CascadeSet(3)) == {}
+
+    def test_singleton_cascades_ignored(self):
+        cs = CascadeSet(3, [Cascade([0], [0.0]), Cascade([1], [0.0])])
+        assert ordered_pair_counts(cs) == {}
+
+
+class TestCooccurrenceGraph:
+    def test_dice_weight_formula(self, corpus):
+        g = build_cooccurrence_graph(corpus)
+        # c(0)=3, c(1)=3, c(0,1)=2 -> w = 2*2/(3+3)
+        assert g.edge_weight(0, 1) == pytest.approx(2 * 2 / 6)
+        assert g.edge_weight(1, 0) == pytest.approx(2 * 1 / 6)
+
+    def test_weights_in_unit_interval(self, corpus):
+        g = build_cooccurrence_graph(corpus)
+        _, _, w = g.edge_arrays()
+        assert np.all(w > 0) and np.all(w <= 1)
+
+    def test_node_always_before_gives_weight_one(self):
+        cs = CascadeSet(2, [Cascade([0, 1], [0.0, 1.0])] )
+        g = build_cooccurrence_graph(cs)
+        assert g.edge_weight(0, 1) == pytest.approx(1.0)
+
+    def test_empty(self):
+        g = build_cooccurrence_graph(CascadeSet(5))
+        assert g.n_edges == 0 and g.n_nodes == 5
+
+
+class TestBackbone:
+    def test_threshold_filters(self, corpus):
+        g = build_coreporting_backbone(corpus, min_count=3)
+        # pair {0,1} co-appears 3 times; {0,2}, {1,2} once
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_symmetric(self, corpus):
+        g = build_coreporting_backbone(corpus, min_count=1)
+        src, dst, _ = g.edge_arrays()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_counts_as_weights(self, corpus):
+        g = build_coreporting_backbone(corpus, min_count=1)
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_min_count_validation(self, corpus):
+        with pytest.raises(ValueError):
+            build_coreporting_backbone(corpus, min_count=0)
+
+    def test_empty(self):
+        g = build_coreporting_backbone(CascadeSet(4), min_count=1)
+        assert g.n_edges == 0

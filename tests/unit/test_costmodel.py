@@ -1,0 +1,141 @@
+"""Unit tests for the parallel cost model."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.costmodel import CostModelParams, ParallelCostModel, lpt_makespan
+
+
+class TestLPT:
+    def test_single_core_is_sum(self):
+        assert lpt_makespan([3, 1, 2], 1) == 6
+
+    def test_many_cores_is_max(self):
+        assert lpt_makespan([3, 1, 2], 10) == 3
+
+    def test_two_cores_balanced(self):
+        # LPT on [3,3,2,2] with 2 cores: 3+2 / 3+2 -> makespan 5
+        assert lpt_makespan([3, 3, 2, 2], 2) == 5
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_zero_durations_skipped(self):
+        assert lpt_makespan([0, 0, 5], 2) == 5
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            lpt_makespan([1], 0)
+
+    def test_makespan_never_below_max_or_mean(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            jobs = rng.uniform(0.1, 5, size=12)
+            p = int(rng.integers(1, 8))
+            ms = lpt_makespan(jobs, p)
+            assert ms >= max(jobs) - 1e-12
+            assert ms >= jobs.sum() / p - 1e-12
+
+
+class TestCostModelParams:
+    def test_defaults_valid(self):
+        CostModelParams()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModelParams(seconds_per_work_unit=0.0)
+        with pytest.raises(ValueError):
+            CostModelParams(alpha0=-1.0)
+
+
+class TestParallelCostModel:
+    @pytest.fixture
+    def model(self):
+        # Two levels: 8 equal communities, then 1 root community.
+        return ParallelCostModel(
+            level_work_units=[[1000] * 8, [4000]],
+            level_rows=[[10] * 8, [80]],
+            params=CostModelParams(seconds_per_work_unit=1e-4),
+        )
+
+    def test_t1_is_serial_sum(self, model):
+        t1 = model.execution_time(1)
+        expected = (8 * 1000 + 4000) * 1e-4
+        assert t1 == pytest.approx(expected)
+
+    def test_time_decreases_with_cores_initially(self, model):
+        t1, t2, t4 = (model.execution_time(p) for p in (1, 2, 4))
+        assert t1 > t2 > t4
+
+    def test_speedup_bounded_by_parallel_fraction(self, model):
+        # The root level (4000 units) is inherently serial: speedup can
+        # never exceed total/root.
+        bound = (8000 + 4000) / 4000
+        for p in (2, 4, 8, 16, 64):
+            assert model.speedup(p) <= bound + 1e-9
+
+    def test_efficiency_declines(self, model):
+        effs = [model.efficiency(p) for p in (1, 2, 8, 64)]
+        assert effs[0] == pytest.approx(1.0)
+        assert effs[-1] < effs[1]
+
+    def test_curves_structure(self, model):
+        cores = [1, 2, 4]
+        c = model.curves(cores)
+        assert c["cores"] == cores
+        assert len(c["time"]) == 3
+        assert c["speedup"][0] == pytest.approx(1.0)
+        assert c["efficiency"] == [
+            pytest.approx(s / p) for s, p in zip(c["speedup"], cores)
+        ]
+
+    def test_comm_overhead_grows_with_cores(self):
+        m = ParallelCostModel(
+            [[100] * 64],
+            [[5] * 64],
+            CostModelParams(seconds_per_work_unit=1e-6, alpha1=1e-3),
+        )
+        # with tiny compute, large p is dominated by the barrier term
+        assert m.execution_time(64) > m.execution_time(8)
+
+    def test_serial_seconds_amdahl(self):
+        m = ParallelCostModel(
+            [[1000] * 4],
+            [[5] * 4],
+            CostModelParams(seconds_per_work_unit=1e-3, serial_seconds=10.0),
+        )
+        assert m.speedup(4) < 1.4  # dominated by the serial term
+
+    def test_invalid_p(self, model):
+        with pytest.raises(ValueError):
+            model.execution_time(0)
+
+    def test_level_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelCostModel([[1]], [[1], [2]])
+
+
+class TestCalibration:
+    def test_calibrated_matches_measured_serial_time(self):
+        from repro.parallel.hierarchical import HierarchicalResult, LevelStats
+
+        result = HierarchicalResult()
+        ls = LevelStats(level=0, n_communities=2)
+        ls.wall_seconds = [0.5, 1.5]
+        ls.work_units = [500, 1500]
+        ls.rows_touched = [10, 30]
+        result.levels.append(ls)
+        model = ParallelCostModel.calibrated(result)
+        assert model.execution_time(1) == pytest.approx(2.0)
+
+    def test_from_result(self):
+        from repro.parallel.hierarchical import HierarchicalResult, LevelStats
+
+        result = HierarchicalResult()
+        ls = LevelStats(level=0, n_communities=1)
+        ls.wall_seconds = [1.0]
+        ls.work_units = [100]
+        ls.rows_touched = [5]
+        result.levels.append(ls)
+        m = ParallelCostModel.from_result(result)
+        assert m.level_work_units == [[100]]

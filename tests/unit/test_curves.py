@@ -1,0 +1,113 @@
+"""Unit tests for ROC / precision-recall curve utilities."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.curves import (
+    average_precision,
+    best_informedness,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+
+
+@pytest.fixture
+def perfect():
+    y = np.array([1, 1, -1, -1])
+    s = np.array([0.9, 0.8, 0.2, 0.1])
+    return y, s
+
+
+@pytest.fixture
+def random_scores():
+    rng = np.random.default_rng(0)
+    y = rng.choice([-1, 1], size=400)
+    s = rng.normal(size=400)
+    return y, s
+
+
+class TestROC:
+    def test_perfect_separation(self, perfect):
+        y, s = perfect
+        assert roc_auc(y, s) == pytest.approx(1.0)
+
+    def test_random_near_half(self, random_scores):
+        y, s = random_scores
+        assert roc_auc(y, s) == pytest.approx(0.5, abs=0.08)
+
+    def test_inverted_scores(self, perfect):
+        y, s = perfect
+        assert roc_auc(y, -s) == pytest.approx(0.0)
+
+    def test_curve_endpoints(self, random_scores):
+        y, s = random_scores
+        fpr, tpr, thr = roc_curve(y, s)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thr[0] == np.inf
+
+    def test_curve_monotone(self, random_scores):
+        y, s = random_scores
+        fpr, tpr, _ = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_collapse(self):
+        y = np.array([1, -1, 1, -1])
+        s = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(y, s)
+        assert len(fpr) == 2  # (0,0) and (1,1) only
+        assert roc_auc(y, s) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1, 1]), np.array([0.5, 0.4]))  # one class
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.5, 0.4]))  # bad labels
+        with pytest.raises(ValueError):
+            roc_curve(np.array([]), np.array([]))
+
+
+class TestPrecisionRecall:
+    def test_perfect(self, perfect):
+        y, s = perfect
+        p, r, _ = precision_recall_curve(y, s)
+        assert p[0] == 1.0
+        assert r[-1] == 1.0
+        assert average_precision(y, s) == pytest.approx(1.0)
+
+    def test_random_ap_near_base_rate(self, random_scores):
+        y, s = random_scores
+        base = np.mean(y == 1)
+        assert average_precision(y, s) == pytest.approx(base, abs=0.1)
+
+    def test_recall_monotone(self, random_scores):
+        y, s = random_scores
+        _, r, _ = precision_recall_curve(y, s)
+        assert np.all(np.diff(r) >= 0)
+
+    def test_precision_in_unit_interval(self, random_scores):
+        y, s = random_scores
+        p, _, _ = precision_recall_curve(y, s)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestInformedness:
+    def test_perfect(self, perfect):
+        y, s = perfect
+        j, thr = best_informedness(y, s)
+        assert j == pytest.approx(1.0)
+        assert 0.2 < thr <= 0.8
+
+    def test_random_near_zero(self, random_scores):
+        y, s = random_scores
+        j, _ = best_informedness(y, s)
+        assert j < 0.25
+
+    def test_relation_to_roc(self, random_scores):
+        """J* is the max vertical gap between the ROC curve and chance."""
+        y, s = random_scores
+        fpr, tpr, _ = roc_curve(y, s)
+        j, _ = best_informedness(y, s)
+        assert j == pytest.approx(float(np.max(tpr - fpr)))

@@ -1,0 +1,101 @@
+"""Unit tests for early-adopter feature extraction (Eq. 17-19)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade
+from repro.embedding.model import EmbeddingModel
+from repro.prediction.features import (
+    EXTENDED_FEATURES,
+    PAPER_FEATURES,
+    FeatureExtractor,
+    extract_features,
+)
+
+
+@pytest.fixture
+def model():
+    A = np.array(
+        [[1.0, 0.0], [0.0, 2.0], [3.0, 4.0], [0.5, 0.5]]
+    )
+    B = A[::-1].copy()
+    return EmbeddingModel(A, B)
+
+
+class TestPaperFeatures:
+    def test_diverA_max_pairwise_distance(self, model):
+        early = Cascade([0, 1, 2], [0.0, 0.1, 0.2])
+        f = extract_features(model, early, ["diverA"])
+        # pairs: |A0-A1|=sqrt(5), |A0-A2|=sqrt(4+16)=sqrt(20), |A1-A2|=sqrt(13)
+        assert f[0] == pytest.approx(np.sqrt(20))
+
+    def test_normA(self, model):
+        early = Cascade([0, 1], [0.0, 0.1])
+        f = extract_features(model, early, ["normA"])
+        assert f[0] == pytest.approx(np.sqrt(1 + 4))
+
+    def test_maxA(self, model):
+        early = Cascade([0, 2], [0.0, 0.1])
+        f = extract_features(model, early, ["maxA"])
+        assert f[0] == pytest.approx(4.0)  # sum = (4, 4) -> max 4
+
+    def test_single_adopter_diver_zero(self, model):
+        f = extract_features(model, Cascade([2], [0.0]), ["diverA"])
+        assert f[0] == 0.0
+
+    def test_empty_prefix_all_zero(self, model):
+        f = extract_features(model, Cascade([], []), PAPER_FEATURES)
+        assert np.all(f == 0)
+
+    def test_feature_order_matches_request(self, model):
+        early = Cascade([0, 1], [0.0, 0.1])
+        f1 = extract_features(model, early, ["normA", "maxA"])
+        f2 = extract_features(model, early, ["maxA", "normA"])
+        assert f1[0] == f2[1] and f1[1] == f2[0]
+
+    def test_unknown_feature(self, model):
+        with pytest.raises(ValueError, match="unknown feature"):
+            extract_features(model, Cascade([0], [0.0]), ["bogus"])
+
+
+class TestExtendedFeatures:
+    def test_b_features(self, model):
+        early = Cascade([0, 1], [0.0, 0.1])
+        f = extract_features(model, early, ["diverB", "normB", "maxB"])
+        sumB = model.B[0] + model.B[1]
+        assert f[1] == pytest.approx(np.linalg.norm(sumB))
+        assert f[2] == pytest.approx(sumB.max())
+
+    def test_n_early(self, model):
+        f = extract_features(model, Cascade([0, 1, 3], [0, 1, 2]), ["n_early"])
+        assert f[0] == 3.0
+
+
+class TestFeatureExtractor:
+    def test_transform_shape(self, model):
+        fx = FeatureExtractor(model)
+        X = fx.transform([Cascade([0], [0.0]), Cascade([1, 2], [0.0, 0.1])])
+        assert X.shape == (2, 3)
+
+    def test_matches_extract_features(self, model):
+        prefixes = [Cascade([0, 2], [0.0, 0.1])]
+        fx = FeatureExtractor(model, EXTENDED_FEATURES)
+        X = fx.transform(prefixes)
+        direct = extract_features(model, prefixes[0], EXTENDED_FEATURES)
+        assert np.allclose(X[0], direct)
+
+    def test_invalid_feature_at_construction(self, model):
+        with pytest.raises(ValueError):
+            FeatureExtractor(model, ["nope"])
+
+    def test_diver_consistency_with_bruteforce(self):
+        rng = np.random.default_rng(0)
+        m = EmbeddingModel(rng.uniform(0, 1, (8, 4)), rng.uniform(0, 1, (8, 4)))
+        early = Cascade(np.arange(8), np.arange(8.0))
+        f = extract_features(m, early, ["diverA"])
+        brute = max(
+            np.linalg.norm(m.A[i] - m.A[j])
+            for i in range(8)
+            for j in range(8)
+        )
+        assert f[0] == pytest.approx(brute)

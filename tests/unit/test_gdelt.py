@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic GDELT generator."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.stats import node_participation_counts
+from repro.datasets.gdelt import DEFAULT_REGIONS, GDELTConfig, SyntheticGDELT
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticGDELT(GDELTConfig(n_sites=600), seed=7)
+
+
+@pytest.fixture(scope="module")
+def events(world):
+    return world.sample_events(150, seed=8)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        GDELTConfig()
+
+    def test_region_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            GDELTConfig(regions=(("a", 0.5), ("b", 0.2)))
+
+    def test_early_before_window(self):
+        with pytest.raises(ValueError):
+            GDELTConfig(window_hours=10.0, early_hours=10.0)
+
+    def test_cluster_size_validation(self):
+        with pytest.raises(ValueError):
+            GDELTConfig(sites_per_cluster=0)
+
+
+class TestWorldStructure:
+    def test_region_counts_match_fractions(self, world):
+        counts = np.bincount(world.regions)
+        fracs = np.array([f for _, f in DEFAULT_REGIONS])
+        assert counts.sum() == 600
+        assert np.allclose(counts / 600, fracs, atol=0.01)
+
+    def test_clusters_nest_in_regions(self, world):
+        for c in range(world.n_clusters):
+            sites = np.flatnonzero(world.clusters == c)
+            assert np.unique(world.regions[sites]).size == 1
+
+    def test_site_names_carry_region(self, world):
+        name = world.site_name(0)
+        assert name.startswith("site0000.")
+        assert name.split(".")[1] in world.region_names
+
+    def test_aggregators_are_most_popular(self, world):
+        agg_min = world.popularity[world.is_aggregator].min()
+        reg_max = world.popularity[~world.is_aggregator].max()
+        assert agg_min >= reg_max
+
+    def test_deterministic(self):
+        a = SyntheticGDELT(GDELTConfig(n_sites=200), seed=1)
+        b = SyntheticGDELT(GDELTConfig(n_sites=200), seed=1)
+        assert a.graph == b.graph
+        assert np.array_equal(a.popularity, b.popularity)
+
+    def test_partitions(self, world):
+        assert world.region_partition.n_nodes == 600
+        assert world.cluster_partition.n_communities == world.n_clusters
+
+    def test_early_fraction(self, world):
+        assert world.early_fraction == pytest.approx(5.0 / 72.0)
+
+
+class TestEvents:
+    def test_event_count_and_min_size(self, events):
+        assert len(events) == 150
+        assert np.all(events.sizes() >= 3)
+
+    def test_events_mostly_regional(self, world, events):
+        loc = [
+            np.mean(world.regions[c.nodes] == world.regions[c.nodes[0]])
+            for c in events
+        ]
+        assert np.mean(loc) > 0.75
+
+    def test_short_life_cycle(self, world, events):
+        """§II: most events finish their spread well inside the window
+        (time to 90 % of reports under 50 of 72 hours)."""
+        t90 = [np.quantile(c.times - c.times[0], 0.9) for c in events]
+        assert np.median(t90) < 50.0
+
+    def test_matthew_effect(self, world, events):
+        """Aggregators (most popular) report far more events than median."""
+        counts = node_participation_counts(events)
+        agg_median = np.median(counts[world.is_aggregator])
+        reg_median = np.median(counts[~world.is_aggregator])
+        assert agg_median > 2 * reg_median
+
+    def test_aggregators_do_not_seed(self, world, events):
+        for c in events:
+            assert not world.is_aggregator[c.source]
+
+    def test_split_for_prediction(self, world, events):
+        train, test = world.split_for_prediction(events, 100)
+        assert len(train) == 100 and len(test) == 50
+
+    def test_negative_count_rejected(self, world):
+        with pytest.raises(ValueError):
+            world.sample_events(-1)

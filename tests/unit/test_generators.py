@@ -1,0 +1,126 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert,
+    core_periphery,
+    erdos_renyi,
+    planted_partition_sizes,
+    stochastic_block_model,
+)
+
+
+class TestPlantedPartition:
+    def test_block_sizes(self):
+        m = planted_partition_sizes(100, 25)
+        sizes = np.bincount(m)
+        assert np.array_equal(sizes, [25, 25, 25, 25])
+
+    def test_remainder_absorbed_into_last(self):
+        m = planted_partition_sizes(105, 25)
+        sizes = np.bincount(m)
+        assert sizes[-1] == 30
+        assert sizes[:-1].tolist() == [25, 25, 25]
+
+    def test_fewer_nodes_than_block(self):
+        m = planted_partition_sizes(5, 10)
+        assert np.all(m == 0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            planted_partition_sizes(10, 0)
+
+
+class TestSBM:
+    def test_deterministic(self):
+        g1, m1 = stochastic_block_model(100, 25, seed=0)
+        g2, m2 = stochastic_block_model(100, 25, seed=0)
+        assert g1 == g2 and np.array_equal(m1, m2)
+
+    def test_intra_density_exceeds_inter(self):
+        g, m = stochastic_block_model(200, 50, p_in=0.2, p_out=0.005, seed=1)
+        src, dst, _ = g.edge_arrays()
+        intra = np.sum(m[src] == m[dst])
+        inter = g.n_edges - intra
+        # 4 blocks of 50: intra cells ~ 4*50*49, inter ~ 200*199-intra cells
+        intra_rate = intra / (4 * 50 * 49)
+        inter_rate = inter / (200 * 199 - 4 * 50 * 49)
+        assert intra_rate > 10 * inter_rate
+
+    def test_mean_degree_close_to_paper(self):
+        # Paper: 2000 nodes, alpha=.2, beta=.001, mean degree ~ 10.
+        g, _ = stochastic_block_model(1000, 40, p_in=0.2, p_out=0.001, seed=2)
+        mean_deg = g.n_edges / g.n_nodes
+        expected = 0.2 * 39 + 0.001 * (1000 - 40)
+        assert mean_deg == pytest.approx(expected, rel=0.15)
+
+    def test_custom_membership(self):
+        member = np.array([0, 0, 1, 1])
+        g, m = stochastic_block_model(
+            4, 2, p_in=1.0, p_out=0.0, seed=3, membership=member
+        )
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_membership_length_validated(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model(4, 2, membership=[0, 1])
+
+    def test_no_self_loops(self):
+        g, _ = stochastic_block_model(50, 10, p_in=0.9, p_out=0.1, seed=4)
+        src, dst, _ = g.edge_arrays()
+        assert not np.any(src == dst)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model(10, 5, p_in=1.5)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi(200, 0.05, seed=0)
+        expected = 0.05 * 200 * 199
+        assert g.n_edges == pytest.approx(expected, rel=0.15)
+
+    def test_p_zero(self):
+        assert erdos_renyi(50, 0.0, seed=0).n_edges == 0
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, m_attach=3, seed=0)
+        assert g.n_edges == (100 - 3) * 3
+
+    def test_heavy_tail_in_degree(self):
+        g = barabasi_albert(800, m_attach=3, seed=1)
+        deg = g.in_degree()
+        # Preferential attachment: max in-degree far above the mean.
+        assert deg.max() > 8 * deg.mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, m_attach=3)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, m_attach=0)
+
+
+class TestCorePeriphery:
+    def test_mask_shape(self):
+        g, is_core = core_periphery(20, 80, seed=0)
+        assert is_core.sum() == 20
+        assert g.n_nodes == 100
+
+    def test_core_denser_than_periphery(self):
+        g, is_core = core_periphery(30, 300, p_core=0.5, p_periphery=0.002, seed=1)
+        src, dst, _ = g.edge_arrays()
+        cc = np.sum(is_core[src] & is_core[dst])
+        pp = np.sum(~is_core[src] & ~is_core[dst])
+        cc_rate = cc / (30 * 29)
+        pp_rate = pp / (300 * 299)
+        assert cc_rate > 20 * pp_rate
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            core_periphery(5, 5, p_core=2.0)

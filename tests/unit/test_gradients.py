@@ -1,0 +1,114 @@
+"""Unit tests for the two-sweep gradients (Eq. 12-16)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade
+from repro.embedding.gradients import (
+    accumulate_gradients,
+    cascade_gradients,
+    numerical_gradients,
+)
+from repro.embedding.likelihood import log_likelihood
+from repro.embedding.model import EmbeddingModel
+
+
+@pytest.fixture
+def model5():
+    # strictly positive entries keep the likelihood smooth for FD checks
+    rng = np.random.default_rng(3)
+    A = rng.uniform(0.3, 1.0, size=(5, 3))
+    B = rng.uniform(0.3, 1.0, size=(5, 3))
+    return EmbeddingModel(A, B)
+
+
+class TestAgainstFiniteDifferences:
+    def test_simple_cascade(self, model5):
+        c = Cascade([0, 2, 4], [0.0, 0.4, 1.1])
+        gA, gB, _ = cascade_gradients(model5, c)
+        nA, nB = numerical_gradients(model5, c)
+        assert np.allclose(gA, nA, atol=1e-5)
+        assert np.allclose(gB, nB, atol=1e-5)
+
+    def test_cascade_with_ties(self, model5):
+        c = Cascade([0, 1, 2, 3], [0.0, 0.5, 0.5, 1.0])
+        gA, gB, _ = cascade_gradients(model5, c)
+        nA, nB = numerical_gradients(model5, c)
+        assert np.allclose(gA, nA, atol=1e-5)
+        assert np.allclose(gB, nB, atol=1e-5)
+
+    def test_long_cascade(self):
+        rng = np.random.default_rng(8)
+        A = rng.uniform(0.2, 1.0, size=(10, 2))
+        B = rng.uniform(0.2, 1.0, size=(10, 2))
+        m = EmbeddingModel(A, B)
+        nodes = rng.permutation(10)[:7]
+        times = np.sort(rng.uniform(0, 2, size=7))
+        c = Cascade(nodes, times)
+        gA, gB, _ = cascade_gradients(m, c)
+        nA, nB = numerical_gradients(m, c)
+        assert np.allclose(gA, nA, atol=1e-4)
+        assert np.allclose(gB, nB, atol=1e-4)
+
+
+class TestAccumulation:
+    def test_returns_loglik(self, model5):
+        c = Cascade([0, 1], [0.0, 0.5])
+        gA = np.zeros_like(model5.A)
+        gB = np.zeros_like(model5.B)
+        ll = accumulate_gradients(model5.A, model5.B, c, gA, gB)
+        assert ll == pytest.approx(log_likelihood(model5, c))
+
+    def test_accumulates_across_cascades(self, model5):
+        c1 = Cascade([0, 1], [0.0, 0.5])
+        c2 = Cascade([1, 2], [0.0, 0.3])
+        gA = np.zeros_like(model5.A)
+        gB = np.zeros_like(model5.B)
+        accumulate_gradients(model5.A, model5.B, c1, gA, gB)
+        accumulate_gradients(model5.A, model5.B, c2, gA, gB)
+        g1A, g1B, _ = cascade_gradients(model5, c1)
+        g2A, g2B, _ = cascade_gradients(model5, c2)
+        assert np.allclose(gA, g1A + g2A)
+        assert np.allclose(gB, g1B + g2B)
+
+    def test_small_cascades_are_noops(self, model5):
+        gA = np.zeros_like(model5.A)
+        gB = np.zeros_like(model5.B)
+        ll = accumulate_gradients(model5.A, model5.B, Cascade([2], [0.0]), gA, gB)
+        assert ll == 0.0
+        assert np.all(gA == 0) and np.all(gB == 0)
+
+    def test_untouched_nodes_zero_grad(self, model5):
+        c = Cascade([0, 1], [0.0, 0.5])
+        gA, gB, _ = cascade_gradients(model5, c)
+        assert np.all(gA[[2, 3, 4]] == 0)
+        assert np.all(gB[[2, 3, 4]] == 0)
+
+    def test_source_B_gradient_zero(self, model5):
+        # The source has no predecessors, so no term involves B_source.
+        c = Cascade([3, 1, 0], [0.0, 0.2, 0.9])
+        _, gB, _ = cascade_gradients(model5, c)
+        assert np.all(gB[3] == 0)
+
+    def test_last_node_A_gradient_zero(self, model5):
+        # The last infection influences nobody later in the cascade.
+        c = Cascade([3, 1, 0], [0.0, 0.2, 0.9])
+        gA, _, _ = cascade_gradients(model5, c)
+        assert np.all(gA[0] == 0)
+
+
+class TestGradientStructure:
+    def test_ascent_direction_increases_likelihood(self, model5):
+        c = Cascade([0, 1, 2], [0.0, 0.4, 0.9])
+        gA, gB, ll0 = cascade_gradients(model5, c)
+        eps = 1e-4
+        m2 = model5.copy()
+        m2.A += eps * gA
+        m2.B += eps * gB
+        assert log_likelihood(m2, c) > ll0
+
+    def test_eq12_second_term_positive_for_B(self, model5):
+        """The H/denominator term always pushes B_v toward its infectors."""
+        c = Cascade([0, 1], [0.0, 1e-9])  # negligible delay: linear term ~0
+        _, gB, _ = cascade_gradients(model5, c)
+        assert np.all(gB[1] > 0)

@@ -1,0 +1,84 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import (
+    degree_histogram,
+    density,
+    mean_degree,
+    reciprocity,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    # component {0,1,2} (path) and {3,4} (mutual pair)
+    return Graph(5, [0, 1, 3, 4], [1, 2, 4, 3])
+
+
+class TestBasicStats:
+    def test_mean_degree(self, two_components):
+        assert mean_degree(two_components) == pytest.approx(4 / 5)
+
+    def test_mean_degree_empty(self):
+        assert mean_degree(Graph.empty(0)) == 0.0
+
+    def test_density(self, two_components):
+        assert density(two_components) == pytest.approx(4 / 20)
+
+    def test_density_single_node(self):
+        assert density(Graph.empty(1)) == 0.0
+
+    def test_degree_histogram_out(self, two_components):
+        values, counts = degree_histogram(two_components, "out")
+        assert dict(zip(values.tolist(), counts.tolist())) == {0: 1, 1: 4}
+
+    def test_degree_histogram_total(self, two_components):
+        values, counts = degree_histogram(two_components, "total")
+        assert counts.sum() == 5
+
+    def test_degree_histogram_bad_kind(self, two_components):
+        with pytest.raises(ValueError):
+            degree_histogram(two_components, "sideways")
+
+
+class TestReciprocity:
+    def test_mutual_pair(self):
+        g = Graph(2, [0, 1], [1, 0])
+        assert reciprocity(g) == 1.0
+
+    def test_one_way(self):
+        g = Graph(2, [0], [1])
+        assert reciprocity(g) == 0.0
+
+    def test_mixed(self, two_components):
+        assert reciprocity(two_components) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert reciprocity(Graph.empty(3)) == 0.0
+
+
+class TestComponents:
+    def test_two_components(self, two_components):
+        comps = weakly_connected_components(two_components)
+        assert len(comps) == 2
+        assert np.array_equal(comps[0], [0, 1, 2])  # largest first
+        assert np.array_equal(comps[1], [3, 4])
+
+    def test_direction_ignored(self):
+        g = Graph(3, [2], [0])  # 2 -> 0 connects them weakly
+        comps = weakly_connected_components(g)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 2]
+
+    def test_isolated_nodes(self):
+        comps = weakly_connected_components(Graph.empty(3))
+        assert len(comps) == 3
+
+    def test_covers_all_nodes(self, two_components):
+        comps = weakly_connected_components(two_components)
+        allnodes = np.sort(np.concatenate(comps))
+        assert np.array_equal(allnodes, np.arange(5))

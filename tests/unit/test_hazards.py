@@ -1,0 +1,108 @@
+"""Unit tests for hazard kernels and the kernel-generic link model."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.hazards import (
+    ExponentialKernel,
+    PowerLawKernel,
+    RayleighKernel,
+    get_kernel,
+)
+from repro.embedding.linkmodel import LinkRateModel
+
+
+@pytest.fixture(params=["exponential", "rayleigh", "powerlaw"])
+def kernel(request):
+    return get_kernel(request.param)
+
+
+class TestKernelAlgebra:
+    def test_factory(self):
+        assert isinstance(get_kernel("exponential"), ExponentialKernel)
+        assert isinstance(get_kernel("rayleigh"), RayleighKernel)
+        assert isinstance(get_kernel("powerlaw", delta=0.5), PowerLawKernel)
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("weibull")
+
+    def test_g_is_integral_of_k(self, kernel):
+        """g(τ) = ∫₀^τ k(s) ds, checked numerically."""
+        taus = np.linspace(0.05, 3.0, 8)
+        for tau in taus:
+            s = np.linspace(1e-9, tau, 20001)
+            integral = np.trapezoid(kernel.k(s), s)
+            assert kernel.g(np.array([tau]))[0] == pytest.approx(
+                integral, rel=1e-3
+            )
+
+    def test_survival_at_zero_is_one(self, kernel):
+        assert kernel.survival(np.array([0.0]), rate=2.0)[0] == pytest.approx(1.0)
+
+    def test_survival_decreasing(self, kernel):
+        taus = np.linspace(0.0, 5.0, 50)
+        s = kernel.survival(taus, rate=1.5)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_survival_rejects_negative_delay(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.survival(np.array([-0.1]), rate=1.0)
+
+    def test_density_integrates_to_at_most_one(self, kernel):
+        """∫ f = 1 - S(∞) <= 1 (the transmission may never happen for
+        kernels with bounded cumulative hazard)."""
+        taus = np.linspace(1e-9, 60.0, 600001)
+        f = kernel.density(taus, rate=0.8)
+        total = np.trapezoid(f, taus)
+        assert total <= 1.0 + 1e-6
+        assert total > 0.3
+
+    def test_powerlaw_delta_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawKernel(delta=0.0)
+
+    def test_exponential_density_is_exponential(self):
+        k = ExponentialKernel()
+        taus = np.array([0.0, 0.5, 1.0])
+        rate = 2.0
+        assert np.allclose(k.density(taus, rate), rate * np.exp(-rate * taus))
+
+
+class TestKernelGenericLinkModel:
+    @pytest.fixture
+    def corpus(self):
+        cs = CascadeSet(3)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            d1, d2 = rng.uniform(0.1, 1.0, size=2)
+            cs.append(Cascade([0, 1, 2], [0.0, d1, d1 + d2]))
+        return cs
+
+    @pytest.mark.parametrize("name", ["exponential", "rayleigh", "powerlaw"])
+    def test_fit_improves_likelihood(self, corpus, name):
+        model = LinkRateModel(3, kernel=get_kernel(name))
+        history = model.fit(corpus, max_iters=60, seed=1)
+        assert history[-1] > history[0]
+        assert np.all(model.rates >= 0)
+
+    def test_rayleigh_mle_known_value(self):
+        """Single link with Rayleigh delays: MLE λ = 2n / Σ τ²...
+        here, with likelihood λ-linear form: λ* = (k)/Σ g(τ) = 1/mean(τ²/2)."""
+        delays = np.array([0.5, 1.0, 1.5, 0.8])
+        cs = CascadeSet(2)
+        for d in delays:
+            cs.append(Cascade([0, 1], [0.0, float(d)]))
+        model = LinkRateModel(2, kernel=RayleighKernel())
+        model.fit(cs, max_iters=500, learning_rate=0.2, seed=2)
+        expected = 1.0 / np.mean(delays**2 / 2)
+        assert model.rate(0, 1) == pytest.approx(expected, rel=0.05)
+
+    def test_kernels_give_different_fits(self, corpus):
+        rates = {}
+        for name in ("exponential", "rayleigh"):
+            m = LinkRateModel(3, kernel=get_kernel(name))
+            m.fit(corpus, max_iters=80, seed=3)
+            rates[name] = m.rate(0, 1)
+        assert rates["exponential"] != pytest.approx(rates["rayleigh"], rel=1e-3)

@@ -1,0 +1,120 @@
+"""Unit tests for the hierarchical inference driver (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.simulate import simulate_corpus
+from repro.community.mergetree import MergeTree
+from repro.community.partition import Partition
+from repro.embedding.likelihood import corpus_log_likelihood
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig
+from repro.graphs.generators import stochastic_block_model
+from repro.parallel.hierarchical import HierarchicalInference, infer_embeddings
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    graph, membership = stochastic_block_model(
+        60, 20, p_in=0.4, p_out=0.01, seed=0
+    )
+    cascades = simulate_corpus(
+        graph, 40, window=0.5, seed=1, min_size=2
+    )
+    return cascades, Partition(membership)
+
+
+class TestHierarchicalFit:
+    def test_improves_loglik(self, small_world):
+        cascades, part = small_world
+        model = EmbeddingModel.random(60, 3, seed=2)
+        before = corpus_log_likelihood(model, cascades)
+        tree = MergeTree(part, stop_at=1)
+        engine = HierarchicalInference(tree, OptimizerConfig(max_iters=25))
+        engine.fit(model, cascades)
+        assert corpus_log_likelihood(model, cascades) > before
+
+    def test_level_stats_recorded(self, small_world):
+        cascades, part = small_world
+        model = EmbeddingModel.random(60, 3, seed=3)
+        tree = MergeTree(part, stop_at=1)
+        engine = HierarchicalInference(tree, OptimizerConfig(max_iters=10))
+        result = engine.fit(model, cascades)
+        assert len(result.levels) == tree.n_levels
+        level0 = result.levels[0]
+        assert len(level0.work_units) >= 1
+        assert all(w > 0 for w in level0.work_units)
+        assert result.total_work_units > 0
+        assert result.serial_seconds > 0
+
+    def test_barrier_vs_total_seconds(self, small_world):
+        cascades, part = small_world
+        model = EmbeddingModel.random(60, 3, seed=4)
+        tree = MergeTree(part, stop_at=1)
+        result = HierarchicalInference(tree, OptimizerConfig(max_iters=5)).fit(
+            model, cascades
+        )
+        for level in result.levels:
+            assert level.barrier_seconds <= level.total_seconds + 1e-12
+
+    def test_universe_mismatch(self, small_world):
+        cascades, part = small_world
+        model = EmbeddingModel.random(10, 3, seed=0)
+        tree = MergeTree(part, stop_at=1)
+        with pytest.raises(ValueError):
+            HierarchicalInference(tree).fit(model, cascades)
+
+    def test_deterministic(self, small_world):
+        cascades, part = small_world
+        tree = MergeTree(part, stop_at=1)
+        cfg = OptimizerConfig(max_iters=8)
+        m1 = EmbeddingModel.random(60, 3, seed=5)
+        m2 = EmbeddingModel.random(60, 3, seed=5)
+        HierarchicalInference(tree, cfg).fit(m1, cascades)
+        HierarchicalInference(tree, cfg).fit(m2, cascades)
+        assert m1 == m2
+
+    def test_hierarchy_at_least_matches_root_only(self, small_world):
+        """Once both runs converge, warm-starting the root from
+        community-local fits should not end below a cold root-only fit."""
+        cascades, part = small_world
+        cfg = OptimizerConfig(max_iters=300)
+        m_hier = EmbeddingModel.random(60, 3, seed=6)
+        HierarchicalInference(MergeTree(part, stop_at=1), cfg).fit(
+            m_hier, cascades
+        )
+        m_flat = EmbeddingModel.random(60, 3, seed=6)
+        HierarchicalInference(
+            MergeTree(Partition.trivial(60), stop_at=1), cfg
+        ).fit(m_flat, cascades)
+        ll_hier = corpus_log_likelihood(m_hier, cascades)
+        ll_flat = corpus_log_likelihood(m_flat, cascades)
+        assert ll_hier > ll_flat - 0.1 * abs(ll_flat)
+
+
+class TestInferEmbeddings:
+    def test_end_to_end(self, small_world):
+        cascades, _ = small_world
+        model, result, tree = infer_embeddings(
+            cascades, n_topics=3, seed=0,
+            config=OptimizerConfig(max_iters=10),
+        )
+        assert model.n_nodes == 60 and model.n_topics == 3
+        assert tree.widths()[-1] == 1
+        assert len(result.levels) == tree.n_levels
+
+    def test_explicit_partition_skips_slpa(self, small_world):
+        cascades, part = small_world
+        model, result, tree = infer_embeddings(
+            cascades, n_topics=3, partition=part, seed=0,
+            config=OptimizerConfig(max_iters=5),
+        )
+        assert tree.levels[0].n_communities == part.n_communities
+
+    def test_stop_at_respected(self, small_world):
+        cascades, part = small_world
+        _, _, tree = infer_embeddings(
+            cascades, n_topics=2, partition=part, stop_at=2, seed=0,
+            config=OptimizerConfig(max_iters=3),
+        )
+        assert tree.widths()[-1] <= 2

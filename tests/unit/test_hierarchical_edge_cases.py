@@ -1,0 +1,95 @@
+"""Edge-case tests for the hierarchical engine and splitting machinery."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.community.mergetree import MergeTree
+from repro.community.partition import Partition
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig
+from repro.parallel.hierarchical import HierarchicalInference
+
+
+class TestDegenerateCorpora:
+    def test_empty_corpus(self):
+        """No cascades: the engine completes and changes nothing."""
+        part = Partition([0, 0, 1, 1])
+        tree = MergeTree(part, stop_at=1)
+        model = EmbeddingModel.random(4, 2, seed=0)
+        before = model.copy()
+        result = HierarchicalInference(tree, OptimizerConfig(max_iters=5)).fit(
+            model, CascadeSet(4)
+        )
+        assert model == before
+        assert all(len(l.work_units) == 0 for l in result.levels)
+
+    def test_community_with_no_cascades(self):
+        """A community whose nodes never appear gets no task and keeps its
+        initial embeddings."""
+        part = Partition([0, 0, 1, 1])
+        tree = MergeTree(part, stop_at=part.n_communities)  # leaf level only
+        cs = CascadeSet(4, [Cascade([0, 1], [0.0, 0.5])])  # only community 0
+        model = EmbeddingModel.random(4, 2, seed=1)
+        before = model.copy()
+        HierarchicalInference(tree, OptimizerConfig(max_iters=10)).fit(
+            model, cs
+        )
+        assert np.array_equal(model.A[2:], before.A[2:])
+        assert np.array_equal(model.B[2:], before.B[2:])
+        assert not np.array_equal(model.A[:2], before.A[:2])
+
+    def test_all_singleton_subcascades_dropped(self):
+        """Cascades that split into only singletons yield no learnable
+        sub-cascades at the leaf level (but do at the merged root)."""
+        part = Partition([0, 1])
+        cs = CascadeSet(2, [Cascade([0, 1], [0.0, 0.5])])
+        tree = MergeTree(part, stop_at=2)  # leaves only: both singletons
+        model = EmbeddingModel.random(2, 2, seed=2)
+        before = model.copy()
+        result = HierarchicalInference(
+            tree, OptimizerConfig(max_iters=10)
+        ).fit(model, cs)
+        assert model == before  # nothing learnable at this level
+        # merging to the root reunites the pair
+        tree2 = MergeTree(part, stop_at=1)
+        result2 = HierarchicalInference(
+            tree2, OptimizerConfig(max_iters=10)
+        ).fit(model, cs)
+        assert model != before
+
+    def test_simultaneous_only_corpus(self):
+        """All infections tied: zero gradient everywhere, engine is a
+        no-op rather than an error."""
+        part = Partition([0, 0, 0])
+        cs = CascadeSet(3, [Cascade([0, 1, 2], [1.0, 1.0, 1.0])])
+        tree = MergeTree(part, stop_at=1)
+        model = EmbeddingModel.random(3, 2, seed=3)
+        result = HierarchicalInference(
+            tree, OptimizerConfig(max_iters=5)
+        ).fit(model, cs)
+        assert np.isfinite(result.final_loglik)
+
+    def test_single_node_universe(self):
+        part = Partition([0])
+        cs = CascadeSet(1, [Cascade([0], [0.0])])
+        tree = MergeTree(part, stop_at=1)
+        model = EmbeddingModel.random(1, 2, seed=4)
+        HierarchicalInference(tree, OptimizerConfig(max_iters=3)).fit(model, cs)
+
+
+class TestResultAccounting:
+    def test_empty_result_properties(self):
+        from repro.parallel.hierarchical import HierarchicalResult
+
+        r = HierarchicalResult()
+        assert r.total_work_units == 0
+        assert r.serial_seconds == 0.0
+        assert r.final_loglik == float("-inf")
+
+    def test_level_stats_empty(self):
+        from repro.parallel.hierarchical import LevelStats
+
+        ls = LevelStats(level=0, n_communities=3)
+        assert ls.barrier_seconds == 0.0
+        assert ls.total_seconds == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the lock-free Hogwild solver."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.simulate import simulate_corpus
+from repro.embedding.likelihood import corpus_log_likelihood
+from repro.embedding.model import EmbeddingModel
+from repro.graphs.generators import stochastic_block_model
+from repro.parallel.hogwild import HogwildConfig, hogwild_fit
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, _ = stochastic_block_model(60, 20, p_in=0.4, p_out=0.01, seed=0)
+    cascades = simulate_corpus(graph, 40, window=0.5, seed=1, min_size=2)
+    return cascades
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        HogwildConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"n_epochs": 0},
+            {"n_workers": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HogwildConfig(**kwargs)
+
+
+class TestSequentialMode:
+    def test_improves_loglik(self, world):
+        model = EmbeddingModel.random(60, 3, seed=2)
+        before = corpus_log_likelihood(model, world)
+        hogwild_fit(
+            model, world, HogwildConfig(n_workers=1, n_epochs=8), seed=3
+        )
+        assert corpus_log_likelihood(model, world) > before
+
+    def test_deterministic_single_worker(self, world):
+        cfg = HogwildConfig(n_workers=1, n_epochs=3)
+        m1 = EmbeddingModel.random(60, 3, seed=4)
+        m2 = EmbeddingModel.random(60, 3, seed=4)
+        hogwild_fit(m1, world, cfg, seed=5)
+        hogwild_fit(m2, world, cfg, seed=5)
+        assert m1 == m2
+
+    def test_nonnegativity(self, world):
+        model = EmbeddingModel.random(60, 3, seed=6)
+        hogwild_fit(
+            model, world, HogwildConfig(n_workers=1, n_epochs=5), seed=7
+        )
+        assert model.A.min() >= 0 and model.B.min() >= 0
+
+    def test_returns_same_object(self, world):
+        model = EmbeddingModel.random(60, 3, seed=8)
+        out = hogwild_fit(
+            model, world, HogwildConfig(n_workers=1, n_epochs=1), seed=9
+        )
+        assert out is model
+
+    def test_universe_mismatch(self, world):
+        model = EmbeddingModel.random(10, 3, seed=0)
+        with pytest.raises(ValueError):
+            hogwild_fit(model, world, HogwildConfig(n_workers=1))
+
+
+class TestLockFreeMode:
+    def test_parallel_improves_loglik(self, world):
+        model = EmbeddingModel.random(60, 3, seed=10)
+        before = corpus_log_likelihood(model, world)
+        hogwild_fit(
+            model, world, HogwildConfig(n_workers=2, n_epochs=4), seed=11
+        )
+        after = corpus_log_likelihood(model, world)
+        assert after > before
+        assert model.A.min() >= 0 and model.B.min() >= 0
+
+    def test_parallel_close_to_sequential_quality(self, world):
+        """Racy updates must not wreck the objective: the lock-free result
+        lands in the same likelihood ballpark as sequential SGD."""
+        cfg_seq = HogwildConfig(n_workers=1, n_epochs=8)
+        cfg_par = HogwildConfig(n_workers=2, n_epochs=4)
+        m_seq = EmbeddingModel.random(60, 3, seed=12)
+        m_par = EmbeddingModel.random(60, 3, seed=12)
+        hogwild_fit(m_seq, world, cfg_seq, seed=13)
+        hogwild_fit(m_par, world, cfg_par, seed=13)
+        ll_seq = corpus_log_likelihood(m_seq, world)
+        ll_par = corpus_log_likelihood(m_par, world)
+        assert ll_par > ll_seq - 0.25 * abs(ll_seq)

@@ -1,0 +1,88 @@
+"""Unit tests for participation-filtered influencer ranking and edge AUC."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.influencers import rank_influencers
+from repro.analysis.reconstruction import edge_auc
+from repro.embedding.model import EmbeddingModel
+from repro.graphs.graph import Graph
+
+
+class TestParticipationFiltering:
+    @pytest.fixture
+    def model(self):
+        A = np.array([[9.0], [5.0], [3.0], [1.0]])
+        B = np.ones((4, 1))
+        return EmbeddingModel(A, B)
+
+    def test_filter_excludes_rare_nodes(self, model):
+        participation = np.array([1, 50, 50, 50])
+        top = rank_influencers(
+            model, top_k=4, participation=participation, min_participation=10
+        )
+        nodes = [n for n, _ in top]
+        assert 0 not in nodes  # highest raw influence but rarely observed
+        assert nodes[0] == 1
+
+    def test_no_filter_includes_all(self, model):
+        top = rank_influencers(model, top_k=4)
+        assert [n for n, _ in top] == [0, 1, 2, 3]
+
+    def test_zero_min_participation_keeps_everyone(self, model):
+        participation = np.array([0, 0, 0, 0])
+        top = rank_influencers(
+            model, top_k=4, participation=participation, min_participation=0
+        )
+        assert len(top) == 4
+
+    def test_all_filtered_returns_empty(self, model):
+        participation = np.zeros(4, dtype=int)
+        top = rank_influencers(
+            model, top_k=4, participation=participation, min_participation=5
+        )
+        assert top == []
+
+    def test_participation_shape_validated(self, model):
+        with pytest.raises(ValueError):
+            rank_influencers(model, participation=np.ones(3))
+
+
+class TestEdgeAUC:
+    def test_perfect_model_near_one(self):
+        A = np.zeros((6, 2))
+        B = np.zeros((6, 2))
+        # a 3-edge path encoded exactly
+        edges = [(0, 1), (1, 2), (2, 3)]
+        for k, (u, v) in enumerate(edges):
+            A[u, k % 2] += 2.0
+            B[v, k % 2] += 2.0
+        model = EmbeddingModel(A, B)
+        graph = Graph.from_edges(edges, n_nodes=6)
+        assert edge_auc(model, graph, seed=0) > 0.9
+
+    def test_random_model_near_half(self):
+        rng = np.random.default_rng(1)
+        model = EmbeddingModel(
+            rng.uniform(0, 1, (40, 3)), rng.uniform(0, 1, (40, 3))
+        )
+        src = rng.integers(0, 40, 60)
+        dst = (src + 1 + rng.integers(0, 38, 60)) % 40
+        graph = Graph(40, src, dst)
+        auc = edge_auc(model, graph, seed=2)
+        assert 0.35 < auc < 0.65
+
+    def test_validation(self):
+        model = EmbeddingModel.random(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            edge_auc(model, Graph.empty(5))
+        with pytest.raises(ValueError):
+            edge_auc(model, Graph.empty(4))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        model = EmbeddingModel(
+            rng.uniform(0, 1, (20, 2)), rng.uniform(0, 1, (20, 2))
+        )
+        graph = Graph(20, [0, 1, 2], [1, 2, 3])
+        assert edge_auc(model, graph, seed=7) == edge_auc(model, graph, seed=7)

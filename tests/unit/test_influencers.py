@@ -1,0 +1,54 @@
+"""Unit tests for influencer ranking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.influencers import rank_influencers, rank_selective_nodes
+from repro.embedding.model import EmbeddingModel
+
+
+@pytest.fixture
+def model():
+    A = np.array([[0.1, 0.1], [5.0, 0.0], [0.0, 3.0], [1.0, 1.0]])
+    B = np.array([[9.0, 0.0], [0.1, 0.1], [0.0, 0.2], [2.0, 2.0]])
+    return EmbeddingModel(A, B)
+
+
+class TestRankInfluencers:
+    def test_overall_ranking(self, model):
+        top = rank_influencers(model, top_k=2)
+        assert [n for n, _ in top] == [1, 2]  # row sums: 0.2, 5, 3, 2
+
+    def test_per_topic(self, model):
+        top = rank_influencers(model, topic=1, top_k=1)
+        assert top[0][0] == 2
+
+    def test_scores_descending(self, model):
+        top = rank_influencers(model, top_k=4)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_clamped(self, model):
+        assert len(rank_influencers(model, top_k=100)) == 4
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            rank_influencers(model, top_k=0)
+        with pytest.raises(ValueError):
+            rank_influencers(model, topic=9)
+
+
+class TestRankSelective:
+    def test_overall(self, model):
+        top = rank_selective_nodes(model, top_k=1)
+        assert top[0][0] == 0  # B row sums: 9, 0.2, 0.2, 4
+
+    def test_per_topic(self, model):
+        top = rank_selective_nodes(model, topic=1, top_k=1)
+        assert top[0][0] == 3
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            rank_selective_nodes(model, top_k=-1)
+        with pytest.raises(ValueError):
+            rank_selective_nodes(model, topic=2)

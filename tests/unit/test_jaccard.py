@@ -1,0 +1,67 @@
+"""Unit tests for Jaccard distances between cascades."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.clustering.jaccard import (
+    incidence_matrix,
+    jaccard_distance_matrix,
+    jaccard_index,
+)
+
+
+class TestJaccardIndex:
+    def test_identical_sets(self):
+        a = Cascade([0, 1, 2], [0, 1, 2])
+        b = Cascade([2, 1, 0], [5, 6, 7])
+        assert jaccard_index(a, b) == 1.0
+
+    def test_disjoint(self):
+        a = Cascade([0, 1], [0, 1])
+        b = Cascade([2, 3], [0, 1])
+        assert jaccard_index(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = Cascade([0, 1, 2], [0, 1, 2])
+        b = Cascade([1, 2, 3], [0, 1, 2])
+        assert jaccard_index(a, b) == pytest.approx(2 / 4)
+
+    def test_both_empty(self):
+        assert jaccard_index(Cascade([], []), Cascade([], [])) == 1.0
+
+    def test_one_empty(self):
+        a = Cascade([0], [0.0])
+        assert jaccard_index(a, Cascade([], [])) == 0.0
+
+
+class TestIncidenceMatrix:
+    def test_entries(self, small_corpus):
+        M = incidence_matrix(small_corpus)
+        assert M.shape == (4, 6)
+        assert M[0, 0] == 1 and M[0, 3] == 0
+
+    def test_row_sums_are_sizes(self, small_corpus):
+        M = incidence_matrix(small_corpus)
+        assert np.array_equal(M.sum(axis=1), small_corpus.sizes())
+
+
+class TestDistanceMatrix:
+    def test_matches_pairwise(self, small_corpus):
+        D = jaccard_distance_matrix(small_corpus)
+        for i, a in enumerate(small_corpus):
+            for j, b in enumerate(small_corpus):
+                assert D[i, j] == pytest.approx(1 - jaccard_index(a, b), abs=1e-6)
+
+    def test_symmetric_zero_diagonal(self, small_corpus):
+        D = jaccard_distance_matrix(small_corpus)
+        assert np.allclose(D, D.T)
+        assert np.all(np.diag(D) == 0)
+
+    def test_range(self, small_corpus):
+        D = jaccard_distance_matrix(small_corpus)
+        assert np.all(D >= 0) and np.all(D <= 1)
+
+    def test_empty_corpus(self):
+        D = jaccard_distance_matrix(CascadeSet(3))
+        assert D.shape == (0, 0)

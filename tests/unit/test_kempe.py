@@ -1,0 +1,147 @@
+"""Unit tests for the discrete Kempe diffusion models."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.kempe import (
+    estimate_spread,
+    greedy_influence_maximization,
+    independent_cascade,
+    linear_threshold,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def chain():
+    return Graph(4, [0, 1, 2], [1, 2, 3], [1.0, 1.0, 1.0])
+
+
+@pytest.fixture
+def star():
+    """Hub 0 pointing at 5 leaves."""
+    return Graph(6, [0] * 5, [1, 2, 3, 4, 5], [1.0] * 5)
+
+
+class TestIndependentCascade:
+    def test_probability_one_floods_chain(self, chain):
+        c = independent_cascade(chain, [0], activation_probability=1.0, seed=0)
+        assert c.size == 4
+        assert c.times.tolist() == [0.0, 1.0, 2.0, 3.0]  # rounds
+
+    def test_probability_zero_stays_at_seed(self, chain):
+        c = independent_cascade(chain, [0], activation_probability=0.0, seed=0)
+        assert c.size == 1 and c.source == 0
+
+    def test_edge_weights_as_probabilities(self):
+        g = Graph(2, [0], [1], [1.0])
+        c = independent_cascade(g, [0], seed=0)
+        assert c.size == 2
+
+    def test_invalid_weight_probability(self):
+        g = Graph(2, [0], [1], [5.0])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            independent_cascade(g, [0], seed=0)
+
+    def test_multiple_seeds(self, chain):
+        c = independent_cascade(chain, [0, 2], activation_probability=0.0, seed=0)
+        assert set(c.nodes.tolist()) == {0, 2}
+        assert np.all(c.times == 0.0)
+
+    def test_max_rounds(self, chain):
+        c = independent_cascade(
+            chain, [0], activation_probability=1.0, seed=0, max_rounds=2
+        )
+        assert c.size == 3  # rounds 0, 1, 2
+
+    def test_one_shot_activation(self):
+        """Each edge fires at most once: p=0.5 from a single hub gives a
+        binomially distributed spread, never retries."""
+        g = Graph(11, [0] * 10, list(range(1, 11)), [1.0] * 10)
+        sizes = [
+            independent_cascade(g, [0], activation_probability=0.5, seed=s).size
+            for s in range(300)
+        ]
+        mean_extra = np.mean(sizes) - 1
+        assert mean_extra == pytest.approx(5.0, rel=0.15)
+
+    def test_bad_seed_node(self, chain):
+        with pytest.raises(ValueError):
+            independent_cascade(chain, [9])
+
+    def test_bad_probability(self, chain):
+        with pytest.raises(ValueError):
+            independent_cascade(chain, [0], activation_probability=1.5)
+
+    def test_deterministic(self, star):
+        a = independent_cascade(star, [0], activation_probability=0.5, seed=7)
+        b = independent_cascade(star, [0], activation_probability=0.5, seed=7)
+        assert a == b
+
+
+class TestLinearThreshold:
+    def test_full_weight_always_activates(self):
+        # single in-edge of weight 1.0 >= any threshold in [0,1)
+        g = Graph(2, [0], [1], [1.0])
+        hits = sum(linear_threshold(g, [0], seed=s).size == 2 for s in range(50))
+        assert hits >= 49  # θ=1.0 has measure zero
+
+    def test_weak_weight_rarely_activates(self):
+        g = Graph(2, [0], [1], [0.1])
+        hits = sum(linear_threshold(g, [0], seed=s).size == 2 for s in range(200))
+        assert hits == pytest.approx(20, abs=12)  # P(θ <= 0.1) = 0.1
+
+    def test_pressure_accumulates(self):
+        # two parents each 0.5: both active -> total pressure 1.0 -> always fires
+        g = Graph(3, [0, 1], [2, 2], [0.5, 0.5])
+        hits = sum(linear_threshold(g, [0, 1], seed=s).size == 3 for s in range(50))
+        assert hits >= 49
+
+    def test_normalization_of_heavy_in_weights(self):
+        # in-weights sum to 4 -> normalized; a single active parent gives 0.25
+        g = Graph(5, [0, 1, 2, 3], [4, 4, 4, 4], [1.0] * 4)
+        hits = sum(linear_threshold(g, [0], seed=s).size == 2 for s in range(300))
+        assert hits == pytest.approx(75, abs=30)
+
+    def test_rounds_recorded(self, chain):
+        # weight-1 chain: LT activates each hop deterministically
+        c = linear_threshold(chain, [0], seed=0)
+        assert c.times.tolist() == sorted(c.times.tolist())
+
+    def test_bad_seed_node(self, chain):
+        with pytest.raises(ValueError):
+            linear_threshold(chain, [-1])
+
+
+class TestSpreadAndGreedy:
+    def test_estimate_spread_bounds(self, star):
+        s = estimate_spread(
+            star, [0], model="ic", n_samples=50, activation_probability=0.5, seed=0
+        )
+        assert 1.0 <= s <= 6.0
+
+    def test_estimate_spread_monotone_in_probability(self, star):
+        lo = estimate_spread(star, [0], n_samples=200, activation_probability=0.2, seed=1)
+        hi = estimate_spread(star, [0], n_samples=200, activation_probability=0.8, seed=1)
+        assert hi > lo
+
+    def test_bad_model(self, star):
+        with pytest.raises(ValueError):
+            estimate_spread(star, [0], model="sir")
+
+    def test_greedy_picks_hub_first(self, star):
+        seeds, spread = greedy_influence_maximization(
+            star, k=1, n_samples=40, activation_probability=0.9, seed=2
+        )
+        assert seeds == [0]
+        assert spread > 3.0
+
+    def test_greedy_k_distinct(self, star):
+        seeds, _ = greedy_influence_maximization(
+            star, k=3, n_samples=20, activation_probability=0.3, seed=3
+        )
+        assert len(set(seeds)) == 3
+
+    def test_greedy_validation(self, star):
+        with pytest.raises(ValueError):
+            greedy_influence_maximization(star, k=0)

@@ -1,0 +1,95 @@
+"""Unit tests for the cascade log-likelihood (Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade
+from repro.embedding.likelihood import (
+    corpus_log_likelihood,
+    log_likelihood,
+    log_likelihood_naive,
+    tie_groups,
+)
+from repro.embedding.model import EmbeddingModel
+
+
+class TestTieGroups:
+    def test_no_ties(self):
+        starts, ends = tie_groups(np.array([0.0, 1.0, 2.0]))
+        assert starts.tolist() == [0, 1, 2]
+        assert ends.tolist() == [1, 2, 3]
+
+    def test_with_ties(self):
+        starts, ends = tie_groups(np.array([0.0, 1.0, 1.0, 2.0]))
+        assert starts.tolist() == [0, 1, 1, 3]
+        assert ends.tolist() == [1, 3, 3, 4]
+
+    def test_all_tied(self):
+        starts, ends = tie_groups(np.array([5.0, 5.0, 5.0]))
+        assert starts.tolist() == [0, 0, 0]
+        assert ends.tolist() == [3, 3, 3]
+
+
+class TestLogLikelihood:
+    def test_matches_naive(self, small_model, small_corpus):
+        for c in small_corpus:
+            assert log_likelihood(small_model, c) == pytest.approx(
+                log_likelihood_naive(small_model, c), abs=1e-10
+            )
+
+    def test_matches_naive_with_ties(self, small_model, tied_cascade):
+        assert log_likelihood(small_model, tied_cascade) == pytest.approx(
+            log_likelihood_naive(small_model, tied_cascade), abs=1e-10
+        )
+
+    def test_hand_computed_two_nodes(self):
+        # Single link u=0 -> v=1, rate r = A0·B1, delay dt.
+        A = np.array([[2.0], [0.1]])
+        B = np.array([[0.3], [1.5]])
+        m = EmbeddingModel(A, B)
+        dt = 0.8
+        c = Cascade([0, 1], [0.0, dt])
+        r = 2.0 * 1.5
+        expected = -r * dt + np.log(r)
+        assert log_likelihood(m, c) == pytest.approx(expected)
+
+    def test_small_cascades_contribute_zero(self, small_model):
+        assert log_likelihood(small_model, Cascade([0], [0.0])) == 0.0
+        assert log_likelihood(small_model, Cascade([], [])) == 0.0
+
+    def test_time_shift_invariance(self, small_model, tiny_cascade):
+        # needs a model with >= 5 nodes
+        m = EmbeddingModel.random(5, 3, seed=0)
+        a = log_likelihood(m, tiny_cascade)
+        b = log_likelihood(m, tiny_cascade.shifted(100.0))
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_zero_rates_guarded(self):
+        m = EmbeddingModel.zeros(2, 2)
+        c = Cascade([0, 1], [0.0, 1.0])
+        ll = log_likelihood(m, c)
+        assert np.isfinite(ll)  # eps guard keeps log finite
+
+    def test_higher_rate_better_fit_for_short_delay(self):
+        # For dt < 1/r, increasing the rate increases the likelihood.
+        c = Cascade([0, 1], [0.0, 0.1])
+        low = EmbeddingModel(np.array([[1.0], [0.0]]), np.array([[0.0], [1.0]]))
+        high = EmbeddingModel(np.array([[5.0], [0.0]]), np.array([[0.0], [1.0]]))
+        assert log_likelihood(high, c) > log_likelihood(low, c)
+
+    def test_simultaneous_with_source_skipped(self, small_model):
+        # Both tied at t=0: no strict predecessors anywhere -> LL 0.
+        c = Cascade([0, 1], [0.0, 0.0])
+        assert log_likelihood(small_model, c) == 0.0
+
+
+class TestCorpusLogLikelihood:
+    def test_sum_of_cascades(self, small_model, small_corpus):
+        total = corpus_log_likelihood(small_model, small_corpus)
+        parts = sum(log_likelihood(small_model, c) for c in small_corpus)
+        assert total == pytest.approx(parts)
+
+    def test_empty_corpus(self, small_model):
+        from repro.cascades.types import CascadeSet
+
+        assert corpus_log_likelihood(small_model, CascadeSet(6)) == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for the per-link baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.simulate import simulate_corpus
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.linkmodel import LinkRateModel
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def corpus():
+    cs = CascadeSet(4)
+    cs.append(Cascade([0, 1], [0.0, 0.5]))
+    cs.append(Cascade([0, 1, 2], [0.0, 0.4, 1.0]))
+    cs.append(Cascade([2, 3], [0.0, 0.2]))
+    return cs
+
+
+class TestCandidates:
+    def test_candidate_pairs(self, corpus):
+        m = LinkRateModel(4)
+        m.fit(corpus, max_iters=1)
+        pairs = set(zip(m.pair_src.tolist(), m.pair_dst.tolist()))
+        assert (0, 1) in pairs and (0, 2) in pairs and (1, 2) in pairs
+        assert (2, 3) in pairs
+        assert (1, 0) not in pairs
+
+    def test_n_parameters(self, corpus):
+        m = LinkRateModel(4)
+        m.fit(corpus, max_iters=1)
+        assert m.n_parameters == 4
+
+    def test_rate_of_unknown_pair_is_zero(self, corpus):
+        m = LinkRateModel(4)
+        m.fit(corpus, max_iters=1)
+        assert m.rate(3, 0) == 0.0
+
+
+class TestFitting:
+    def test_loglik_increases(self, corpus):
+        m = LinkRateModel(4)
+        history = m.fit(corpus, max_iters=50, seed=0)
+        assert history[-1] > history[0]
+        assert np.all(np.diff(history) >= -1e-9)
+
+    def test_rates_nonnegative(self, corpus):
+        m = LinkRateModel(4)
+        m.fit(corpus, max_iters=50, seed=0)
+        assert np.all(m.rates >= 0)
+
+    def test_single_link_mle(self):
+        """One edge observed repeatedly: MLE rate = 1/mean(delay)."""
+        cs = CascadeSet(2)
+        delays = [0.5, 1.0, 1.5, 2.0]
+        for d in delays:
+            cs.append(Cascade([0, 1], [0.0, d]))
+        m = LinkRateModel(2)
+        m.fit(cs, max_iters=400, learning_rate=0.1, seed=0)
+        assert m.rate(0, 1) == pytest.approx(1.0 / np.mean(delays), rel=0.05)
+
+    def test_universe_mismatch(self, corpus):
+        with pytest.raises(ValueError):
+            LinkRateModel(3).fit(corpus)
+
+    def test_log_likelihood_on_unseen_pairs(self, corpus):
+        m = LinkRateModel(4)
+        m.fit(corpus, max_iters=5, seed=0)
+        unseen = CascadeSet(4, [Cascade([3, 0], [0.0, 1.0])])
+        # pair (3,0) untrained: rate 0, contributes nothing
+        assert m.log_likelihood(unseen) == 0.0
+
+    def test_recovers_strong_vs_weak_edge(self):
+        """Rates should separate a fast edge from a slow one."""
+        g = Graph(3, [0, 0], [1, 2], [5.0, 0.5])
+        corpus = simulate_corpus(g, 150, window=3.0, seed=1, min_size=2)
+        m = LinkRateModel(3)
+        m.fit(corpus, max_iters=200, learning_rate=0.05, seed=0)
+        assert m.rate(0, 1) > m.rate(0, 2)

@@ -1,0 +1,76 @@
+"""Unit tests for the Louvain community detector."""
+
+import numpy as np
+import pytest
+
+from repro.community.louvain import louvain
+from repro.community.modularity import modularity
+from repro.community.partition import Partition
+from repro.graphs.generators import stochastic_block_model
+from repro.graphs.graph import Graph
+
+
+class TestLouvainBasics:
+    def test_empty_graph(self):
+        p = louvain(Graph.empty(0), seed=0)
+        assert p.n_nodes == 0
+
+    def test_isolated_nodes_singletons(self):
+        p = louvain(Graph.empty(4), seed=0)
+        assert p.n_communities == 4
+
+    def test_two_cliques(self):
+        edges = []
+        for clique in ([0, 1, 2], [3, 4, 5]):
+            for a in clique:
+                for b in clique:
+                    if a != b:
+                        edges.append((a, b))
+        g = Graph.from_edges(edges, n_nodes=6)
+        p = louvain(g, seed=1)
+        m = p.membership
+        assert m[0] == m[1] == m[2]
+        assert m[3] == m[4] == m[5]
+        assert m[0] != m[3]
+
+    def test_deterministic_given_seed(self):
+        g, _ = stochastic_block_model(80, 20, p_in=0.4, p_out=0.02, seed=3)
+        assert louvain(g, seed=5) == louvain(g, seed=5)
+
+    def test_recovers_planted_blocks(self):
+        g, membership = stochastic_block_model(
+            120, 30, p_in=0.4, p_out=0.005, seed=7
+        )
+        p = louvain(g, seed=9)
+        assert p.agreement(Partition(membership)) > 0.95
+
+    def test_positive_modularity_on_modular_graph(self):
+        g, _ = stochastic_block_model(100, 25, p_in=0.4, p_out=0.01, seed=11)
+        p = louvain(g, seed=13)
+        assert modularity(g, p) > 0.4
+
+    def test_weighted_edges_respected(self):
+        # nodes 0-1 strongly tied, 1-2 weakly: 2 should separate
+        g = Graph.from_edges(
+            [(0, 1, 10.0), (1, 0, 10.0), (1, 2, 0.01), (2, 1, 0.01),
+             (2, 3, 10.0), (3, 2, 10.0)],
+            n_nodes=4,
+        )
+        p = louvain(g, seed=15)
+        assert p.membership[0] == p.membership[1]
+        assert p.membership[2] == p.membership[3]
+        assert p.membership[0] != p.membership[2]
+
+
+class TestLouvainVsSLPA:
+    def test_comparable_quality_on_sbm(self):
+        from repro.community.slpa import slpa
+
+        g, membership = stochastic_block_model(
+            150, 30, p_in=0.35, p_out=0.01, seed=17
+        )
+        planted = Partition(membership)
+        p_louvain = louvain(g, seed=19)
+        p_slpa = slpa(g, seed=19)
+        assert p_louvain.agreement(planted) > 0.9
+        assert p_slpa.agreement(planted) > 0.9

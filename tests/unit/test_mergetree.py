@@ -1,0 +1,82 @@
+"""Unit tests for MergeTree (Algorithm 2 schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.community.mergetree import MergeTree
+from repro.community.partition import Partition
+
+
+def make_partition(sizes):
+    labels = np.repeat(np.arange(len(sizes)), sizes)
+    return Partition(labels)
+
+
+class TestTreeStrategy:
+    def test_halving_widths(self):
+        tree = MergeTree(make_partition([5] * 8), stop_at=1)
+        assert tree.widths() == [8, 4, 2, 1]
+
+    def test_odd_counts(self):
+        tree = MergeTree(make_partition([3] * 5), stop_at=1)
+        assert tree.widths() == [5, 3, 2, 1]
+
+    def test_stop_at(self):
+        tree = MergeTree(make_partition([2] * 8), stop_at=3)
+        assert tree.widths()[-1] <= 3
+        assert tree.widths() == [8, 4, 2]
+
+    def test_single_leaf(self):
+        tree = MergeTree(make_partition([4]), stop_at=1)
+        assert tree.widths() == [1]
+        assert tree.n_levels == 1
+
+    def test_root_covers_everything(self):
+        tree = MergeTree(make_partition([2, 3, 4]), stop_at=1)
+        assert tree.root.n_communities == 1
+        assert tree.root.sizes()[0] == 9
+
+    def test_levels_are_nested_coarsenings(self):
+        tree = MergeTree(make_partition([2] * 6), stop_at=1)
+        for fine, coarse in zip(tree.levels, tree.levels[1:]):
+            # every fine community maps into exactly one coarse community
+            for cid in range(fine.n_communities):
+                nodes = fine.members(cid)
+                assert np.unique(coarse.membership[nodes]).size == 1
+
+
+class TestGraphStrategy:
+    def test_pairs_largest_with_smallest(self):
+        part = make_partition([10, 1, 5, 4])
+        tree = MergeTree(part, stop_at=2, strategy="graph")
+        level1 = tree.levels[1]
+        sizes = sorted(level1.sizes().tolist())
+        # greedy pairing: (10,1) and (5,4) -> sizes 11 and 9
+        assert sizes == [9, 11]
+
+    def test_balances_better_than_tree_on_skew(self):
+        part = make_partition([100, 1, 1, 1, 50, 1, 1, 49])
+        t_tree = MergeTree(part, stop_at=4, strategy="tree")
+        t_graph = MergeTree(part, stop_at=4, strategy="graph")
+        assert max(t_graph.levels[1].sizes()) <= max(t_tree.levels[1].sizes())
+
+    def test_odd_community_left_alone(self):
+        part = make_partition([5, 4, 3])
+        tree = MergeTree(part, stop_at=1, strategy="graph")
+        assert tree.widths()[1] == 2
+
+
+class TestValidation:
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            MergeTree(make_partition([1, 1]), strategy="magic")
+
+    def test_bad_stop_at(self):
+        with pytest.raises(ValueError):
+            MergeTree(make_partition([1, 1]), stop_at=0)
+
+    def test_imbalance_metric(self):
+        tree = MergeTree(make_partition([10, 2]), stop_at=1)
+        imb = tree.imbalance()
+        assert imb[0] == pytest.approx(10 / 6)
+        assert imb[-1] == pytest.approx(1.0)

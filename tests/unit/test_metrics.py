@@ -1,0 +1,70 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.metrics import (
+    accuracy,
+    confusion_counts,
+    f1_score,
+    precision,
+    recall,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        y_true = np.array([1, 1, -1, -1, 1])
+        y_pred = np.array([1, -1, 1, -1, 1])
+        assert confusion_counts(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_all_correct(self):
+        y = np.array([1, -1, 1])
+        assert confusion_counts(y, y) == (2, 0, 0, 1)
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([0, 1]), np.array([1, 1]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([1]), np.array([1, -1]))
+
+
+class TestMetrics:
+    def test_perfect(self):
+        y = np.array([1, -1, 1, -1])
+        assert precision(y, y) == 1.0
+        assert recall(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+        assert accuracy(y, y) == 1.0
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 1, -1, -1])
+        y_pred = np.array([1, 1, -1, 1, -1])
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert accuracy(y_true, y_pred) == pytest.approx(3 / 5)
+
+    def test_no_positive_predictions(self):
+        y_true = np.array([1, -1])
+        y_pred = np.array([-1, -1])
+        assert precision(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_no_positive_truths(self):
+        y_true = np.array([-1, -1])
+        y_pred = np.array([1, -1])
+        assert recall(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        y_true = np.array([1, 1, -1, -1, -1, -1])
+        y_pred = np.array([1, -1, 1, 1, -1, -1])
+        p = precision(y_true, y_pred)
+        r = recall(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_empty_accuracy(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0

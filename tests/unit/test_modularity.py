@@ -1,0 +1,76 @@
+"""Unit tests for modularity, with networkx as oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.community.modularity import modularity
+from repro.community.partition import Partition
+from repro.graphs.generators import stochastic_block_model
+from repro.graphs.graph import Graph
+
+
+class TestModularityBasics:
+    def test_single_community_is_zero(self):
+        g = Graph(3, [0, 1, 2], [1, 2, 0])
+        assert modularity(g, Partition.trivial(3)) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        assert modularity(Graph.empty(3), Partition.trivial(3)) == 0.0
+
+    def test_partition_mismatch(self):
+        g = Graph.empty(3)
+        with pytest.raises(ValueError):
+            modularity(g, Partition.trivial(4))
+
+    def test_good_partition_beats_random(self):
+        g, membership = stochastic_block_model(80, 20, p_in=0.5, p_out=0.01, seed=0)
+        good = modularity(g, Partition(membership))
+        rng = np.random.default_rng(0)
+        bad = modularity(g, Partition(rng.integers(0, 4, size=80)))
+        assert good > 0.5
+        assert good > bad + 0.3
+
+    def test_two_disconnected_cliques(self):
+        edges = []
+        for base in (0, 3):
+            for a in range(3):
+                for b in range(3):
+                    if a != b:
+                        edges.append((base + a, base + b))
+        g = Graph.from_edges(edges, n_nodes=6)
+        p = Partition([0, 0, 0, 1, 1, 1])
+        # Perfect split of two equal cliques: Q = 1/2
+        assert modularity(g, p) == pytest.approx(0.5)
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_directed(self):
+        g, membership = stochastic_block_model(60, 15, p_in=0.4, p_out=0.03, seed=3)
+        p = Partition(membership)
+        ours = modularity(g, p)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(60))
+        for u, v, w in g.edges():
+            G.add_edge(u, v, weight=w)
+        comms = [set(np.flatnonzero(membership == c)) for c in np.unique(membership)]
+        theirs = nx.algorithms.community.modularity(G, comms, weight="weight")
+        assert ours == pytest.approx(theirs, abs=1e-10)
+
+    def test_matches_networkx_weighted(self):
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, 20, size=100)
+        dst = rng.integers(0, 20, size=100)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        w = rng.uniform(0.1, 5.0, size=src.size)
+        g = Graph(20, src, dst, w)
+        labels = rng.integers(0, 3, size=20)
+        p = Partition(labels)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(20))
+        for u, v, wt in g.edges():
+            G.add_edge(u, v, weight=wt)
+        comms = [set(np.flatnonzero(p.membership == c)) for c in range(p.n_communities)]
+        theirs = nx.algorithms.community.modularity(G, comms, weight="weight")
+        assert modularity(g, p) == pytest.approx(theirs, abs=1e-10)

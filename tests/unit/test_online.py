@@ -1,0 +1,109 @@
+"""Unit tests for the streaming embedding estimator."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.simulate import simulate_corpus
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.online import OnlineConfig, OnlineEmbeddingInference
+from repro.graphs.generators import stochastic_block_model
+
+
+@pytest.fixture(scope="module")
+def stream():
+    graph, _ = stochastic_block_model(60, 20, p_in=0.4, p_out=0.01, seed=0)
+    return simulate_corpus(graph, 60, window=0.5, seed=1, min_size=2)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        OnlineConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"decay": -0.1},
+            {"sweeps_per_batch": 0},
+            {"max_step": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineConfig(**kwargs)
+
+
+class TestPartialFit:
+    def test_improves_loglik_over_batches(self, stream):
+        online = OnlineEmbeddingInference(60, 3, seed=2)
+        before = online.loglik(stream)
+        for start in range(0, 60, 15):
+            online.partial_fit(list(stream)[start : start + 15])
+        assert online.loglik(stream) > before
+
+    def test_step_counter_advances(self, stream):
+        online = OnlineEmbeddingInference(60, 3, seed=3)
+        online.partial_fit(list(stream)[:10])
+        # 10 cascades x sweeps_per_batch(2) learnable updates
+        assert online.t == 20
+
+    def test_nonnegative_embeddings(self, stream):
+        online = OnlineEmbeddingInference(60, 3, seed=4)
+        online.partial_fit(stream)
+        assert online.model.A.min() >= 0
+        assert online.model.B.min() >= 0
+
+    def test_step_size_decays(self):
+        cfg = OnlineConfig(learning_rate=0.1, decay=0.01)
+        online = OnlineEmbeddingInference(5, 2, config=cfg, seed=5)
+        s0 = online._step()
+        online.t = 1000
+        assert online._step() < s0
+
+    def test_empty_batch_noop(self, stream):
+        online = OnlineEmbeddingInference(60, 3, seed=6)
+        before = online.model.copy()
+        online.partial_fit([])
+        assert online.model == before
+
+    def test_singleton_cascades_skipped(self):
+        online = OnlineEmbeddingInference(4, 2, seed=7)
+        before = online.model.copy()
+        online.partial_fit([Cascade([0], [0.0])])
+        assert online.model == before
+        assert online.t == 0
+
+    def test_universe_validated(self):
+        online = OnlineEmbeddingInference(3, 2, seed=8)
+        with pytest.raises(ValueError, match="outside"):
+            online.partial_fit([Cascade([0, 5], [0.0, 1.0])])
+
+    def test_deterministic_given_seed(self, stream):
+        a = OnlineEmbeddingInference(60, 3, seed=9)
+        b = OnlineEmbeddingInference(60, 3, seed=9)
+        batch = list(stream)[:20]
+        a.partial_fit(batch)
+        b.partial_fit(batch)
+        assert a.model == b.model
+
+    def test_online_approaches_batch_quality(self, stream):
+        """Streaming over the whole corpus should land within a modest
+        factor of the batch optimizer's likelihood."""
+        from repro.embedding.model import EmbeddingModel
+        from repro.embedding.optimizer import (
+            OptimizerConfig,
+            ProjectedGradientAscent,
+        )
+
+        online = OnlineEmbeddingInference(60, 3, seed=10)
+        for _ in range(4):  # four epochs of streaming
+            online.partial_fit(stream)
+        batch_model = EmbeddingModel.random(60, 3, seed=10)
+        ProjectedGradientAscent(OptimizerConfig(max_iters=80)).fit(
+            batch_model, stream
+        )
+        ll_online = online.loglik(stream)
+        from repro.embedding.likelihood import corpus_log_likelihood
+
+        ll_batch = corpus_log_likelihood(batch_model, stream)
+        assert ll_online > ll_batch - 0.3 * abs(ll_batch)

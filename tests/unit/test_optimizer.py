@@ -1,0 +1,155 @@
+"""Unit tests for projected gradient ascent."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.likelihood import corpus_log_likelihood
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import (
+    FitResult,
+    OptimizerConfig,
+    ProjectedGradientAscent,
+)
+
+
+@pytest.fixture
+def corpus():
+    cs = CascadeSet(4)
+    cs.append(Cascade([0, 1, 2], [0.0, 0.3, 0.8]))
+    cs.append(Cascade([0, 2], [0.0, 0.4]))
+    cs.append(Cascade([1, 3], [0.0, 0.6]))
+    cs.append(Cascade([2, 3, 0], [0.0, 0.2, 0.9]))
+    return cs
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        OptimizerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"max_iters": 0},
+            {"step_decay": 1.0},
+            {"step_decay": 0.0},
+            {"patience": 0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            OptimizerConfig(**kwargs)
+
+
+class TestFit:
+    def test_loglik_increases(self, corpus):
+        model = EmbeddingModel.random(4, 2, scale=0.5, seed=0)
+        before = corpus_log_likelihood(model, corpus)
+        # background_rate=0 makes the optimizer's objective Eq. 8 verbatim,
+        # so the reported history matches corpus_log_likelihood exactly.
+        opt = ProjectedGradientAscent(
+            OptimizerConfig(max_iters=50, background_rate=0.0)
+        )
+        result = opt.fit(model, corpus)
+        after = corpus_log_likelihood(model, corpus)
+        assert after > before
+        assert result.final_loglik == pytest.approx(after, rel=1e-9)
+
+    def test_background_rate_objective_still_improves_eq8(self, corpus):
+        model = EmbeddingModel.random(4, 2, scale=0.5, seed=0)
+        before = corpus_log_likelihood(model, corpus)
+        ProjectedGradientAscent(
+            OptimizerConfig(max_iters=50, background_rate=1e-3)
+        ).fit(model, corpus)
+        assert corpus_log_likelihood(model, corpus) > before
+
+    def test_background_rate_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(background_rate=-1e-3)
+
+    def test_history_monotone(self, corpus):
+        model = EmbeddingModel.random(4, 2, scale=0.5, seed=1)
+        result = ProjectedGradientAscent(OptimizerConfig(max_iters=60)).fit(
+            model, corpus
+        )
+        h = np.asarray(result.history)
+        assert np.all(np.diff(h) >= -1e-9)
+
+    def test_nonnegativity_maintained(self, corpus):
+        model = EmbeddingModel.random(4, 2, scale=0.5, seed=2)
+        ProjectedGradientAscent(
+            OptimizerConfig(max_iters=40, learning_rate=0.2)
+        ).fit(model, corpus)
+        assert model.A.min() >= 0 and model.B.min() >= 0
+
+    def test_early_stopping_on_plateau(self, corpus):
+        model = EmbeddingModel.random(4, 2, scale=0.5, seed=3)
+        cfg = OptimizerConfig(max_iters=500, tol=1e-4, patience=2)
+        result = ProjectedGradientAscent(cfg).fit(model, corpus)
+        assert result.converged
+        assert result.n_iters < 500
+        assert result.reason in ("log-likelihood plateau", "step size underflow")
+
+    def test_deterministic(self, corpus):
+        m1 = EmbeddingModel.random(4, 2, seed=4)
+        m2 = EmbeddingModel.random(4, 2, seed=4)
+        cfg = OptimizerConfig(max_iters=30)
+        ProjectedGradientAscent(cfg).fit(m1, corpus)
+        ProjectedGradientAscent(cfg).fit(m2, corpus)
+        assert m1 == m2
+
+    def test_callback_invoked(self, corpus):
+        model = EmbeddingModel.random(4, 2, seed=5)
+        calls = []
+        ProjectedGradientAscent(OptimizerConfig(max_iters=10)).fit(
+            model, corpus, callback=lambda it, ll: calls.append((it, ll))
+        )
+        assert len(calls) >= 1
+
+    def test_universe_mismatch(self, corpus):
+        model = EmbeddingModel.random(3, 2, seed=0)
+        with pytest.raises(ValueError):
+            ProjectedGradientAscent().fit(model, corpus)
+
+    def test_empty_corpus_is_noop(self):
+        model = EmbeddingModel.random(4, 2, seed=6)
+        before = model.copy()
+        result = ProjectedGradientAscent(OptimizerConfig(max_iters=5)).fit(
+            model, CascadeSet(4)
+        )
+        assert model == before or model.frobenius_distance(before) == 0.0
+        assert result.final_loglik == 0.0
+
+
+class TestBlockCoordinate:
+    def test_update_rows_mask_restricts_changes(self, corpus):
+        model = EmbeddingModel.random(4, 2, seed=7)
+        frozen = model.copy()
+        mask = np.array([True, True, False, False])
+        ProjectedGradientAscent(OptimizerConfig(max_iters=20)).fit(
+            model, corpus, update_rows=mask
+        )
+        assert np.array_equal(model.A[2:], frozen.A[2:])
+        assert np.array_equal(model.B[2:], frozen.B[2:])
+        assert not np.array_equal(model.A[:2], frozen.A[:2])
+
+    def test_update_rows_as_indices(self, corpus):
+        model = EmbeddingModel.random(4, 2, seed=8)
+        frozen = model.copy()
+        ProjectedGradientAscent(OptimizerConfig(max_iters=10)).fit(
+            model, corpus, update_rows=np.array([0, 1])
+        )
+        assert np.array_equal(model.A[2:], frozen.A[2:])
+
+    def test_bad_mask_length(self, corpus):
+        model = EmbeddingModel.random(4, 2, seed=9)
+        with pytest.raises(ValueError):
+            ProjectedGradientAscent().fit(
+                model, corpus, update_rows=np.array([True, False])
+            )
+
+
+class TestFitResult:
+    def test_final_loglik_empty(self):
+        assert FitResult().final_loglik == float("-inf")

@@ -1,0 +1,67 @@
+"""Unit tests for the ridge-regularized optimizer option."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig, ProjectedGradientAscent
+
+
+@pytest.fixture
+def corpus():
+    cs = CascadeSet(5)
+    cs.append(Cascade([0, 1, 2], [0.0, 0.3, 0.8]))
+    cs.append(Cascade([1, 2], [0.0, 0.4]))
+    cs.append(Cascade([0, 2, 3], [0.0, 0.2, 0.9]))
+    return cs
+
+
+class TestL2Config:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(l2=-0.1)
+
+    def test_zero_matches_unregularized(self, corpus):
+        m1 = EmbeddingModel.random(5, 2, seed=0)
+        m2 = EmbeddingModel.random(5, 2, seed=0)
+        ProjectedGradientAscent(OptimizerConfig(max_iters=20)).fit(m1, corpus)
+        ProjectedGradientAscent(OptimizerConfig(max_iters=20, l2=0.0)).fit(
+            m2, corpus
+        )
+        assert m1 == m2
+
+
+class TestL2Effect:
+    def test_shrinks_unobserved_rows(self, corpus):
+        """Node 4 appears in no cascade: without ridge its random init
+        persists; with ridge it decays toward zero."""
+        cfg_plain = OptimizerConfig(max_iters=60)
+        cfg_ridge = OptimizerConfig(max_iters=60, l2=0.5)
+        m_plain = EmbeddingModel.random(5, 2, seed=1)
+        m_ridge = EmbeddingModel.random(5, 2, seed=1)
+        init_row = m_plain.A[4].copy()
+        ProjectedGradientAscent(cfg_plain).fit(m_plain, corpus)
+        ProjectedGradientAscent(cfg_ridge).fit(m_ridge, corpus)
+        assert np.allclose(m_plain.A[4], init_row)  # untouched without l2
+        assert np.linalg.norm(m_ridge.A[4]) < 0.5 * np.linalg.norm(init_row)
+
+    def test_reduces_total_norm(self, corpus):
+        m_plain = EmbeddingModel.random(5, 2, seed=2)
+        m_ridge = EmbeddingModel.random(5, 2, seed=2)
+        ProjectedGradientAscent(OptimizerConfig(max_iters=60)).fit(
+            m_plain, corpus
+        )
+        ProjectedGradientAscent(OptimizerConfig(max_iters=60, l2=0.3)).fit(
+            m_ridge, corpus
+        )
+        norm = lambda m: np.linalg.norm(m.A) + np.linalg.norm(m.B)  # noqa: E731
+        assert norm(m_ridge) < norm(m_plain)
+
+    def test_objective_still_ascends(self, corpus):
+        m = EmbeddingModel.random(5, 2, seed=3)
+        result = ProjectedGradientAscent(
+            OptimizerConfig(max_iters=40, l2=0.1)
+        ).fit(m, corpus)
+        h = np.asarray(result.history)
+        assert np.all(np.diff(h) >= -1e-9)

@@ -1,0 +1,122 @@
+"""Unit tests for Partition."""
+
+import numpy as np
+import pytest
+
+from repro.community.partition import Partition
+
+
+class TestConstruction:
+    def test_dense_relabeling(self):
+        p = Partition([10, 20, 10, 30])
+        assert p.membership.tolist() == [0, 1, 0, 2]
+        assert p.n_communities == 3
+
+    def test_first_appearance_order(self):
+        p = Partition([5, 3, 5, 1])
+        assert p.membership.tolist() == [0, 1, 0, 2]
+
+    def test_singletons(self):
+        p = Partition.singletons(4)
+        assert p.n_communities == 4
+
+    def test_trivial(self):
+        p = Partition.trivial(4)
+        assert p.n_communities == 1
+
+    def test_empty(self):
+        p = Partition([])
+        assert p.n_nodes == 0 and p.n_communities == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(np.zeros((2, 2)))
+
+    def test_from_communities(self):
+        p = Partition.from_communities([[0, 2], [1, 3]], n_nodes=4)
+        assert p.membership.tolist() == [0, 1, 0, 1]
+
+    def test_from_communities_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Partition.from_communities([[0, 1], [1, 2]], n_nodes=3)
+
+    def test_from_communities_incomplete_rejected(self):
+        with pytest.raises(ValueError, match="cover"):
+            Partition.from_communities([[0]], n_nodes=2)
+
+
+class TestAccessors:
+    def test_members_sorted(self):
+        p = Partition([0, 1, 0, 1, 0])
+        assert p.members(0).tolist() == [0, 2, 4]
+        assert p.members(1).tolist() == [1, 3]
+
+    def test_communities_cover_all(self):
+        p = Partition([2, 0, 1, 0])
+        all_nodes = np.sort(np.concatenate(p.communities()))
+        assert all_nodes.tolist() == [0, 1, 2, 3]
+
+    def test_sizes(self):
+        p = Partition([0, 0, 1])
+        assert p.sizes().tolist() == [2, 1]
+
+    def test_membership_readonly(self):
+        p = Partition([0, 1])
+        with pytest.raises(ValueError):
+            p.membership[0] = 5
+
+
+class TestMerge:
+    def test_pairwise_merge(self):
+        p = Partition([0, 1, 2, 3])
+        merged = p.merge([[0, 1], [2, 3]])
+        assert merged.n_communities == 2
+        assert merged.membership.tolist() == [0, 0, 1, 1]
+
+    def test_merge_singleton_group(self):
+        p = Partition([0, 1, 2])
+        merged = p.merge([[0, 1], [2]])
+        assert merged.n_communities == 2
+
+    def test_merge_missing_community_rejected(self):
+        p = Partition([0, 1, 2])
+        with pytest.raises(ValueError, match="not covered"):
+            p.merge([[0, 1]])
+
+    def test_merge_duplicate_rejected(self):
+        p = Partition([0, 1])
+        with pytest.raises(ValueError, match="two groups"):
+            p.merge([[0, 1], [1]])
+
+    def test_merge_out_of_range(self):
+        p = Partition([0, 1])
+        with pytest.raises(ValueError, match="out of range"):
+            p.merge([[0, 5], [1]])
+
+
+class TestAgreement:
+    def test_identical_partitions(self):
+        p = Partition([0, 0, 1, 1])
+        assert p.agreement(p) == 1.0
+
+    def test_relabeled_identical(self):
+        a = Partition([0, 0, 1, 1])
+        b = Partition([7, 7, 3, 3])
+        assert a.agreement(b) == 1.0
+
+    def test_orthogonal(self):
+        a = Partition([0, 0, 1, 1])
+        b = Partition([0, 1, 0, 1])
+        assert a.agreement(b) < 0.5
+
+    def test_symmetric(self):
+        a = Partition([0, 0, 1, 2])
+        b = Partition([0, 1, 1, 2])
+        assert a.agreement(b) == pytest.approx(b.agreement(a))
+
+    def test_universe_mismatch(self):
+        with pytest.raises(ValueError):
+            Partition([0, 1]).agreement(Partition([0, 1, 2]))
+
+    def test_single_node(self):
+        assert Partition([0]).agreement(Partition([0])) == 1.0

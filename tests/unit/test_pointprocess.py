@@ -1,0 +1,103 @@
+"""Unit tests for the SEISMIC-style point-process baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.prediction.pointprocess import SelfExcitingSizePredictor
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        SelfExcitingSizePredictor()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfExcitingSizePredictor(omega=0.0)
+        with pytest.raises(ValueError):
+            SelfExcitingSizePredictor(max_branching=1.0)
+
+
+class TestBranchingFactor:
+    def test_single_event_zero(self):
+        p = SelfExcitingSizePredictor()
+        assert p.branching_factor(Cascade([0], [0.0]), 1.0) == 0.0
+
+    def test_empty_zero(self):
+        p = SelfExcitingSizePredictor()
+        assert p.branching_factor(Cascade([], []), 1.0) == 0.0
+
+    def test_more_events_higher_branching(self):
+        p = SelfExcitingSizePredictor(omega=5.0)
+        slow = Cascade([0, 1], [0.0, 0.1])
+        fast = Cascade([0, 1, 2, 3, 4], [0.0, 0.05, 0.1, 0.15, 0.2])
+        assert p.branching_factor(fast, 1.0) > p.branching_factor(slow, 1.0)
+
+    def test_clipped_at_max(self):
+        p = SelfExcitingSizePredictor(omega=0.01, max_branching=0.9)
+        burst = Cascade(list(range(20)), [0.001 * i for i in range(20)])
+        assert p.branching_factor(burst, 0.05) == 0.9
+
+    def test_zero_horizon(self):
+        p = SelfExcitingSizePredictor()
+        c = Cascade([0, 1], [0.0, 0.0])
+        assert p.branching_factor(c, 0.0) == 0.0
+
+
+class TestPrediction:
+    def test_empty_prefix(self):
+        p = SelfExcitingSizePredictor()
+        assert p.predict_final_size(Cascade([], []), 1.0) == 0.0
+
+    def test_prediction_at_least_observed(self):
+        p = SelfExcitingSizePredictor()
+        c = Cascade([0, 1, 2], [0.0, 0.05, 0.1])
+        assert p.predict_final_size(c, 0.2) >= 3.0
+
+    def test_quiet_prefix_predicts_little_growth(self):
+        """A cascade whose last event is long past predicts ~no growth."""
+        p = SelfExcitingSizePredictor(omega=5.0)
+        c = Cascade([0, 1], [0.0, 0.05])
+        pred = p.predict_final_size(c, 10.0)
+        assert pred == pytest.approx(2.0, abs=0.3)
+
+    def test_hot_prefix_predicts_growth(self):
+        p = SelfExcitingSizePredictor(omega=5.0)
+        hot = Cascade(list(range(8)), [0.01 * i for i in range(8)])
+        pred = p.predict_final_size(hot, 0.08)
+        assert pred > 10.0
+
+    def test_predict_sizes_vector(self):
+        p = SelfExcitingSizePredictor()
+        cs = CascadeSet(5)
+        cs.append(Cascade([0, 1], [0.0, 0.1]))
+        cs.append(Cascade([2, 3, 4], [0.0, 0.02, 0.04]))
+        est = p.predict_sizes(cs, early_fraction=0.3, window=1.0)
+        assert est.shape == (2,)
+        assert np.all(est >= 0)
+
+    def test_classify_labels(self):
+        p = SelfExcitingSizePredictor()
+        cs = CascadeSet(5, [Cascade([0, 1], [0.0, 0.1])])
+        labels = p.classify(cs, threshold=1, early_fraction=0.3, window=1.0)
+        assert labels[0] == 1
+        labels = p.classify(cs, threshold=10**6, early_fraction=0.3, window=1.0)
+        assert labels[0] == -1
+
+    def test_parameter_validation(self):
+        p = SelfExcitingSizePredictor()
+        cs = CascadeSet(2, [Cascade([0, 1], [0.0, 0.1])])
+        with pytest.raises(ValueError):
+            p.predict_sizes(cs, early_fraction=0.0, window=1.0)
+        with pytest.raises(ValueError):
+            p.predict_sizes(cs, early_fraction=0.5, window=0.0)
+
+    def test_faster_spread_predicts_bigger(self):
+        """With identical observed counts, shorter inter-event gaps at the
+        observation horizon imply more pending growth."""
+        p = SelfExcitingSizePredictor(omega=5.0)
+        recent = Cascade([0, 1, 2], [0.0, 0.25, 0.29])
+        stale = Cascade([0, 1, 2], [0.0, 0.02, 0.04])
+        assert p.predict_final_size(recent, 0.3) > p.predict_final_size(
+            stale, 0.3
+        )

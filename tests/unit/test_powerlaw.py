@@ -1,0 +1,69 @@
+"""Unit tests for power-law fitting and log binning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.powerlaw import fit_power_law, log_binned_histogram
+
+
+class TestFit:
+    def test_recovers_known_exponent(self):
+        rng = np.random.default_rng(0)
+        alpha_true = 2.5
+        # inverse-CDF sampling of a pure power law above x_min=1
+        u = rng.uniform(size=20000)
+        x = (1 - u) ** (-1 / (alpha_true - 1))
+        alpha, xmin = fit_power_law(x, x_min=1.0)
+        assert alpha == pytest.approx(alpha_true, rel=0.05)
+        assert xmin == 1.0
+
+    def test_default_xmin_is_minimum(self):
+        x = np.array([2.0, 3.0, 10.0])
+        _, xmin = fit_power_law(x)
+        assert xmin == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([]))
+
+    def test_rejects_nonpositive_xmin(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), x_min=0.0)
+
+    def test_rejects_insufficient_tail(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), x_min=100.0)
+
+    def test_ignores_nonpositive_values(self):
+        x = np.array([-1.0, 0.0, 2.0, 3.0, 4.0])
+        alpha, xmin = fit_power_law(x)
+        assert xmin == 2.0
+
+
+class TestLogBinnedHistogram:
+    def test_counts_total(self):
+        x = np.geomspace(1, 1000, 500)
+        centers, counts = log_binned_histogram(x, n_bins=10)
+        assert counts.sum() == 500
+        assert len(centers) == 10
+
+    def test_centers_geometric(self):
+        x = np.array([1.0, 10.0, 100.0])
+        centers, _ = log_binned_histogram(x, n_bins=4)
+        ratios = centers[1:] / centers[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_xmin_cutoff(self):
+        x = np.array([0.5, 1.0, 5.0, 50.0])
+        _, counts = log_binned_histogram(x, n_bins=3, x_min=1.0)
+        assert counts.sum() == 3  # 0.5 excluded
+
+    def test_single_value(self):
+        centers, counts = log_binned_histogram(np.array([5.0, 5.0]), n_bins=3)
+        assert counts.sum() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_binned_histogram(np.array([1.0]), n_bins=0)
+        with pytest.raises(ValueError):
+            log_binned_histogram(np.array([-1.0]))

@@ -1,0 +1,108 @@
+"""Unit tests for network reconstruction from embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reconstruction import (
+    predict_edges,
+    reconstruction_precision_recall,
+)
+from repro.embedding.model import EmbeddingModel
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def planted():
+    """A model whose rate matrix exactly encodes a known 4-node graph."""
+    # edges: 0->1 (rate 5), 1->2 (rate 4), 2->3 (rate 3); others ~0
+    A = np.array(
+        [
+            [5.0, 0.0, 0.0],
+            [0.0, 4.0, 0.0],
+            [0.0, 0.0, 3.0],
+            [0.0, 0.0, 0.0],
+        ]
+    )
+    B = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    model = EmbeddingModel(A, B)
+    graph = Graph(4, [0, 1, 2], [1, 2, 3])
+    return model, graph
+
+
+class TestPredictEdges:
+    def test_recovers_planted_edges_in_order(self, planted):
+        model, _ = planted
+        src, dst, rates = predict_edges(model, top_k=3)
+        assert list(zip(src.tolist(), dst.tolist())) == [(0, 1), (1, 2), (2, 3)]
+        assert np.all(np.diff(rates) <= 0)
+
+    def test_no_self_loops(self, planted):
+        model, _ = planted
+        src, dst, _ = predict_edges(model, top_k=12)
+        assert not np.any(src == dst)
+
+    def test_candidate_restriction(self, planted):
+        model, _ = planted
+        src, dst, _ = predict_edges(
+            model,
+            top_k=2,
+            candidate_src=np.array([2, 3]),
+            candidate_dst=np.array([3, 0]),
+        )
+        assert (src[0], dst[0]) == (2, 3)
+
+    def test_candidate_arrays_must_pair(self, planted):
+        model, _ = planted
+        with pytest.raises(ValueError):
+            predict_edges(model, top_k=1, candidate_src=np.array([0]))
+
+    def test_top_k_validation(self, planted):
+        model, _ = planted
+        with pytest.raises(ValueError):
+            predict_edges(model, top_k=0)
+
+    def test_top_k_clamped(self, planted):
+        model, _ = planted
+        src, _, _ = predict_edges(model, top_k=1000)
+        assert src.size == 12  # n(n-1) ordered pairs, no self-loops
+
+
+class TestPrecisionRecall:
+    def test_perfect_reconstruction(self, planted):
+        model, graph = planted
+        p, r = reconstruction_precision_recall(model, graph)
+        assert p == 1.0 and r == 1.0
+
+    def test_random_model_scores_low(self):
+        rng = np.random.default_rng(0)
+        model = EmbeddingModel(
+            rng.uniform(0, 1, (30, 4)), rng.uniform(0, 1, (30, 4))
+        )
+        src = rng.integers(0, 30, 40)
+        dst = (src + 1 + rng.integers(0, 28, 40)) % 30
+        graph = Graph(30, src, dst)
+        p, _ = reconstruction_precision_recall(model, graph)
+        # chance level = m / n(n-1) ≈ 0.046; allow generous noise band
+        assert p < 0.4
+
+    def test_default_k_equalizes_p_r(self, planted):
+        model, graph = planted
+        p, r = reconstruction_precision_recall(model, graph)
+        assert p == r  # k defaults to the true edge count
+
+    def test_node_count_mismatch(self, planted):
+        model, _ = planted
+        with pytest.raises(ValueError):
+            reconstruction_precision_recall(model, Graph.empty(5))
+
+    def test_empty_graph_rejected(self, planted):
+        model, _ = planted
+        with pytest.raises(ValueError):
+            reconstruction_precision_recall(model, Graph.empty(4))

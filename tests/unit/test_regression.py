@@ -1,0 +1,85 @@
+"""Unit tests for ridge regression and its metrics."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.regression import (
+    RidgeRegression,
+    mean_absolute_error,
+    r2_score,
+)
+
+
+class TestRidgeRegression:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        w_true = np.array([2.0, -1.0, 0.5])
+        y = X @ w_true + 4.0 + rng.normal(scale=0.01, size=200)
+        model = RidgeRegression(lam=1e-6).fit(X, y)
+        pred = model.predict(X)
+        assert r2_score(y, pred) > 0.999
+
+    def test_intercept_unpenalized(self):
+        X = np.zeros((50, 1))
+        y = np.full(50, 7.0)
+        model = RidgeRegression(lam=10.0).fit(X, y)
+        assert model.predict(np.zeros((1, 1)))[0] == pytest.approx(7.0)
+
+    def test_regularization_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0] * 3.0 + rng.normal(size=60)
+        w_small = RidgeRegression(lam=1e-6).fit(X, y).w
+        w_big = RidgeRegression(lam=100.0).fit(X, y).w
+        assert np.linalg.norm(w_big) < np.linalg.norm(w_small)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_negative_lam_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(lam=-1.0)
+
+    def test_constant_feature_safe(self):
+        X = np.hstack([np.ones((30, 1)), np.arange(30.0).reshape(-1, 1)])
+        y = np.arange(30.0)
+        model = RidgeRegression(lam=1e-6).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+
+class TestMetrics:
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        y = np.full(3, 5.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == 0.0
+
+    def test_r2_shape_validation(self):
+        with pytest.raises(ValueError):
+            r2_score(np.zeros(3), np.zeros(4))
+
+    def test_mae_known(self):
+        assert mean_absolute_error(
+            np.array([1.0, 2.0]), np.array([2.0, 0.0])
+        ) == pytest.approx(1.5)
+
+    def test_mae_empty(self):
+        assert mean_absolute_error(np.array([]), np.array([])) == 0.0

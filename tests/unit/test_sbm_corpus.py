@@ -1,0 +1,71 @@
+"""Unit tests for the SBM experiment corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sbm_corpus import make_sbm_experiment
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return make_sbm_experiment(
+        n_nodes=200, community_size=40, n_train=60, n_test=40, seed=0
+    )
+
+
+class TestExperimentStructure:
+    def test_split_sizes(self, exp):
+        assert len(exp.train) == 60 and len(exp.test) == 40
+        assert len(exp.cascades) == 100
+
+    def test_split_order_preserved(self, exp):
+        assert exp.cascades[0] == exp.train[0]
+        assert exp.cascades[60] == exp.test[0]
+
+    def test_membership_blocks(self, exp):
+        assert exp.membership.shape == (200,)
+        assert exp.planted_partition.n_communities == 5
+
+    def test_truth_dimensions(self, exp):
+        assert exp.truth.n_nodes == 200
+        assert exp.truth.n_topics == 10
+
+    def test_min_cascade_size(self, exp):
+        assert np.all(exp.cascades.sizes() >= 3)
+
+    def test_deterministic(self):
+        a = make_sbm_experiment(n_nodes=100, n_train=20, n_test=10, seed=5)
+        b = make_sbm_experiment(n_nodes=100, n_train=20, n_test=10, seed=5)
+        assert a.cascades == b.cascades
+        assert a.graph == b.graph
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            make_sbm_experiment(n_nodes=50, n_train=-1, n_test=5)
+
+
+class TestGenerativeProperties:
+    def test_cascades_respect_topology(self, exp):
+        """Every non-source infection must have an in-neighbor infected
+        earlier (the simulator can only spread along edges)."""
+        c = exp.cascades[0]
+        infected_before = set()
+        for v, t in c:
+            if infected_before:
+                preds = set(exp.graph.predecessors(v).tolist())
+                assert preds & infected_before, f"node {v} has no infected parent"
+            infected_before.add(v)
+
+    def test_community_local_spread(self, exp):
+        """Most infections stay in the seed's planted community."""
+        fracs = []
+        for c in exp.cascades:
+            m = exp.membership[c.nodes]
+            fracs.append(np.mean(m == m[0]))
+        assert np.mean(fracs) > 0.4
+
+    def test_size_spread(self, exp):
+        # Hub communities give a heavy-ish tail even on this small
+        # instance (the paper-scale corpus spans ~3-400 on 2000 nodes).
+        sizes = exp.cascades.sizes()
+        assert sizes.max() > 2 * np.median(sizes)

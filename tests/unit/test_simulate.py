@@ -1,0 +1,141 @@
+"""Unit tests for the continuous-time SI simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.simulate import CascadeSimulator, simulate_corpus
+from repro.embedding.model import EmbeddingModel
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def chain() -> Graph:
+    """0 -> 1 -> 2 -> 3, unit rates."""
+    return Graph(4, [0, 1, 2], [1, 2, 3])
+
+
+class TestSimulator:
+    def test_source_always_first(self, chain):
+        sim = CascadeSimulator(chain, window=10.0)
+        c = sim.simulate(0, seed=0)
+        assert c.source == 0
+        assert c.times[0] == 0.0
+
+    def test_deterministic_given_seed(self, chain):
+        sim = CascadeSimulator(chain, window=10.0)
+        assert sim.simulate(0, seed=5) == sim.simulate(0, seed=5)
+
+    def test_respects_topology(self, chain):
+        sim = CascadeSimulator(chain, window=100.0)
+        c = sim.simulate(2, seed=0)
+        assert set(c.nodes.tolist()) <= {2, 3}  # cannot go backwards
+
+    def test_window_truncates(self, chain):
+        sim = CascadeSimulator(chain, window=1e-9)
+        c = sim.simulate(0, seed=0)
+        assert c.size == 1  # no time for any transmission
+
+    def test_times_within_window(self, chain):
+        sim = CascadeSimulator(chain, window=2.0)
+        for seed in range(20):
+            c = sim.simulate(0, seed=seed, t0=5.0)
+            assert np.all(c.times <= 7.0 + 1e-12)
+            assert np.all(c.times >= 5.0)
+
+    def test_infection_order_follows_edges(self, chain):
+        sim = CascadeSimulator(chain, window=100.0)
+        c = sim.simulate(0, seed=1)
+        pos = {int(v): i for i, v in enumerate(c.nodes)}
+        for v in c.nodes:
+            v = int(v)
+            if v > 0 and v in pos and (v - 1) in pos:
+                assert pos[v - 1] < pos[v]  # chain order preserved
+
+    def test_max_size(self, chain):
+        sim = CascadeSimulator(chain, window=100.0)
+        c = sim.simulate(0, seed=2, max_size=2)
+        assert c.size <= 2
+
+    def test_zero_rate_edge_never_fires(self):
+        g = Graph(2, [0], [1], [0.0])
+        sim = CascadeSimulator(g, rates="weight", window=1e6)
+        c = sim.simulate(0, seed=0)
+        assert c.size == 1
+
+    def test_embedding_rates(self):
+        g = Graph(2, [0], [1])
+        A = np.array([[2.0], [0.0]])
+        B = np.array([[0.0], [3.0]])
+        sim = CascadeSimulator(g, rates=(A, B), window=100.0)
+        # rate = 6; expected delay 1/6 — transmission virtually certain
+        hits = sum(sim.simulate(0, seed=s).size == 2 for s in range(50))
+        assert hits == 50
+
+    def test_rate_array(self):
+        g = Graph(2, [0], [1])
+        sim = CascadeSimulator(g, rates=np.array([10.0]), window=100.0)
+        assert sim.simulate(0, seed=0).size == 2
+
+    def test_bad_rate_shapes(self):
+        g = Graph(2, [0], [1])
+        with pytest.raises(ValueError):
+            CascadeSimulator(g, rates=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            CascadeSimulator(g, rates=(np.zeros((3, 2)), np.zeros((2, 2))))
+
+    def test_negative_rates_rejected(self):
+        g = Graph(2, [0], [1])
+        with pytest.raises(ValueError):
+            CascadeSimulator(g, rates=np.array([-1.0]))
+
+    def test_bad_source(self, chain):
+        sim = CascadeSimulator(chain, window=1.0)
+        with pytest.raises(ValueError):
+            sim.simulate(99)
+
+    def test_unknown_rates_string(self, chain):
+        with pytest.raises(ValueError):
+            CascadeSimulator(chain, rates="distance")
+
+    def test_exponential_delay_distribution(self):
+        """Single edge with rate r: delay should be Exp(r)."""
+        g = Graph(2, [0], [1], [4.0])
+        sim = CascadeSimulator(g, window=1000.0)
+        delays = []
+        for s in range(400):
+            c = sim.simulate(0, seed=s)
+            if c.size == 2:
+                delays.append(c.times[1])
+        mean = np.mean(delays)
+        assert mean == pytest.approx(1 / 4.0, rel=0.15)
+
+
+class TestSimulateCorpus:
+    def test_count_and_universe(self, chain):
+        cs = simulate_corpus(chain, 10, window=5.0, seed=0)
+        assert len(cs) == 10
+        assert cs.n_nodes == 4
+
+    def test_min_size_enforced(self, chain):
+        cs = simulate_corpus(chain, 10, window=5.0, seed=0, min_size=2)
+        assert np.all(cs.sizes() >= 2)
+
+    def test_budget_exhaustion(self):
+        g = Graph.empty(3)  # no edges: cascades can never reach size 2
+        with pytest.raises(RuntimeError, match="attempts"):
+            simulate_corpus(g, 5, window=1.0, seed=0, min_size=2)
+
+    def test_explicit_sources(self, chain):
+        cs = simulate_corpus(
+            chain, 3, window=5.0, seed=0, sources=np.array([1, 1, 1])
+        )
+        assert all(c.source == 1 for c in cs)
+
+    def test_deterministic(self, chain):
+        a = simulate_corpus(chain, 5, window=5.0, seed=3)
+        b = simulate_corpus(chain, 5, window=5.0, seed=3)
+        assert a == b
+
+    def test_negative_count(self, chain):
+        with pytest.raises(ValueError):
+            simulate_corpus(chain, -1)

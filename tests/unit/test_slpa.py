@@ -1,0 +1,90 @@
+"""Unit tests for SLPA community detection."""
+
+import numpy as np
+import pytest
+
+from repro.community.partition import Partition
+from repro.community.slpa import slpa
+from repro.graphs.generators import stochastic_block_model
+from repro.graphs.graph import Graph
+
+
+class TestSLPABasics:
+    def test_returns_partition(self):
+        g = Graph(4, [0, 1, 2, 3], [1, 0, 3, 2])
+        p = slpa(g, seed=0)
+        assert isinstance(p, Partition)
+        assert p.n_nodes == 4
+
+    def test_two_cliques_separated(self):
+        # two mutually-connected triangles, no inter edges
+        edges = []
+        for clique in ([0, 1, 2], [3, 4, 5]):
+            for a in clique:
+                for b in clique:
+                    if a != b:
+                        edges.append((a, b))
+        g = Graph.from_edges(edges, n_nodes=6)
+        p = slpa(g, n_iterations=30, seed=1)
+        m = p.membership
+        assert m[0] == m[1] == m[2]
+        assert m[3] == m[4] == m[5]
+        assert m[0] != m[3]
+
+    def test_isolated_nodes_singleton(self):
+        g = Graph.empty(3)
+        p = slpa(g, seed=0)
+        assert p.n_communities == 3
+
+    def test_deterministic_given_seed(self):
+        g, _ = stochastic_block_model(60, 20, p_in=0.4, p_out=0.02, seed=5)
+        a = slpa(g, seed=9)
+        b = slpa(g, seed=9)
+        assert a == b
+
+    def test_empty_graph(self):
+        p = slpa(Graph.empty(0), seed=0)
+        assert p.n_nodes == 0
+
+    def test_return_memberships(self):
+        g = Graph(2, [0, 1], [1, 0])
+        p, mem = slpa(g, seed=0, return_memberships=True)
+        assert len(mem) == 2
+        for m in mem:
+            assert all(0 < f <= 1 for f in m.values())
+            # frequencies of kept labels cannot exceed 1 in total
+            assert sum(m.values()) <= 1.0 + 1e-9
+
+    def test_parameter_validation(self):
+        g = Graph.empty(2)
+        with pytest.raises(ValueError):
+            slpa(g, n_iterations=0)
+        with pytest.raises(ValueError):
+            slpa(g, r=0.0)
+        with pytest.raises(ValueError):
+            slpa(g, r=1.0)
+
+
+class TestSLPARecovery:
+    def test_recovers_planted_sbm_blocks(self):
+        g, membership = stochastic_block_model(
+            120, 30, p_in=0.4, p_out=0.005, seed=7
+        )
+        p = slpa(g, n_iterations=30, seed=11)
+        planted = Partition(membership)
+        assert p.agreement(planted) > 0.95
+
+    def test_weighted_edges_dominate(self):
+        # nodes 0-2 heavy clique; node 3 connected lightly to 0 but heavily to 4,5
+        edges = [
+            (0, 1, 10.0), (1, 0, 10.0), (1, 2, 10.0), (2, 1, 10.0),
+            (0, 2, 10.0), (2, 0, 10.0),
+            (3, 0, 0.1), (0, 3, 0.1),
+            (3, 4, 10.0), (4, 3, 10.0), (4, 5, 10.0), (5, 4, 10.0),
+            (3, 5, 10.0), (5, 3, 10.0),
+        ]
+        g = Graph.from_edges(edges, n_nodes=6)
+        p = slpa(g, n_iterations=40, seed=2)
+        m = p.membership
+        assert m[3] == m[4] == m[5]
+        assert m[3] != m[0]

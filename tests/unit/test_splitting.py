@@ -1,0 +1,83 @@
+"""Unit tests for sub-cascade splitting (Alg. 1 lines 1-11)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.community.partition import Partition
+from repro.parallel.splitting import split_cascades, subcorpus_for_community
+
+
+@pytest.fixture
+def corpus_and_partition():
+    cs = CascadeSet(6)
+    cs.append(Cascade([0, 3, 1, 4], [0.0, 0.1, 0.2, 0.3]))
+    cs.append(Cascade([2, 5], [0.0, 0.5]))
+    cs.append(Cascade([0, 1, 2], [0.0, 0.4, 0.8]))
+    part = Partition([0, 0, 0, 1, 1, 1])  # nodes 0-2 vs 3-5
+    return cs, part
+
+
+class TestSplitCascades:
+    def test_sub_cascade_contents(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        subs = split_cascades(cs, part, min_size=1)
+        # community 0 gets [0,1] from c0, [2] from c1, [0,1,2] from c2
+        sizes0 = sorted(c.size for c in subs[0])
+        assert sizes0 == [1, 2, 3]
+        sizes1 = sorted(c.size for c in subs[1])
+        assert sizes1 == [1, 2]
+
+    def test_min_size_drops_singletons(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        subs = split_cascades(cs, part, min_size=2)
+        assert all(c.size >= 2 for sub in subs for c in sub)
+
+    def test_times_preserved(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        subs = split_cascades(cs, part, min_size=1)
+        c0 = subs[0][0]
+        assert c0.nodes.tolist() == [0, 1]
+        assert c0.times.tolist() == [0.0, 0.2]
+
+    def test_order_preserved(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        subs = split_cascades(cs, part, min_size=1)
+        for sub in subs:
+            for c in sub:
+                assert np.all(np.diff(c.times) >= 0)
+
+    def test_total_infection_conservation(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        subs = split_cascades(cs, part, min_size=1)
+        total = sum(sub.total_infections() for sub in subs)
+        assert total == cs.total_infections()
+
+    def test_universe_mismatch(self, corpus_and_partition):
+        cs, _ = corpus_and_partition
+        with pytest.raises(ValueError):
+            split_cascades(cs, Partition([0, 1]))
+
+    def test_trivial_partition_identity(self, corpus_and_partition):
+        cs, _ = corpus_and_partition
+        subs = split_cascades(cs, Partition.trivial(6), min_size=1)
+        assert len(subs) == 1
+        assert subs[0].sizes().tolist() == cs.sizes().tolist()
+
+
+class TestSubcorpusRelabeling:
+    def test_relabel_roundtrip(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        subs = split_cascades(cs, part, min_size=1)
+        nodes = part.members(1)
+        local, mapping = subcorpus_for_community(subs[1], nodes)
+        assert local.n_nodes == 3
+        for lc, gc in zip(local, subs[1]):
+            assert np.array_equal(mapping[lc.nodes], gc.nodes)
+            assert np.array_equal(lc.times, gc.times)
+
+    def test_rejects_foreign_nodes(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        subs = split_cascades(cs, part, min_size=1)
+        with pytest.raises(ValueError, match="outside"):
+            subcorpus_for_community(subs[0], np.array([0, 1]))  # missing node 2

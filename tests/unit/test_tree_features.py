@@ -1,0 +1,60 @@
+"""Unit tests for the structural (tree) prediction features."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade
+from repro.embedding.model import EmbeddingModel
+from repro.prediction.features import EXTENDED_FEATURES, extract_features
+
+
+@pytest.fixture
+def model():
+    return EmbeddingModel.random(6, 3, scale=0.8, seed=0)
+
+
+class TestTreeFeatures:
+    def test_names_registered(self):
+        for name in ("depth", "breadth", "sviral"):
+            assert name in EXTENDED_FEATURES
+
+    def test_values_finite(self, model):
+        early = Cascade([0, 2, 4, 1], [0.0, 0.2, 0.4, 0.6])
+        f = extract_features(model, early, ["depth", "breadth", "sviral"])
+        assert np.all(np.isfinite(f))
+        assert f[0] >= 1  # at least one non-root infection
+        assert f[1] >= 1
+
+    def test_empty_prefix(self, model):
+        f = extract_features(model, Cascade([], []), ["depth", "breadth", "sviral"])
+        assert np.all(f == 0)
+
+    def test_single_adopter(self, model):
+        f = extract_features(model, Cascade([3], [0.0]), ["depth", "sviral"])
+        assert f[0] == 0 and f[1] == 0
+
+    def test_depth_bounded_by_size(self, model):
+        early = Cascade([0, 1, 2, 3, 4], np.linspace(0, 1, 5))
+        f = extract_features(model, early, ["depth", "breadth"])
+        assert f[0] <= 4
+        assert f[1] <= 5
+
+    def test_chain_model_yields_deep_tree(self):
+        # Rates force a chain: the on-rate (~10) maximizes the density
+        # r·exp(-r·dt) at dt = 0.1 against the tiny background rate.
+        on = np.sqrt(10.0)
+        A = np.eye(4) * on + 0.01
+        B = np.vstack(
+            [np.full(4, 0.01)]
+            + [np.eye(4)[i] * on + 0.01 for i in range(3)]
+        )
+        model = EmbeddingModel(A, B)
+        early = Cascade([0, 1, 2, 3], [0.0, 0.1, 0.2, 0.3])
+        f = extract_features(model, early, ["depth", "breadth"])
+        assert f[0] == 3.0
+        assert f[1] == 1.0
+
+    def test_combined_with_paper_features(self, model):
+        early = Cascade([0, 1, 2], [0.0, 0.3, 0.7])
+        f = extract_features(model, early, EXTENDED_FEATURES)
+        assert f.shape == (len(EXTENDED_FEATURES),)

@@ -1,0 +1,91 @@
+"""Unit tests for propagation-tree reconstruction and analytics."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.trees import (
+    map_infector_tree,
+    max_breadth,
+    structural_virality,
+    tree_depth,
+)
+from repro.cascades.types import Cascade
+from repro.embedding.model import EmbeddingModel
+
+
+@pytest.fixture
+def chain_model():
+    """Rates strongly favor the chain 0 -> 1 -> 2 -> 3."""
+    A = np.zeros((4, 3))
+    B = np.zeros((4, 3))
+    A[0, 0] = 5.0
+    B[1, 0] = 5.0
+    A[1, 1] = 5.0
+    B[2, 1] = 5.0
+    A[2, 2] = 5.0
+    B[3, 2] = 5.0
+    # small background so densities are well-defined for all pairs
+    return EmbeddingModel(A + 0.01, B + 0.01)
+
+
+class TestMapInfectorTree:
+    def test_chain_recovered(self, chain_model):
+        c = Cascade([0, 1, 2, 3], [0.0, 0.1, 0.2, 0.3])
+        parents = map_infector_tree(chain_model, c)
+        assert parents.tolist() == [-1, 0, 1, 2]
+
+    def test_seed_has_no_parent(self, chain_model):
+        c = Cascade([0, 1], [0.0, 0.5])
+        assert map_infector_tree(chain_model, c)[0] == -1
+
+    def test_ties_with_seed_are_roots(self, chain_model):
+        c = Cascade([0, 1, 2], [0.0, 0.0, 1.0])
+        parents = map_infector_tree(chain_model, c)
+        assert parents[0] == -1 and parents[1] == -1
+        assert parents[2] in (0, 1)
+
+    def test_empty_and_single(self, chain_model):
+        assert map_infector_tree(chain_model, Cascade([], [])).size == 0
+        assert map_infector_tree(chain_model, Cascade([2], [0.0])).tolist() == [-1]
+
+    def test_parents_point_backwards(self, chain_model):
+        c = Cascade([3, 0, 2, 1], [0.0, 0.2, 0.4, 0.6])
+        parents = map_infector_tree(chain_model, c)
+        for i, p in enumerate(parents):
+            assert p < i
+
+
+class TestTreeStats:
+    def test_chain_depth(self):
+        parents = np.array([-1, 0, 1, 2])
+        assert tree_depth(parents) == 3
+        assert max_breadth(parents) == 1
+
+    def test_star_breadth(self):
+        parents = np.array([-1, 0, 0, 0])
+        assert tree_depth(parents) == 1
+        assert max_breadth(parents) == 3
+
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert tree_depth(empty) == 0
+        assert max_breadth(empty) == 0
+        assert structural_virality(empty) == 0.0
+
+    def test_virality_chain_exceeds_star(self):
+        chain = np.array([-1, 0, 1, 2, 3, 4])
+        star = np.array([-1, 0, 0, 0, 0, 0])
+        assert structural_virality(chain) > structural_virality(star)
+
+    def test_virality_two_nodes(self):
+        assert structural_virality(np.array([-1, 0])) == pytest.approx(1.0)
+
+    def test_virality_star_value(self):
+        # star with center + 3 leaves: pairs (c,l)=1 x3, (l,l)=2 x3 -> 1.5
+        star = np.array([-1, 0, 0, 0])
+        assert structural_virality(star) == pytest.approx(1.5)
+
+    def test_forest_distance_through_virtual_root(self):
+        # two roots: distance between them = 2 (via virtual origin)
+        forest = np.array([-1, -1])
+        assert structural_virality(forest) == pytest.approx(2.0)

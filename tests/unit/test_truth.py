@@ -1,0 +1,69 @@
+"""Unit tests for ground-truth embedding construction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.truth import community_aligned_embeddings
+
+
+class TestCommunityAlignment:
+    def test_on_topic_dominates(self):
+        membership = np.array([0, 0, 1, 1, 2, 2])
+        m = community_aligned_embeddings(membership, n_topics=3, noise=0.0, seed=0)
+        for v, c in enumerate(membership):
+            assert np.argmax(m.A[v]) == c
+            assert np.argmax(m.B[v]) == c
+
+    def test_topic_wraparound(self):
+        membership = np.array([0, 1, 2, 3])
+        m = community_aligned_embeddings(membership, n_topics=2, noise=0.0, seed=0)
+        assert np.argmax(m.A[2]) == 0  # community 2 -> topic 0
+        assert np.argmax(m.A[3]) == 1
+
+    def test_same_community_high_rate(self):
+        membership = np.array([0, 0, 1, 1])
+        m = community_aligned_embeddings(
+            membership, n_topics=2, on_topic=1.0, off_topic=0.01, noise=0.0, seed=0
+        )
+        intra = m.hazard_rate(0, 1)
+        inter = m.hazard_rate(0, 2)
+        assert intra > 20 * inter
+
+    def test_influence_scale_applied(self):
+        membership = np.zeros(3, dtype=int)
+        scale = np.array([1.0, 2.0, 4.0])
+        m = community_aligned_embeddings(
+            membership, n_topics=1, noise=0.0, influence_scale=scale, seed=0
+        )
+        assert m.A[1, 0] == pytest.approx(2 * m.A[0, 0])
+        assert m.A[2, 0] == pytest.approx(4 * m.A[0, 0])
+        # selectivity untouched
+        assert m.B[1, 0] == pytest.approx(m.B[0, 0])
+
+    def test_noise_bounds(self):
+        membership = np.zeros(50, dtype=int)
+        m = community_aligned_embeddings(
+            membership, n_topics=1, on_topic=1.0, noise=0.2, seed=1
+        )
+        assert np.all(m.A[:, 0] >= 0.8) and np.all(m.A[:, 0] <= 1.2)
+
+    def test_deterministic(self):
+        membership = np.array([0, 1, 0, 1])
+        a = community_aligned_embeddings(membership, n_topics=2, seed=3)
+        b = community_aligned_embeddings(membership, n_topics=2, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        membership = np.zeros(3, dtype=int)
+        with pytest.raises(ValueError):
+            community_aligned_embeddings(membership, 2, on_topic=0.1, off_topic=0.5)
+        with pytest.raises(ValueError):
+            community_aligned_embeddings(membership, 2, noise=1.0)
+        with pytest.raises(ValueError):
+            community_aligned_embeddings(
+                membership, 2, influence_scale=np.ones(5)
+            )
+        with pytest.raises(ValueError):
+            community_aligned_embeddings(
+                membership, 2, influence_scale=-np.ones(3)
+            )

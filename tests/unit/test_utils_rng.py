@@ -1,0 +1,82 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**60)
+        b = as_generator(2).integers(0, 2**60)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seedsequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        g = as_generator(seq)
+        assert isinstance(g, np.random.Generator)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+    def test_numpy_integer_accepted(self):
+        g = as_generator(np.int64(7))
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_independence_of_streams(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.integers(0, 2**60) for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.integers(0, 2**60) for g in spawn_generators(11, 4)]
+        b = [g.integers(0, 2**60) for g in spawn_generators(11, 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_from_generator(self):
+        g = np.random.default_rng(3)
+        gens = spawn_generators(g, 2)
+        assert len(gens) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(10, 3) != derive_seed(10, 4)
+
+    def test_seed_changes_seed(self):
+        assert derive_seed(10, 3) != derive_seed(11, 3)
+
+    def test_in_int31_range(self):
+        for salt in range(20):
+            s = derive_seed(123, salt)
+            assert 0 <= s < 2**31 - 1

@@ -1,0 +1,63 @@
+"""Unit tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, time_callable
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            sum(range(100))
+        assert sw.elapsed > 0
+        assert sw.laps == 1
+
+    def test_multiple_laps(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                pass
+        assert sw.laps == 3
+        assert sw.mean_lap == pytest.approx(sw.elapsed / 3)
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0 and sw.laps == 0
+
+    def test_mean_lap_empty(self):
+        assert Stopwatch().mean_lap == 0.0
+
+    def test_stop_returns_lap(self):
+        sw = Stopwatch()
+        sw.start()
+        lap = sw.stop()
+        assert lap >= 0
+        assert lap == sw.elapsed
+
+
+class TestTimeCallable:
+    def test_positive(self):
+        assert time_callable(lambda: sum(range(1000))) > 0
+
+    def test_repeats_take_min(self):
+        t1 = time_callable(lambda: None, repeats=5)
+        assert t1 >= 0
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_shape,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_sorted_times,
+)
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.001, "x")
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_probability_accepts(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan")])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+    def test_fraction_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f")
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "f")
+        assert check_fraction(0.3, "f") == 0.3
+
+
+class TestArrayChecks:
+    def test_shape_ok(self):
+        a = np.zeros((3, 4))
+        assert check_array_shape(a, (3, 4), "a") is a
+
+    def test_wildcard(self):
+        a = np.zeros((3, 4))
+        check_array_shape(a, (None, 4), "a")
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_array_shape(np.zeros(3), (3, 1), "a")
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            check_array_shape(np.zeros((3, 4)), (3, 5), "a")
+
+    def test_non_array(self):
+        with pytest.raises(TypeError):
+            check_array_shape([1, 2], (2,), "a")
+
+    def test_sorted_times_ok(self):
+        t = check_sorted_times([0.0, 0.5, 0.5, 1.0])
+        assert t.dtype == np.float64
+
+    def test_sorted_times_rejects_descending(self):
+        with pytest.raises(ValueError):
+            check_sorted_times([1.0, 0.5])
+
+    def test_sorted_times_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_sorted_times([0.0, float("nan")])
+
+    def test_sorted_times_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_sorted_times(np.zeros((2, 2)))

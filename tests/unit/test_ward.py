@@ -1,0 +1,122 @@
+"""Unit tests for Ward agglomerative clustering (scipy as oracle)."""
+
+import numpy as np
+import pytest
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.spatial.distance import squareform
+
+from repro.clustering.ward import Dendrogram, ward_linkage
+
+
+def random_distance_matrix(n, seed):
+    """Euclidean distances of random points (guarantees Ward validity)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt((diff**2).sum(-1))
+
+
+class TestWardLinkage:
+    def test_merge_count(self):
+        D = random_distance_matrix(10, 0)
+        d = ward_linkage(D)
+        assert d.Z.shape == (9, 4)
+        assert d.n_leaves == 10
+
+    def test_heights_match_scipy(self):
+        D = random_distance_matrix(25, 1)
+        ours = np.sort(ward_linkage(D).heights())
+        theirs = np.sort(linkage(squareform(D, checks=False), method="ward")[:, 2])
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_heights_monotone_after_sorting_by_merge(self):
+        # Ward is reducible: the sequence of merge heights found by
+        # NN-chain, once sorted, equals the true agglomeration order.
+        D = random_distance_matrix(30, 2)
+        h = np.sort(ward_linkage(D).heights())
+        assert np.all(np.diff(h) >= -1e-12)
+
+    def test_cut_matches_scipy_clusters(self):
+        D = random_distance_matrix(20, 3)
+        ours = ward_linkage(D).cut(4)
+        Z = linkage(squareform(D, checks=False), method="ward")
+        theirs = fcluster(Z, t=4, criterion="maxclust")
+        # compare partitions up to relabeling via pair agreement
+        from repro.community.partition import Partition
+
+        assert Partition(ours).agreement(Partition(theirs)) == 1.0
+
+    def test_two_obvious_clusters(self):
+        # points at 0 and at 100: clean 2-cut
+        pts = np.array([0.0, 0.1, 0.2, 100.0, 100.1, 100.2])
+        D = np.abs(pts[:, None] - pts[None, :])
+        d = ward_linkage(D)
+        labels = d.cut(2)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_final_merge_count_is_n(self):
+        D = random_distance_matrix(12, 4)
+        d = ward_linkage(D)
+        assert int(d.Z[-1, 3]) == 12
+
+    def test_trivial_inputs(self):
+        assert ward_linkage(np.zeros((1, 1))).n_leaves == 1
+        assert ward_linkage(np.zeros((0, 0))).n_leaves == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            ward_linkage(np.zeros((2, 3)))
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            ward_linkage(bad)
+        bad_diag = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            ward_linkage(bad_diag)
+
+
+class TestDendrogram:
+    def test_cut_extremes(self):
+        D = random_distance_matrix(8, 5)
+        d = ward_linkage(D)
+        assert np.unique(d.cut(1)).size == 1
+        assert np.unique(d.cut(8)).size == 8
+
+    def test_cut_validation(self):
+        d = ward_linkage(random_distance_matrix(5, 6))
+        with pytest.raises(ValueError):
+            d.cut(0)
+        with pytest.raises(ValueError):
+            d.cut(6)
+
+    def test_cut_height_zero_gives_leaves(self):
+        d = ward_linkage(random_distance_matrix(6, 7))
+        labels = d.cut_height(-1.0)
+        assert np.unique(labels).size == 6
+
+    def test_cut_height_huge_gives_one(self):
+        d = ward_linkage(random_distance_matrix(6, 8))
+        assert np.unique(d.cut_height(1e9)).size == 1
+
+    def test_top_merges_sorted(self):
+        d = ward_linkage(random_distance_matrix(15, 9))
+        tm = d.top_merges(5)
+        heights = [h for h, _ in tm]
+        assert heights == sorted(heights, reverse=True)
+        assert tm[0][1] == 15  # root merge contains all leaves
+
+    def test_render_text_contains_root(self):
+        d = ward_linkage(random_distance_matrix(6, 10))
+        text = d.render_text(max_depth=2)
+        assert ", 6]" in text
+
+    def test_render_single_leaf(self):
+        d = ward_linkage(np.zeros((1, 1)))
+        assert "leaf" in d.render_text()
+
+    def test_bad_Z_shape(self):
+        with pytest.raises(ValueError):
+            Dendrogram(np.zeros((3, 2)), 4)
+        with pytest.raises(ValueError):
+            Dendrogram(np.zeros((2, 4)), 4)
