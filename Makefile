@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check fast test bench bench-dispatch
+
+## tier-1 gate: full test suite, fail fast (what CI runs)
+check:
+	$(PYTHON) -m pytest -x -q
+
+## quick dev loop: skip slow (multiprocess-pool / benchmark) tests
+fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+test: check
+
+## regenerate every figure bench (CI scale; REPRO_BENCH_SCALE=paper for full)
+bench:
+	$(PYTHON) -m pytest -x -q benchmarks
+
+## arena-vs-legacy dispatch benchmark; writes BENCH_parallel.json
+bench-dispatch:
+	$(PYTHON) -m pytest -x -q benchmarks/test_perf_dispatch.py

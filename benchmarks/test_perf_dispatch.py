@@ -1,0 +1,181 @@
+"""Dispatch-overhead benchmark: zero-copy arena vs legacy pickling.
+
+Measures what the parallel engine pays *around* the numerics at each
+merge-tree level — payload serialization volume and time, parent-side
+build work, and wall-clock — for the two multiprocess dispatch paths:
+
+* **legacy**: every task pickles its sub-cascade array lists to the
+  workers (the pre-arena engine);
+* **arena**: the corpus lives in a shared-memory
+  :class:`~repro.parallel.arena.CorpusArena`, each level's split in a
+  :class:`~repro.parallel.arena.LevelSelection`, and a task ships as a
+  tuple of index ranges.
+
+Both runs use 4 workers on the synthetic SBM corpus (the paper's §VI-A
+instance) and must land bit-identical to :class:`SerialBackend` — the
+speedup would be meaningless if the arena changed the numerics.  The
+level-by-level numbers go to ``BENCH_parallel.json`` at the repo root
+(plus the usual ``benchmarks/results`` text dump).
+
+Dispatch overhead is accounted as *payload pickle time + parent-side
+build time*: the serialization cost is measured explicitly by one extra
+dumps() pass over the exact payload tuples (``profile_dispatch=True``),
+which is the component the arena is designed to eliminate.  Worker
+compute is reported for context, not compared — on this single-core
+machine, 4 timesharing workers make wall-minus-compute meaningless.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _common import save_result
+
+from repro import MergeTree, make_sbm_experiment
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig
+from repro.parallel.backends import MultiprocessBackend, SerialBackend
+from repro.parallel.hierarchical import HierarchicalInference
+
+pytestmark = pytest.mark.slow  # spawns 4-worker pools; keep out of tier-1
+
+ROOT = Path(__file__).parent.parent
+N_WORKERS = 4
+
+
+def _world(scale):
+    exp = make_sbm_experiment(
+        n_nodes=scale.speedup_nodes,
+        community_size=40,
+        n_train=max(scale.speedup_cascade_counts),
+        n_test=0,
+        rate_scale=0.85,
+        hub_communities=False,
+        seed=1234,
+    )
+    tree = MergeTree(exp.planted_partition, stop_at=4)
+    cfg = OptimizerConfig(max_iters=60)
+    return exp, tree, cfg
+
+
+def _fit(exp, tree, cfg, backend):
+    model = EmbeddingModel.random(exp.train.n_nodes, 10, seed=77)
+    HierarchicalInference(tree, cfg, backend).fit(model, exp.train)
+    return model
+
+
+def _overhead(profile):
+    """Per-level dispatch overhead: pickle+IPC payload cost + build work."""
+    return (profile.payload_pickle_seconds or 0.0) + profile.build_seconds
+
+
+def test_dispatch_overhead_arena_vs_legacy(scale):
+    exp, tree, cfg = _world(scale)
+
+    m_serial = _fit(exp, tree, cfg, SerialBackend())
+
+    runs = {}
+    for mode, use_arena in (("legacy", False), ("arena", True)):
+        with MultiprocessBackend(
+            n_workers=N_WORKERS, use_arena=use_arena, profile_dispatch=True
+        ) as backend:
+            model = _fit(exp, tree, cfg, backend)
+            runs[mode] = (model, list(backend.level_profiles))
+
+    # Parallelism must change nothing: bit-identical final embeddings.
+    for mode, (model, _) in runs.items():
+        assert np.array_equal(m_serial.A, model.A), f"{mode} diverged from serial"
+        assert np.array_equal(m_serial.B, model.B), f"{mode} diverged from serial"
+
+    levels = []
+    for lvl, (p_leg, p_arn) in enumerate(
+        zip(runs["legacy"][1], runs["arena"][1])
+    ):
+        assert p_leg.mode == "legacy" and p_arn.mode == "arena"
+        levels.append(
+            {
+                "level": lvl,
+                "n_tasks": p_leg.n_tasks,
+                "legacy": {
+                    "payload_bytes": p_leg.payload_bytes,
+                    "payload_pickle_seconds": p_leg.payload_pickle_seconds,
+                    "build_seconds": p_leg.build_seconds,
+                    "dispatch_overhead_seconds": _overhead(p_leg),
+                    "wall_seconds": p_leg.wall_seconds,
+                    "compute_seconds": p_leg.compute_seconds,
+                },
+                "arena": {
+                    "payload_bytes": p_arn.payload_bytes,
+                    "payload_pickle_seconds": p_arn.payload_pickle_seconds,
+                    "build_seconds": p_arn.build_seconds,
+                    "dispatch_overhead_seconds": _overhead(p_arn),
+                    "wall_seconds": p_arn.wall_seconds,
+                    "compute_seconds": p_arn.compute_seconds,
+                },
+            }
+        )
+
+    tot = {
+        m: {
+            "payload_bytes": sum(l[m]["payload_bytes"] for l in levels),
+            "payload_pickle_seconds": sum(
+                l[m]["payload_pickle_seconds"] for l in levels
+            ),
+            "dispatch_overhead_seconds": sum(
+                l[m]["dispatch_overhead_seconds"] for l in levels
+            ),
+            "wall_seconds": sum(l[m]["wall_seconds"] for l in levels),
+        }
+        for m in ("legacy", "arena")
+    }
+    bytes_ratio = tot["legacy"]["payload_bytes"] / max(1, tot["arena"]["payload_bytes"])
+    pickle_ratio = tot["legacy"]["payload_pickle_seconds"] / max(
+        1e-12, tot["arena"]["payload_pickle_seconds"]
+    )
+    overhead_ratio = tot["legacy"]["dispatch_overhead_seconds"] / max(
+        1e-12, tot["arena"]["dispatch_overhead_seconds"]
+    )
+
+    report = {
+        "scale": scale.name,
+        "n_workers": N_WORKERS,
+        "n_nodes": scale.speedup_nodes,
+        "n_cascades": max(scale.speedup_cascade_counts),
+        "bit_identical_to_serial": True,
+        "levels": levels,
+        "totals": tot,
+        "reduction": {
+            "payload_bytes_ratio": bytes_ratio,
+            "payload_pickle_seconds_ratio": pickle_ratio,
+            "dispatch_overhead_ratio": overhead_ratio,
+        },
+    }
+    (ROOT / "BENCH_parallel.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"dispatch benchmark ({scale.name} scale, {N_WORKERS} workers, "
+        f"{scale.speedup_nodes} nodes, {max(scale.speedup_cascade_counts)} cascades)",
+        f"{'lvl':>3} {'tasks':>5} {'legacy B':>10} {'arena B':>9} "
+        f"{'legacy ovh s':>12} {'arena ovh s':>11}",
+    ]
+    for l in levels:
+        lines.append(
+            f"{l['level']:>3} {l['n_tasks']:>5} "
+            f"{l['legacy']['payload_bytes']:>10} {l['arena']['payload_bytes']:>9} "
+            f"{l['legacy']['dispatch_overhead_seconds']:>12.4f} "
+            f"{l['arena']['dispatch_overhead_seconds']:>11.4f}"
+        )
+    lines.append(
+        f"totals: payload bytes {bytes_ratio:.1f}x smaller, "
+        f"pickle time {pickle_ratio:.1f}x faster, "
+        f"dispatch overhead {overhead_ratio:.1f}x lower"
+    )
+    save_result("bench_parallel_dispatch", "\n".join(lines))
+
+    # Acceptance: per-level pickle+IPC dispatch overhead reduced >= 3x.
+    assert bytes_ratio >= 3.0, f"payload bytes only {bytes_ratio:.2f}x smaller"
+    assert overhead_ratio >= 3.0, f"dispatch overhead only {overhead_ratio:.2f}x lower"

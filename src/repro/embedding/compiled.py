@@ -83,6 +83,66 @@ class CompiledCorpus:
         ce = np.concatenate(ce_l)
         return cls(nodes, times, starts, ends, cb, ce, starts > cb)
 
+    @classmethod
+    def from_arena(
+        cls,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        offsets: np.ndarray,
+    ) -> "CompiledCorpus":
+        """Compile a flat CSR sub-corpus without materializing ``Cascade``s.
+
+        The zero-copy path of the parallel engine: *nodes*/*times* are the
+        concatenated (already time-sorted) sub-cascades a worker gathered
+        from the shared-memory arena, *offsets* the ``(S+1,)`` sub-cascade
+        boundaries.  Produces bit-identical structure to
+        :meth:`from_cascades` over the same sub-cascades — including the
+        skip of size-<2 sub-cascades — but with a fixed number of
+        vectorized passes instead of a Python loop per cascade.
+        """
+        nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        sizes = np.diff(offsets)
+        if np.any(sizes < 2):
+            # Compact away sub-cascades that carry no likelihood signal.
+            keep = sizes >= 2
+            mask = np.repeat(keep, sizes)
+            nodes = nodes[mask]
+            times = times[mask]
+            sizes = sizes[keep]
+            offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+        M = int(nodes.size)
+        if M == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            return cls(
+                empty_i,
+                np.empty(0, dtype=np.float64),
+                empty_i,
+                empty_i,
+                empty_i,
+                empty_i,
+                np.empty(0, dtype=bool),
+            )
+        idx = np.arange(M, dtype=np.int64)
+        cb = np.repeat(offsets[:-1], sizes)
+        ce = np.repeat(offsets[1:], sizes)
+        # Tie-group starts: first position of each run of equal times
+        # within a cascade (== searchsorted(t, t, "left") per cascade).
+        is_first = np.empty(M, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = times[1:] != times[:-1]
+        is_first[offsets[:-1]] = True
+        starts = np.maximum.accumulate(np.where(is_first, idx, 0))
+        # Tie-group ends: one past the last equal-time position.
+        is_last = np.empty(M, dtype=bool)
+        is_last[M - 1] = True
+        is_last[:-1] = times[1:] != times[:-1]
+        is_last[offsets[1:] - 1] = True
+        ends = np.minimum.accumulate(np.where(is_last, idx + 1, M)[::-1])[::-1]
+        return cls(nodes, times, starts, ends, cb, ce, starts > cb)
+
     @property
     def n_infections(self) -> int:
         return int(self.nodes.size)

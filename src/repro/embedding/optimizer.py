@@ -20,7 +20,7 @@ splitting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -130,7 +130,7 @@ class ProjectedGradientAscent:
     def fit(
         self,
         model: EmbeddingModel,
-        cascades: CascadeSet,
+        cascades: Union[CascadeSet, CompiledCorpus],
         update_rows: Optional[np.ndarray] = None,
         callback: Optional[Callable[[int, float], None]] = None,
     ) -> FitResult:
@@ -142,7 +142,10 @@ class ProjectedGradientAscent:
             Updated in place.
         cascades:
             Training corpus (already split into sub-cascades when running
-            per community).
+            per community).  A pre-built :class:`CompiledCorpus` is
+            accepted directly — the parallel engine's zero-copy path
+            compiles worker-side from the shared-memory arena (and caches
+            the result), so re-compiling here would waste the savings.
         update_rows:
             Optional boolean mask or integer index array restricting which
             embedding rows may change (block-coordinate mode).  Rows outside
@@ -157,7 +160,13 @@ class ProjectedGradientAscent:
         """
         cfg = self.config
         n = model.n_nodes
-        if cascades.n_nodes > n:
+        if isinstance(cascades, CompiledCorpus):
+            if cascades.n_infections and int(cascades.nodes.max()) >= n:
+                raise ValueError(
+                    f"compiled corpus references node {int(cascades.nodes.max())} "
+                    f"but model has {n} rows"
+                )
+        elif cascades.n_nodes > n:
             raise ValueError(
                 f"cascades cover {cascades.n_nodes} nodes but model has {n} rows"
             )
@@ -175,7 +184,10 @@ class ProjectedGradientAscent:
 
         # Cascade structure is static across iterations: compile once,
         # evaluate each pass with a fixed number of vectorized NumPy ops.
-        corpus = CompiledCorpus.from_cascades(cascades)
+        if isinstance(cascades, CompiledCorpus):
+            corpus = cascades
+        else:
+            corpus = CompiledCorpus.from_cascades(cascades)
         gradA = np.zeros_like(model.A)
         gradB = np.zeros_like(model.B)
         result = FitResult()

@@ -19,11 +19,18 @@ core, the *scaling* figures are regenerated through
 with measured per-infection gradient costs (see DESIGN.md §3.2).
 """
 
-from repro.parallel.splitting import split_cascades, subcorpus_for_community
+from repro.parallel.splitting import (
+    PositionSplit,
+    split_cascades,
+    split_positions,
+    subcorpus_for_community,
+)
+from repro.parallel.arena import CorpusArena, LevelSelection
 from repro.parallel.backends import (
     Backend,
     BlockResult,
     BlockTask,
+    DispatchStats,
     MultiprocessBackend,
     SerialBackend,
     run_block_task,
@@ -35,6 +42,7 @@ from repro.parallel.hierarchical import (
 )
 from repro.parallel.costmodel import (
     CostModelParams,
+    DispatchCostEstimator,
     ParallelCostModel,
     lpt_makespan,
 )
@@ -42,13 +50,19 @@ from repro.parallel.hogwild import HogwildConfig, hogwild_fit
 
 __all__ = [
     "split_cascades",
+    "split_positions",
+    "PositionSplit",
     "subcorpus_for_community",
+    "CorpusArena",
+    "LevelSelection",
     "Backend",
     "SerialBackend",
     "MultiprocessBackend",
     "BlockTask",
     "BlockResult",
+    "DispatchStats",
     "run_block_task",
+    "DispatchCostEstimator",
     "HierarchicalInference",
     "HierarchicalResult",
     "LevelStats",

@@ -7,24 +7,41 @@ then fights the parent's unlink — double unregisters raise KeyErrors in
 the tracker, missed ones print leak warnings at exit.  The standard
 workaround is to suppress registration for the duration of the attach;
 the parent, which created the segment, remains its sole tracked owner.
+
+The suppression is a monkeypatch of ``resource_tracker.register``, which
+is process-global state: two threads attaching concurrently could each
+save the other's patched function as "original" and leave the no-op
+permanently installed.  A module-level lock serializes the patch window
+(attaching is cheap — a shm_open + mmap — so the critical section is
+microseconds).
 """
 
 from __future__ import annotations
 
+import threading
 from multiprocessing import resource_tracker, shared_memory
 
 __all__ = ["attach_untracked"]
 
+#: Serializes the resource-tracker monkeypatch across threads.
+_ATTACH_LOCK = threading.Lock()
+
 
 def attach_untracked(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing shared-memory segment without tracking it."""
-    original = resource_tracker.register
-    try:
-        resource_tracker.register = (
-            lambda n, rtype: None
-            if rtype == "shared_memory"
-            else original(n, rtype)
-        )
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+    """Attach to an existing shared-memory segment without tracking it.
+
+    Thread-safe: the temporary ``resource_tracker.register`` patch is
+    process-global, so concurrent attaches are serialized under a module
+    lock to keep the save/restore pairs from interleaving.
+    """
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        try:
+            resource_tracker.register = (
+                lambda n, rtype: None
+                if rtype == "shared_memory"
+                else original(n, rtype)
+            )
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original

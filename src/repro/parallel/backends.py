@@ -14,13 +14,34 @@ in *where* tasks run:
   disjoint, so writes touch disjoint row blocks — the write-write
   conflict freedom of §IV-B — and no locks are needed.
 
-Both produce bit-identical results for the same task inputs because the
-block optimizer is deterministic given its initial rows.
+The multiprocess backend has two dispatch paths:
+
+* **arena** (default when the driver called :meth:`Backend.prepare`): the
+  corpus lives in a :class:`~repro.parallel.arena.CorpusArena` and each
+  level's split in a :class:`~repro.parallel.arena.LevelSelection`, both
+  in shared memory; a task ships as a tuple of index ranges, and workers
+  compile (and cache) their sub-corpus directly from the shared buffers.
+* **legacy**: each task pickles its sub-cascade array lists to the worker
+  — kept for direct ``run_level`` callers and as the baseline the
+  dispatch benchmark measures against.
+
+Either way, tasks are dispatched longest-predicted-first over
+``imap_unordered`` (LPT order from
+:class:`~repro.parallel.costmodel.DispatchCostEstimator`), so the level's
+straggler starts as early as possible instead of wherever ``Pool.map``'s
+chunking happened to place it.
+
+All paths produce bit-identical results for the same task inputs because
+the block optimizer is deterministic given its initial rows.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
+import time
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -28,13 +49,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cascades.types import Cascade, CascadeSet
+from repro.embedding.compiled import CompiledCorpus
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.optimizer import OptimizerConfig, ProjectedGradientAscent
+from repro.parallel.arena import ArenaMeta, CorpusArena, LevelSelection, SelectionMeta
 from repro.utils.timing import Stopwatch
 
 __all__ = [
     "BlockTask",
     "BlockResult",
+    "DispatchStats",
     "run_block_task",
     "Backend",
     "SerialBackend",
@@ -51,28 +75,47 @@ class BlockTask:
     community_id:
         Dense community id at this level.
     nodes:
-        Global node ids of the community (sorted).
+        Global node ids of the community (sorted ascending).
     cascade_nodes, cascade_times:
-        The community's sub-cascades in **local** ids — stored as plain
-        array lists so the task pickles cheaply to workers.
+        The community's sub-cascades in **local** ids — the materialized
+        (legacy / serial) representation.  ``None`` for arena-backed tasks,
+        whose corpus is addressed by index ranges instead.
     A_rows, B_rows:
         Initial (len(nodes), K) embedding rows (level *i* output seeds
         level *i+1*, Alg. 2).
     config:
         Optimizer hyper-parameters.
+    level:
+        Merge-tree level this task belongs to (cache/bookkeeping key).
+    arena_positions:
+        For arena-backed tasks: flat positions into the corpus arena of
+        this community's sub-cascade infections (grouped by sub-cascade,
+        time order preserved).
+    arena_sub_offsets:
+        For arena-backed tasks: ``(s+1,)`` sub-cascade boundaries within
+        ``arena_positions`` (first entry 0).
     """
 
     community_id: int
     nodes: np.ndarray
-    cascade_nodes: List[np.ndarray]
-    cascade_times: List[np.ndarray]
+    cascade_nodes: Optional[List[np.ndarray]]
+    cascade_times: Optional[List[np.ndarray]]
     A_rows: np.ndarray
     B_rows: np.ndarray
     config: OptimizerConfig
+    level: int = 0
+    arena_positions: Optional[np.ndarray] = None
+    arena_sub_offsets: Optional[np.ndarray] = None
+
+    @property
+    def is_arena_backed(self) -> bool:
+        return self.arena_positions is not None
 
     @property
     def n_infections(self) -> int:
         """Total infections across the task's sub-cascades (workload proxy)."""
+        if self.arena_positions is not None:
+            return int(self.arena_positions.size)
         return int(sum(len(n) for n in self.cascade_nodes))
 
 
@@ -91,8 +134,36 @@ class BlockResult:
     work_units: int = 0
 
 
+@dataclass
+class DispatchStats:
+    """Per-level dispatch accounting recorded by :class:`MultiprocessBackend`.
+
+    ``overhead_seconds`` is the level's wall-clock minus the compute time
+    the workers measured for themselves — i.e. everything the parallel
+    harness *added*: payload pickling, IPC, shared-memory (re)writes,
+    scheduling, and result collection.
+    """
+
+    mode: str  # "arena" | "legacy" | "empty"
+    n_tasks: int
+    wall_seconds: float
+    compute_seconds: float
+    build_seconds: float
+    payload_bytes: Optional[int] = None
+    payload_pickle_seconds: Optional[float] = None
+
+    @property
+    def overhead_seconds(self) -> float:
+        return max(0.0, self.wall_seconds - self.compute_seconds)
+
+
 def run_block_task(task: BlockTask) -> BlockResult:
-    """Execute one block task (module-level so it pickles for Pool.map)."""
+    """Execute one block task (module-level so it pickles for the pool)."""
+    if task.cascade_nodes is None or task.cascade_times is None:
+        raise ValueError(
+            "arena-backed BlockTask has no materialized cascades; "
+            "run it through MultiprocessBackend's arena dispatch"
+        )
     sw = Stopwatch()
     with sw:
         m = task.nodes.size
@@ -118,6 +189,16 @@ def run_block_task(task: BlockTask) -> BlockResult:
 class Backend:
     """Interface: run a level's block tasks, return their results."""
 
+    def prepare(self, cascades: CascadeSet) -> Optional[CorpusArena]:
+        """Offer the full corpus before the first level runs.
+
+        Backends that can serve zero-copy dispatch publish the corpus to
+        shared memory and return the :class:`CorpusArena`; the driver then
+        builds index-based (arena-backed) tasks.  The default declines, so
+        the driver materializes sub-cascades as before.
+        """
+        return None
+
     def run_level(self, tasks: Sequence[BlockTask]) -> List[BlockResult]:
         raise NotImplementedError
 
@@ -138,14 +219,151 @@ class SerialBackend(Backend):
         return [run_block_task(t) for t in tasks]
 
 
-def _mp_worker(args: Tuple) -> Tuple:
-    """Worker entry: attach shared A/B, run the block, scatter rows back.
+# --------------------------------------------------------------------- #
+# Worker-side state (per worker process, populated lazily)
+# --------------------------------------------------------------------- #
 
-    Receives only metadata + cascade arrays; the embedding rows travel
-    through shared memory, so per-task pickling cost is proportional to the
-    community's *cascade* volume, not the embedding size.
+#: shm name -> attached SharedMemory, kept open across tasks/levels.
+_ATTACHMENTS: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+_ATTACHMENTS_MAX = 16
+
+#: selection digest -> {community_id: (CompiledCorpus, raw_infections)}.
+#: Keyed by *content*, so optimizer restarts over an unchanged level reuse
+#: the compiled structure even across run_level calls.
+_COMPILE_CACHE: "OrderedDict[str, Dict[int, Tuple[CompiledCorpus, int]]]" = OrderedDict()
+_COMPILE_CACHE_MAX_LEVELS = 4
+
+
+def _attach_cached(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHMENTS.get(name)
+    if shm is None:
+        from repro.parallel._shm import attach_untracked
+
+        shm = attach_untracked(name)
+        _ATTACHMENTS[name] = shm
+    else:
+        _ATTACHMENTS.move_to_end(name)
+    return shm
+
+
+def _prune_worker_caches(in_use: Tuple[str, ...]) -> None:
+    """Drop attachments/compile entries beyond the caps (oldest first)."""
+    while len(_ATTACHMENTS) > _ATTACHMENTS_MAX:
+        for name in _ATTACHMENTS:
+            if name not in in_use:
+                _ATTACHMENTS.pop(name).close()
+                break
+        else:  # pragma: no cover - everything in use; nothing to prune
+            break
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX_LEVELS:
+        _COMPILE_CACHE.popitem(last=False)
+
+
+def _compiled_for_task(
+    arena_meta: ArenaMeta,
+    sel_meta: SelectionMeta,
+    community_id: int,
+    sub_lo: int,
+    sub_hi: int,
+    mem_lo: int,
+    mem_hi: int,
+) -> Tuple[CompiledCorpus, int]:
+    """Fetch (or build and cache) a task's compiled sub-corpus.
+
+    The cache key is (selection digest, community id): the digest pins the
+    level's exact split content, so a hit is guaranteed structurally
+    identical and survives optimizer restarts within the level.
     """
+    per_level = _COMPILE_CACHE.get(sel_meta.digest)
+    if per_level is not None:
+        _COMPILE_CACHE.move_to_end(sel_meta.digest)
+        hit = per_level.get(community_id)
+        if hit is not None:
+            return hit
+    else:
+        per_level = _COMPILE_CACHE[sel_meta.digest] = {}
+    arena_shm = _attach_cached(arena_meta.name)
+    sel_shm = _attach_cached(sel_meta.name)
+    times_v, nodes_v, _ = CorpusArena.view(arena_shm.buf, arena_meta)
+    pos_v, sub_v, mem_v = LevelSelection.view(sel_shm.buf, sel_meta)
+    pos_lo, pos_hi = int(sub_v[sub_lo]), int(sub_v[sub_hi])
+    sel = pos_v[pos_lo:pos_hi]
+    g_nodes = nodes_v[sel]  # fancy index -> fresh array (safe to cache)
+    times = times_v[sel]
+    members = mem_v[mem_lo:mem_hi]
+    local_nodes = np.searchsorted(members, g_nodes).astype(np.int64)
+    rel_offsets = sub_v[sub_lo : sub_hi + 1] - pos_lo
+    corpus = CompiledCorpus.from_arena(local_nodes, times, rel_offsets)
+    entry = (corpus, int(pos_hi - pos_lo))
+    per_level[community_id] = entry
+    return entry
+
+
+def _mp_worker(args: Tuple) -> Tuple:
+    """Worker entry: run one block task, scatter its rows, return stats.
+
+    Dispatches on the payload tag: ``"arena"`` payloads carry only index
+    ranges into shared buffers; ``"legacy"`` payloads carry pickled
+    sub-cascade arrays.  Both return
+    ``(task_idx, community_id, n_iters, final_loglik, wall_seconds,
+    work_units)`` — rows travel back through shared memory.
+    """
+    if args[0] == "arena":
+        return _worker_arena(args)
+    return _worker_legacy(args)
+
+
+def _worker_arena(args: Tuple) -> Tuple:
     (
+        _tag,
+        task_idx,
+        shm_a_name,
+        shm_b_name,
+        shape,
+        arena_meta,
+        sel_meta,
+        community_id,
+        sub_lo,
+        sub_hi,
+        mem_lo,
+        mem_hi,
+        config,
+    ) = args
+    sw = Stopwatch()
+    with sw:
+        shm_a = _attach_cached(shm_a_name)
+        shm_b = _attach_cached(shm_b_name)
+        _prune_worker_caches(
+            (shm_a_name, shm_b_name, arena_meta.name, sel_meta.name)
+        )
+        A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
+        B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
+        corpus, n_inf = _compiled_for_task(
+            arena_meta, sel_meta, community_id, sub_lo, sub_hi, mem_lo, mem_hi
+        )
+        sel_shm = _attach_cached(sel_meta.name)
+        _, _, mem_v = LevelSelection.view(sel_shm.buf, sel_meta)
+        members = mem_v[mem_lo:mem_hi]
+        model = EmbeddingModel(A[members], B[members])  # fancy gather = copy
+        opt = ProjectedGradientAscent(config)
+        fit = opt.fit(model, corpus)
+        # Scatter: disjoint rows per community — conflict-free by design.
+        A[members] = model.A
+        B[members] = model.B
+    return (
+        task_idx,
+        community_id,
+        fit.n_iters,
+        fit.final_loglik,
+        sw.elapsed,
+        max(1, fit.n_iters) * n_inf,
+    )
+
+
+def _worker_legacy(args: Tuple) -> Tuple:
+    (
+        _tag,
+        task_idx,
         shm_a_name,
         shm_b_name,
         shape,
@@ -155,39 +373,106 @@ def _mp_worker(args: Tuple) -> Tuple:
         cascade_times,
         config,
     ) = args
-    from repro.parallel._shm import attach_untracked
-
     # The parent owns (and unlinks) these segments; attach without letting
     # this worker's resource tracker claim them too.
-    shm_a = attach_untracked(shm_a_name)
-    shm_b = attach_untracked(shm_b_name)
-    try:
-        A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
-        B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
-        task = BlockTask(
-            community_id=community_id,
-            nodes=nodes,
-            cascade_nodes=cascade_nodes,
-            cascade_times=cascade_times,
-            A_rows=A[nodes],  # gather (copy happens inside run_block_task)
-            B_rows=B[nodes],
-            config=config,
-        )
-        result = run_block_task(task)
-        # Scatter: disjoint rows per community — conflict-free by design.
-        A[nodes] = result.A_rows
-        B[nodes] = result.B_rows
-        return (
-            community_id,
-            nodes,
-            result.n_iters,
-            result.final_loglik,
-            result.wall_seconds,
-            result.work_units,
-        )
-    finally:
-        shm_a.close()
-        shm_b.close()
+    shm_a = _attach_cached(shm_a_name)
+    shm_b = _attach_cached(shm_b_name)
+    _prune_worker_caches((shm_a_name, shm_b_name))
+    A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
+    B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
+    task = BlockTask(
+        community_id=community_id,
+        nodes=nodes,
+        cascade_nodes=cascade_nodes,
+        cascade_times=cascade_times,
+        A_rows=A[nodes],  # gather (copy happens inside run_block_task)
+        B_rows=B[nodes],
+        config=config,
+    )
+    result = run_block_task(task)
+    A[nodes] = result.A_rows
+    B[nodes] = result.B_rows
+    return (
+        task_idx,
+        community_id,
+        result.n_iters,
+        result.final_loglik,
+        result.wall_seconds,
+        result.work_units,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Parent-side resource management
+# --------------------------------------------------------------------- #
+
+
+class _EmbeddingSegments:
+    """Persistent shared A/B segments, grown (never shrunk) on demand."""
+
+    _SLACK = 1.25
+
+    def __init__(self) -> None:
+        self._shm_a: Optional[shared_memory.SharedMemory] = None
+        self._shm_b: Optional[shared_memory.SharedMemory] = None
+        self._capacity = 0
+
+    def ensure(self, shape: Tuple[int, int]):
+        """Return ``(A, B, name_a, name_b)`` views of at least *shape*."""
+        nbytes = int(np.prod(shape)) * 8
+        if self._shm_a is None or nbytes > self._capacity:
+            self.close()
+            self._capacity = max(int(nbytes * self._SLACK), 1)
+            self._shm_a = shared_memory.SharedMemory(create=True, size=self._capacity)
+            self._shm_b = shared_memory.SharedMemory(create=True, size=self._capacity)
+        A = np.ndarray(shape, dtype=np.float64, buffer=self._shm_a.buf)
+        B = np.ndarray(shape, dtype=np.float64, buffer=self._shm_b.buf)
+        return A, B, self._shm_a.name, self._shm_b.name
+
+    def close(self) -> None:
+        for attr in ("_shm_a", "_shm_b"):
+            shm = getattr(self, attr)
+            setattr(self, attr, None)
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._capacity = 0
+
+
+class _Resources:
+    """Everything a backend owns that must be reaped exactly once.
+
+    Held via :func:`weakref.finalize` so abandoning a backend without
+    ``close()`` (or an ``__init__`` failure after pool creation) still
+    reaps the worker pool and unlinks the shared segments.
+    """
+
+    def __init__(self, pool) -> None:
+        self.pool = pool
+        self.segments: List = []  # objects exposing .close()
+        self.released = False
+
+    def release(self, graceful: bool = False) -> None:
+        if self.released:
+            return
+        self.released = True
+        if self.pool is not None:
+            if graceful:
+                self.pool.close()
+            else:
+                self.pool.terminate()
+            self.pool.join()
+            self.pool = None
+        for seg in self.segments:
+            seg.close()
+        self.segments = []
+
+
+def _finalize_resources(resources: _Resources) -> None:
+    resources.release(graceful=False)
 
 
 class MultiprocessBackend(Backend):
@@ -200,72 +485,247 @@ class MultiprocessBackend(Backend):
     context:
         ``multiprocessing`` start method; ``fork`` is the fast default on
         Linux.
+    use_arena:
+        Serve :meth:`prepare` with a shared-memory corpus arena so levels
+        dispatch zero-copy (default).  ``False`` forces the legacy
+        pickle-the-cascades path even through the hierarchical driver —
+        kept for A/B benchmarking of the dispatch overhead.
+    profile_dispatch:
+        Record per-level payload size and pickle time in
+        :attr:`level_profiles` (costs one extra serialization per payload;
+        meant for the dispatch benchmark, not production runs).
     """
 
-    def __init__(self, n_workers: Optional[int] = None, context: str = "fork") -> None:
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        context: str = "fork",
+        use_arena: bool = True,
+        profile_dispatch: bool = False,
+    ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers if n_workers is not None else mp.cpu_count()
         self._ctx = mp.get_context(context)
-        self._pool = self._ctx.Pool(self.n_workers)
-        self._closed = False
+        pool = self._ctx.Pool(self.n_workers)
+        try:
+            self._resources = _Resources(pool)
+            self._finalizer = weakref.finalize(
+                self, _finalize_resources, self._resources
+            )
+            self._pool = pool
+            self._closed = False
+            self.use_arena = bool(use_arena)
+            self.profile_dispatch = bool(profile_dispatch)
+            self._segments = _EmbeddingSegments()
+            self._resources.segments.append(self._segments)
+            self._arena: Optional[CorpusArena] = None
+            self._selection: Optional[LevelSelection] = None
+            from repro.parallel.costmodel import DispatchCostEstimator
+
+            self.estimator = DispatchCostEstimator()
+            #: per-run_level dispatch accounting (most recent last)
+            self.level_profiles: List[DispatchStats] = []
+        except BaseException:
+            # __init__ died after the pool existed: reap it here, since no
+            # usable object (hence no finalizer-owned handle) escapes.
+            pool.terminate()
+            pool.join()
+            raise
+
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, cascades: CascadeSet) -> Optional[CorpusArena]:
+        """Publish *cascades* to a shared-memory arena (arena mode only)."""
+        if self._closed:
+            raise RuntimeError("backend already closed")
+        if not self.use_arena:
+            return None
+        if self._arena is not None:
+            self._arena.close()
+            self._resources.segments.remove(self._arena)
+        self._arena = CorpusArena(cascades)
+        self._resources.segments.append(self._arena)
+        if self._selection is None:
+            self._selection = LevelSelection()
+            self._resources.segments.append(self._selection)
+        return self._arena
+
+    # ------------------------------------------------------------------ #
 
     def run_level(self, tasks: Sequence[BlockTask]) -> List[BlockResult]:
         if self._closed:
             raise RuntimeError("backend already closed")
+        tasks = list(tasks)
         if not tasks:
             return []
-        # All tasks at a level share the embedding shape; allocate two
-        # shared blocks, populate with the initial rows, fan out, collect.
+        t_start = time.perf_counter()
+        nonempty = [t for t in tasks if t.nodes.size]
+        if not nonempty:
+            # Nothing references any embedding row: there is no shared
+            # state to build and nothing for a worker to optimize.
+            stats = DispatchStats("empty", len(tasks), 0.0, 0.0, 0.0)
+            self.level_profiles.append(stats)
+            return [self._empty_result(t) for t in tasks]
+
+        # All tasks at a level share the embedding shape; size the shared
+        # blocks by the largest referenced row.
         K = tasks[0].A_rows.shape[1]
-        n_total = 1 + max(int(t.nodes.max()) for t in tasks if t.nodes.size)
+        n_total = 1 + max(int(t.nodes.max()) for t in nonempty)
         shape = (n_total, K)
-        nbytes = int(np.prod(shape)) * 8
-        shm_a = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
-        shm_b = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
-        try:
-            A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
-            B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
-            for t in tasks:
-                A[t.nodes] = t.A_rows
-                B[t.nodes] = t.B_rows
-            payloads = [
-                (
-                    shm_a.name,
-                    shm_b.name,
-                    shape,
-                    t.community_id,
-                    t.nodes,
-                    t.cascade_nodes,
-                    t.cascade_times,
-                    t.config,
+        A, B, name_a, name_b = self._segments.ensure(shape)
+        for t in nonempty:
+            A[t.nodes] = t.A_rows
+            B[t.nodes] = t.B_rows
+
+        arena_mode = (
+            self._arena is not None
+            and all(t.is_arena_backed for t in tasks)
+        )
+        if arena_mode:
+            payloads = self._arena_payloads(tasks, shape, name_a, name_b)
+        else:
+            payloads = self._legacy_payloads(tasks, shape, name_a, name_b)
+        build_seconds = time.perf_counter() - t_start
+
+        payload_bytes = pickle_seconds = None
+        if self.profile_dispatch:
+            t0 = time.perf_counter()
+            payload_bytes = sum(
+                len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
+                for p in payloads
+            )
+            pickle_seconds = time.perf_counter() - t0
+
+        # LPT dispatch: predicted-longest first, so the level's straggler
+        # is in flight before the cheap tasks queue up behind it.
+        order = self.estimator.order([t.n_infections for t in tasks])
+        raw: List[Optional[Tuple]] = [None] * len(tasks)
+        for rec in self._pool.imap_unordered(
+            _mp_worker, [payloads[i] for i in order], chunksize=1
+        ):
+            raw[rec[0]] = rec
+
+        results = []
+        for t, rec in zip(tasks, raw):
+            _idx, cid, n_iters, ll, secs, work = rec
+            results.append(
+                BlockResult(
+                    community_id=cid,
+                    nodes=t.nodes,
+                    A_rows=A[t.nodes].copy(),
+                    B_rows=B[t.nodes].copy(),
+                    n_iters=n_iters,
+                    final_loglik=ll,
+                    wall_seconds=secs,
+                    work_units=work,
                 )
-                for t in tasks
-            ]
-            raw = self._pool.map(_mp_worker, payloads)
-            results = []
-            for (cid, nodes, n_iters, ll, secs, work), t in zip(raw, tasks):
-                results.append(
-                    BlockResult(
-                        community_id=cid,
-                        nodes=nodes,
-                        A_rows=A[nodes].copy(),
-                        B_rows=B[nodes].copy(),
-                        n_iters=n_iters,
-                        final_loglik=ll,
-                        wall_seconds=secs,
-                        work_units=work,
-                    )
-                )
-            return results
-        finally:
-            shm_a.close()
-            shm_a.unlink()
-            shm_b.close()
-            shm_b.unlink()
+            )
+        self.estimator.observe_level(
+            [r.work_units for r in results],
+            [t.n_infections for t in tasks],
+            [r.wall_seconds for r in results],
+        )
+        self.level_profiles.append(
+            DispatchStats(
+                mode="arena" if arena_mode else "legacy",
+                n_tasks=len(tasks),
+                wall_seconds=time.perf_counter() - t_start,
+                compute_seconds=float(sum(r.wall_seconds for r in results)),
+                build_seconds=build_seconds,
+                payload_bytes=payload_bytes,
+                payload_pickle_seconds=pickle_seconds,
+            )
+        )
+        return results
+
+    # ------------------------------------------------------------------ #
+
+    def _arena_payloads(self, tasks, shape, name_a, name_b) -> List[Tuple]:
+        """Publish the level's selection block; emit index-range payloads."""
+        positions = np.concatenate(
+            [t.arena_positions for t in tasks]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        members = np.concatenate(
+            [np.asarray(t.nodes, dtype=np.int64) for t in tasks]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        # Stitch per-task relative sub-offsets into one global array.
+        n_groups = sum(t.arena_sub_offsets.size - 1 for t in tasks)
+        sub_offsets = np.zeros(n_groups + 1, dtype=np.int64)
+        ranges = []  # (sub_lo, sub_hi, mem_lo, mem_hi) per task
+        g = 0
+        pos_base = 0
+        mem_base = 0
+        for t in tasks:
+            s = t.arena_sub_offsets.size - 1
+            sub_offsets[g + 1 : g + s + 1] = t.arena_sub_offsets[1:] + pos_base
+            ranges.append((g, g + s, mem_base, mem_base + int(t.nodes.size)))
+            g += s
+            pos_base += int(t.arena_positions.size)
+            mem_base += int(t.nodes.size)
+        sel_meta = self._selection.update(positions, sub_offsets, members)
+        arena_meta = self._arena.meta
+        return [
+            (
+                "arena",
+                idx,
+                name_a,
+                name_b,
+                shape,
+                arena_meta,
+                sel_meta,
+                t.community_id,
+                sub_lo,
+                sub_hi,
+                mem_lo,
+                mem_hi,
+                t.config,
+            )
+            for idx, (t, (sub_lo, sub_hi, mem_lo, mem_hi)) in enumerate(
+                zip(tasks, ranges)
+            )
+        ]
+
+    def _legacy_payloads(self, tasks, shape, name_a, name_b) -> List[Tuple]:
+        return [
+            (
+                "legacy",
+                idx,
+                name_a,
+                name_b,
+                shape,
+                t.community_id,
+                t.nodes,
+                t.cascade_nodes,
+                t.cascade_times,
+                t.config,
+            )
+            for idx, t in enumerate(tasks)
+        ]
+
+    @staticmethod
+    def _empty_result(t: BlockTask) -> BlockResult:
+        return BlockResult(
+            community_id=t.community_id,
+            nodes=t.nodes,
+            A_rows=t.A_rows.copy(),
+            B_rows=t.B_rows.copy(),
+            n_iters=0,
+            final_loglik=0.0,
+            wall_seconds=0.0,
+            work_units=0,
+        )
+
+    # ------------------------------------------------------------------ #
 
     def close(self) -> None:
         if not self._closed:
-            self._pool.close()
-            self._pool.join()
             self._closed = True
+            # Detach the GC finalizer (it would terminate()); release
+            # gracefully instead, then unlink every shared segment.
+            self._finalizer.detach()
+            self._resources.release(graceful=True)
+            self._arena = None
+            self._selection = None

@@ -48,7 +48,12 @@ import numpy as np
 
 from repro.parallel.hierarchical import HierarchicalResult
 
-__all__ = ["lpt_makespan", "CostModelParams", "ParallelCostModel"]
+__all__ = [
+    "lpt_makespan",
+    "CostModelParams",
+    "ParallelCostModel",
+    "DispatchCostEstimator",
+]
 
 
 def lpt_makespan(durations: Sequence[float], p: int) -> float:
@@ -71,6 +76,104 @@ def lpt_makespan(durations: Sequence[float], p: int) -> float:
         least = heapq.heappop(loads)
         heapq.heappush(loads, least + d)
     return max(loads)
+
+
+class DispatchCostEstimator:
+    """Online per-task cost predictor driving LPT dispatch ordering.
+
+    The simulated :class:`ParallelCostModel` replays *measured* schedules;
+    this estimator is its forward-looking sibling inside the live engine:
+    before a level runs, it predicts each block task's compute cost so the
+    backend can dispatch the longest tasks first (longest-processing-time
+    order — the greedy schedule whose makespan the cost model's
+    :func:`lpt_makespan` assumes).
+
+    A task's work is ``iterations × infections`` (the same unit
+    :class:`~repro.parallel.backends.BlockResult` reports in
+    ``work_units``), but iterations are unknown before the run.  The
+    estimator keeps an exponential moving average of the iterations each
+    infection needed at previously completed levels and scales it by the
+    task's infection count; observed ``work_units``/``wall_seconds`` from
+    each finished level recalibrate the average for the next one.
+
+    Parameters
+    ----------
+    prior_iters:
+        Iterations assumed per task before any level has been observed
+        (any positive value yields the same ordering at level 0 — cost is
+        then proportional to infections — so only cold-start *seconds*
+        predictions depend on it).
+    smoothing:
+        EMA weight of the newest level's observation, in (0, 1].
+    """
+
+    def __init__(self, prior_iters: float = 25.0, smoothing: float = 0.5) -> None:
+        if prior_iters <= 0:
+            raise ValueError("prior_iters must be positive")
+        if not (0 < smoothing <= 1):
+            raise ValueError("smoothing must lie in (0, 1]")
+        self._prior_iters = float(prior_iters)
+        self._smoothing = float(smoothing)
+        self._iters_ema: float | None = None
+        self._spu_ema: float | None = None  # seconds per work unit
+        self.n_observed_levels = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def iters_per_task(self) -> float:
+        """Current estimate of optimizer iterations per block task."""
+        return self._iters_ema if self._iters_ema is not None else self._prior_iters
+
+    @property
+    def seconds_per_work_unit(self) -> float | None:
+        """Calibrated seconds per (iteration × infection), if observed."""
+        return self._spu_ema
+
+    def predict_work(self, n_infections: int) -> float:
+        """Predicted work units for a task with *n_infections* infections."""
+        return self.iters_per_task * max(1, int(n_infections))
+
+    def predict_seconds(self, n_infections: int) -> float | None:
+        """Predicted wall seconds (``None`` until a level was observed)."""
+        if self._spu_ema is None:
+            return None
+        return self.predict_work(n_infections) * self._spu_ema
+
+    def order(self, infections: Sequence[int]) -> List[int]:
+        """Indices of *infections* in dispatch (LPT: descending cost) order.
+
+        Ties broken by original index, so the order — hence the engine's
+        result collection — is deterministic.
+        """
+        pred = [self.predict_work(m) for m in infections]
+        return sorted(range(len(pred)), key=lambda i: (-pred[i], i))
+
+    def observe_level(
+        self,
+        work_units: Sequence[int],
+        infections: Sequence[int],
+        wall_seconds: Sequence[float],
+    ) -> None:
+        """Fold one completed level's measurements into the estimates."""
+        total_work = float(sum(work_units))
+        total_inf = float(sum(infections))
+        total_secs = float(sum(wall_seconds))
+        if total_work <= 0 or total_inf <= 0:
+            return
+        s = self._smoothing
+        iters = total_work / total_inf
+        self._iters_ema = (
+            iters
+            if self._iters_ema is None
+            else (1 - s) * self._iters_ema + s * iters
+        )
+        if total_secs > 0:
+            spu = total_secs / total_work
+            self._spu_ema = (
+                spu if self._spu_ema is None else (1 - s) * self._spu_ema + s * spu
+            )
+        self.n_observed_levels += 1
 
 
 @dataclass(frozen=True)

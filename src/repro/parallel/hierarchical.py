@@ -33,7 +33,11 @@ from repro.cooccurrence.build import build_cooccurrence_graph
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.optimizer import OptimizerConfig
 from repro.parallel.backends import Backend, BlockResult, BlockTask, SerialBackend
-from repro.parallel.splitting import split_cascades, subcorpus_for_community
+from repro.parallel.splitting import (
+    split_cascades,
+    split_positions,
+    subcorpus_for_community,
+)
 from repro.utils.rng import SeedLike
 
 __all__ = ["LevelStats", "HierarchicalResult", "HierarchicalInference", "infer_embeddings"]
@@ -124,9 +128,12 @@ class HierarchicalInference:
         """Optimize *model* in place, traversing all merge-tree levels."""
         if model.n_nodes != cascades.n_nodes:
             raise ValueError("model and cascades cover different universes")
+        # Engine start: a zero-copy backend publishes the corpus to shared
+        # memory once; every level then dispatches index ranges into it.
+        arena = self.backend.prepare(cascades)
         result = HierarchicalResult()
         for level_idx, partition in enumerate(self.tree.levels):
-            stats = self._run_level(level_idx, partition, model, cascades)
+            stats = self._run_level(level_idx, partition, model, cascades, arena)
             result.levels.append(stats)
         return result
 
@@ -138,7 +145,32 @@ class HierarchicalInference:
         partition: Partition,
         model: EmbeddingModel,
         cascades: CascadeSet,
+        arena=None,
     ) -> LevelStats:
+        if arena is not None:
+            tasks = self._arena_tasks(level_idx, partition, model, arena)
+        else:
+            tasks = self._materialized_tasks(level_idx, partition, model, cascades)
+        results = self.backend.run_level(tasks)
+        stats = LevelStats(level=level_idx, n_communities=partition.n_communities)
+        for res in results:
+            model.A[res.nodes] = res.A_rows
+            model.B[res.nodes] = res.B_rows
+            stats.wall_seconds.append(res.wall_seconds)
+            stats.work_units.append(res.work_units)
+            stats.rows_touched.append(int(res.nodes.size))
+            stats.logliks.append(res.final_loglik)
+            stats.iterations.append(res.n_iters)
+        return stats
+
+    def _materialized_tasks(
+        self,
+        level_idx: int,
+        partition: Partition,
+        model: EmbeddingModel,
+        cascades: CascadeSet,
+    ) -> List[BlockTask]:
+        """Object path: split into per-community ``Cascade`` lists."""
         sub_corpora = split_cascades(
             cascades, partition, min_size=self.min_subcascade_size
         )
@@ -158,19 +190,54 @@ class HierarchicalInference:
                     A_rows=model.A[nodes].copy(),
                     B_rows=model.B[nodes].copy(),
                     config=self.config,
+                    level=level_idx,
                 )
             )
-        results = self.backend.run_level(tasks)
-        stats = LevelStats(level=level_idx, n_communities=partition.n_communities)
-        for res in results:
-            model.A[res.nodes] = res.A_rows
-            model.B[res.nodes] = res.B_rows
-            stats.wall_seconds.append(res.wall_seconds)
-            stats.work_units.append(res.work_units)
-            stats.rows_touched.append(int(res.nodes.size))
-            stats.logliks.append(res.final_loglik)
-            stats.iterations.append(res.n_iters)
-        return stats
+        return tasks
+
+    def _arena_tasks(
+        self,
+        level_idx: int,
+        partition: Partition,
+        model: EmbeddingModel,
+        arena,
+    ) -> List[BlockTask]:
+        """Zero-copy path: split to index ranges into the shared arena.
+
+        Produces the same communities, sub-cascades, and seed rows as
+        :meth:`_materialized_tasks` — only the corpus representation
+        differs (flat arena positions instead of pickled array lists), so
+        serial and arena runs stay bit-identical.
+        """
+        ps = split_positions(
+            arena.nodes,
+            arena.offsets,
+            partition.membership,
+            min_size=self.min_subcascade_size,
+        )
+        tasks: List[BlockTask] = []
+        for cid in range(partition.n_communities):
+            lo, hi = ps.community_range(cid)
+            if lo == hi:
+                continue  # nothing to learn for this community at this level
+            pos = ps.positions[ps.sub_offsets[lo] : ps.sub_offsets[hi]]
+            rel_offsets = ps.sub_offsets[lo : hi + 1] - ps.sub_offsets[lo]
+            nodes = partition.members(cid)
+            tasks.append(
+                BlockTask(
+                    community_id=cid,
+                    nodes=nodes,
+                    cascade_nodes=None,
+                    cascade_times=None,
+                    A_rows=model.A[nodes].copy(),
+                    B_rows=model.B[nodes].copy(),
+                    config=self.config,
+                    level=level_idx,
+                    arena_positions=pos,
+                    arena_sub_offsets=rel_offsets,
+                )
+            )
+        return tasks
 
 
 def infer_embeddings(

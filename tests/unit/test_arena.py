@@ -1,0 +1,133 @@
+"""Unit tests for the shared-memory cascade arena and level selections."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade, CascadeSet
+from repro.parallel._shm import attach_untracked
+from repro.parallel.arena import CorpusArena, LevelSelection
+
+
+@pytest.fixture
+def corpus() -> CascadeSet:
+    cs = CascadeSet(8)
+    cs.append(Cascade([0, 1, 2], [0.0, 0.3, 0.9]))
+    cs.append(Cascade([3, 4], [0.0, 0.7]))
+    cs.append(Cascade([5], [0.2]))  # size-1 cascade stored verbatim
+    cs.append(Cascade([1, 0, 7], [0.0, 0.2, 1.1]))
+    return cs
+
+
+class TestCorpusArena:
+    def test_flat_layout_matches_corpus(self, corpus):
+        arena = CorpusArena(corpus)
+        try:
+            assert arena.meta.n_cascades == len(corpus)
+            assert arena.meta.n_infections == corpus.total_infections()
+            for i, c in enumerate(corpus):
+                lo, hi = arena.offsets[i], arena.offsets[i + 1]
+                assert np.array_equal(arena.nodes[lo:hi], c.nodes)
+                assert np.array_equal(arena.times[lo:hi], c.times)
+        finally:
+            arena.close()
+
+    def test_worker_view_roundtrip(self, corpus):
+        arena = CorpusArena(corpus)
+        try:
+            shm = attach_untracked(arena.meta.name)
+            try:
+                times, nodes, offsets = CorpusArena.view(shm.buf, arena.meta)
+                assert np.array_equal(np.asarray(offsets), np.asarray(arena.offsets))
+                assert np.array_equal(np.asarray(nodes), np.asarray(arena.nodes))
+                assert np.array_equal(np.asarray(times), np.asarray(arena.times))
+                del times, nodes, offsets
+            finally:
+                shm.close()
+        finally:
+            arena.close()
+
+    def test_empty_corpus(self):
+        arena = CorpusArena(CascadeSet(0))
+        try:
+            assert arena.meta.n_infections == 0
+            assert arena.offsets.tolist() == [0]
+        finally:
+            arena.close()
+
+    def test_close_idempotent(self, corpus):
+        arena = CorpusArena(corpus)
+        arena.close()
+        arena.close()
+
+
+class TestLevelSelection:
+    def _sample(self, seed=0):
+        rng = np.random.default_rng(seed)
+        positions = rng.permutation(30).astype(np.int64)
+        sub_offsets = np.array([0, 10, 22, 30], dtype=np.int64)
+        members = np.sort(rng.choice(100, size=12, replace=False)).astype(np.int64)
+        return positions, sub_offsets, members
+
+    def test_update_and_view(self):
+        sel = LevelSelection()
+        try:
+            pos, sub, mem = self._sample()
+            meta = sel.update(pos, sub, mem)
+            shm = attach_untracked(meta.name)
+            try:
+                pv, sv, mv = LevelSelection.view(shm.buf, meta)
+                assert np.array_equal(np.asarray(pv), pos)
+                assert np.array_equal(np.asarray(sv), sub)
+                assert np.array_equal(np.asarray(mv), mem)
+                del pv, sv, mv
+            finally:
+                shm.close()
+        finally:
+            sel.close()
+
+    def test_unchanged_content_reuses_meta(self):
+        sel = LevelSelection()
+        try:
+            pos, sub, mem = self._sample()
+            meta1 = sel.update(pos, sub, mem)
+            meta2 = sel.update(pos.copy(), sub.copy(), mem.copy())
+            assert meta1 is meta2  # optimizer-restart fast path: no rewrite
+        finally:
+            sel.close()
+
+    def test_changed_content_changes_digest(self):
+        sel = LevelSelection()
+        try:
+            pos, sub, mem = self._sample()
+            meta1 = sel.update(pos, sub, mem)
+            digest1 = meta1.digest
+            pos2 = pos.copy()
+            pos2[0], pos2[1] = pos2[1], pos2[0]
+            meta2 = sel.update(pos2, sub, mem)
+            assert meta2.digest != digest1
+        finally:
+            sel.close()
+
+    def test_grows_segment_when_capacity_exceeded(self):
+        sel = LevelSelection()
+        try:
+            pos, sub, mem = self._sample()
+            name1 = sel.update(pos, sub, mem).name
+            big = np.arange(100_000, dtype=np.int64)
+            meta2 = sel.update(big, np.array([0, big.size]), mem)
+            assert meta2.name != name1
+            shm = attach_untracked(meta2.name)
+            try:
+                pv, _, _ = LevelSelection.view(shm.buf, meta2)
+                assert np.array_equal(np.asarray(pv), big)
+                del pv
+            finally:
+                shm.close()
+        finally:
+            sel.close()
+
+    def test_close_idempotent(self):
+        sel = LevelSelection()
+        sel.update(*self._sample())
+        sel.close()
+        sel.close()

@@ -1,5 +1,7 @@
 """Unit tests for execution backends (serial and multiprocess)."""
 
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
@@ -115,3 +117,169 @@ class TestMultiprocessBackend:
     def test_bad_worker_count(self):
         with pytest.raises(ValueError):
             MultiprocessBackend(n_workers=0)
+
+
+def test_run_block_task_rejects_arena_only_task():
+    t = make_tasks()[0]
+    t.cascade_nodes = None
+    t.cascade_times = None
+    t.arena_positions = np.empty(0, dtype=np.int64)
+    t.arena_sub_offsets = np.zeros(1, dtype=np.int64)
+    with pytest.raises(ValueError, match="arena-backed"):
+        run_block_task(t)
+
+
+class TestEmptyNodeLevels:
+    """A level whose tasks all have empty node sets must not crash."""
+
+    def _empty_task(self, cid):
+        return BlockTask(
+            community_id=cid,
+            nodes=np.empty(0, dtype=np.int64),
+            cascade_nodes=[],
+            cascade_times=[],
+            A_rows=np.empty((0, 2)),
+            B_rows=np.empty((0, 2)),
+            config=OptimizerConfig(max_iters=5),
+        )
+
+    def test_all_empty_returns_empty_rows(self):
+        with MultiprocessBackend(n_workers=1) as backend:
+            results = backend.run_level([self._empty_task(0), self._empty_task(1)])
+        assert [r.community_id for r in results] == [0, 1]
+        for r in results:
+            assert r.nodes.size == 0
+            assert r.A_rows.shape == (0, 2)
+            assert r.n_iters == 0
+            assert r.work_units == 0
+
+    def test_mixed_empty_and_real(self):
+        tasks = make_tasks()
+        tasks.append(self._empty_task(9))
+        with MultiprocessBackend(n_workers=2) as backend:
+            results = backend.run_level(tasks)
+        assert [r.community_id for r in results] == [0, 1, 9]
+        assert results[2].A_rows.shape == (0, 2)
+
+
+class TestLeakSafety:
+    def test_unclosed_backend_is_reaped_by_gc(self):
+        import gc
+
+        backend = MultiprocessBackend(n_workers=1)
+        resources = backend._resources
+        pool = backend._pool
+        del backend
+        gc.collect()
+        assert resources.released
+        # a terminated pool rejects further work
+        with pytest.raises(ValueError):
+            pool.apply(int, ("1",))
+
+    def test_init_failure_reaps_pool(self, monkeypatch):
+        from repro.parallel import costmodel
+
+        def boom(*a, **k):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(costmodel, "DispatchCostEstimator", boom)
+        created = []
+        real_ctx = mp.get_context("fork")
+
+        class Ctx:
+            def Pool(self, n):
+                pool = real_ctx.Pool(n)
+                created.append(pool)
+                return pool
+
+        monkeypatch.setattr(mp, "get_context", lambda method: Ctx())
+        with pytest.raises(RuntimeError, match="injected"):
+            MultiprocessBackend(n_workers=1)
+        assert len(created) == 1
+        with pytest.raises(ValueError):
+            created[0].apply(int, ("1",))
+
+    def test_close_releases_resources(self):
+        backend = MultiprocessBackend(n_workers=1)
+        backend.run_level(make_tasks())
+        backend.close()
+        assert backend._resources.released
+
+
+class TestDispatchOrderingAndProfiles:
+    def test_lpt_order_does_not_change_results(self):
+        serial = SerialBackend().run_level(make_tasks())
+        with MultiprocessBackend(n_workers=2) as backend:
+            parallel = backend.run_level(make_tasks())
+        for s, p in zip(serial, parallel):
+            assert np.array_equal(s.A_rows, p.A_rows)
+            assert np.array_equal(s.B_rows, p.B_rows)
+            assert s.n_iters == p.n_iters
+
+    def test_estimator_calibrates_across_levels(self):
+        with MultiprocessBackend(n_workers=2) as backend:
+            assert backend.estimator.n_observed_levels == 0
+            backend.run_level(make_tasks(seed=1))
+            assert backend.estimator.n_observed_levels == 1
+            assert backend.estimator.seconds_per_work_unit is not None
+            backend.run_level(make_tasks(seed=2))
+            assert backend.estimator.n_observed_levels == 2
+
+    def test_level_profiles_recorded(self):
+        with MultiprocessBackend(n_workers=2, profile_dispatch=True) as backend:
+            backend.run_level(make_tasks())
+        (stats,) = backend.level_profiles
+        assert stats.mode == "legacy"  # no prepare() -> materialized path
+        assert stats.n_tasks == 2
+        assert stats.payload_bytes > 0
+        assert stats.payload_pickle_seconds > 0
+        # workers time themselves concurrently, so compute may exceed the
+        # parent's wall; both are simply nonnegative measurements
+        assert stats.wall_seconds > 0
+        assert stats.compute_seconds > 0
+        assert stats.overhead_seconds >= 0
+
+
+class TestArenaDispatch:
+    def _world(self):
+        from repro.cascades.types import Cascade, CascadeSet
+
+        cs = CascadeSet(6)
+        cs.append(Cascade([0, 1, 2], [0.0, 0.3, 0.9]))
+        cs.append(Cascade([3, 4], [0.0, 0.7]))
+        cs.append(Cascade([1, 0, 5], [0.0, 0.2, 1.1]))
+        cs.append(Cascade([2, 1], [0.0, 0.4]))
+        return cs
+
+    def _fit_pair(self, use_arena):
+        from repro.community.mergetree import MergeTree
+        from repro.community.partition import Partition
+        from repro.embedding.model import EmbeddingModel
+        from repro.parallel.hierarchical import HierarchicalInference
+
+        cs = self._world()
+        tree = MergeTree(Partition([0, 0, 0, 1, 1, 0]), stop_at=1)
+        cfg = OptimizerConfig(max_iters=10)
+        model = EmbeddingModel.random(6, 2, seed=3)
+        with MultiprocessBackend(n_workers=2, use_arena=use_arena) as backend:
+            HierarchicalInference(tree, cfg, backend).fit(model, cs)
+            modes = [p.mode for p in backend.level_profiles]
+        return model, modes
+
+    def test_arena_mode_used_and_matches_legacy(self):
+        m_arena, modes_arena = self._fit_pair(use_arena=True)
+        m_legacy, modes_legacy = self._fit_pair(use_arena=False)
+        assert set(modes_arena) == {"arena"}
+        assert set(modes_legacy) == {"legacy"}
+        assert np.array_equal(m_arena.A, m_legacy.A)
+        assert np.array_equal(m_arena.B, m_legacy.B)
+
+    def test_prepare_returns_none_when_disabled(self):
+        with MultiprocessBackend(n_workers=1, use_arena=False) as backend:
+            assert backend.prepare(self._world()) is None
+
+    def test_prepare_after_close_raises(self):
+        backend = MultiprocessBackend(n_workers=1)
+        backend.close()
+        with pytest.raises(RuntimeError):
+            backend.prepare(self._world())

@@ -85,3 +85,80 @@ class TestEquivalenceWithPerCascadePath:
         gA = np.zeros_like(small_model.A)
         gB = np.zeros_like(small_model.B)
         assert corpus_gradients(small_model.A, small_model.B, comp, gA, gB) == 0.0
+
+
+class TestFromArena:
+    """``from_arena`` must be bit-compatible with ``from_cascades``."""
+
+    FIELDS = ("nodes", "times", "starts", "ends", "cascade_begin", "cascade_end", "valid")
+
+    def _assert_same(self, a: CompiledCorpus, b: CompiledCorpus):
+        for f in self.FIELDS:
+            x, y = getattr(a, f), getattr(b, f)
+            assert x.dtype == y.dtype, f
+            assert np.array_equal(x, y), f
+
+    def _flat(self, cascades):
+        if not cascades:
+            e = np.empty(0, dtype=np.int64)
+            return e, np.empty(0, dtype=np.float64), np.zeros(1, dtype=np.int64)
+        nodes = np.concatenate([c.nodes for c in cascades])
+        times = np.concatenate([c.times for c in cascades])
+        offsets = np.zeros(len(cascades) + 1, dtype=np.int64)
+        np.cumsum([c.size for c in cascades], out=offsets[1:])
+        return nodes, times, offsets
+
+    def test_small_corpus(self, small_corpus):
+        cascades = list(small_corpus)
+        self._assert_same(
+            CompiledCorpus.from_cascades(cascades),
+            CompiledCorpus.from_arena(*self._flat(cascades)),
+        )
+
+    def test_ties(self, tied_cascade):
+        self._assert_same(
+            CompiledCorpus.from_cascades([tied_cascade]),
+            CompiledCorpus.from_arena(*self._flat([tied_cascade])),
+        )
+
+    def test_skips_small_subcascades(self):
+        cascades = [
+            Cascade([0], [0.0]),
+            Cascade([1, 2], [0.0, 1.0]),
+            Cascade([3], [0.5]),
+        ]
+        compiled = CompiledCorpus.from_arena(*self._flat(cascades))
+        self._assert_same(CompiledCorpus.from_cascades(cascades), compiled)
+        assert compiled.n_infections == 2
+
+    def test_empty(self):
+        self._assert_same(
+            CompiledCorpus.from_cascades([]),
+            CompiledCorpus.from_arena(*self._flat([])),
+        )
+
+    def test_randomized(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            cascades = []
+            for _ in range(int(rng.integers(1, 8))):
+                size = int(rng.integers(1, 9))
+                nodes = rng.permutation(20)[:size]
+                times = np.sort(np.round(rng.uniform(0, 3, size), 1))  # ties likely
+                cascades.append(Cascade(nodes, times))
+            self._assert_same(
+                CompiledCorpus.from_cascades(cascades),
+                CompiledCorpus.from_arena(*self._flat(cascades)),
+            )
+
+    def test_gradients_match_object_path(self, small_model, small_corpus):
+        cascades = list(small_corpus)
+        a = CompiledCorpus.from_cascades(cascades)
+        b = CompiledCorpus.from_arena(*self._flat(cascades))
+        gA1, gB1 = np.zeros_like(small_model.A), np.zeros_like(small_model.B)
+        gA2, gB2 = np.zeros_like(small_model.A), np.zeros_like(small_model.B)
+        ll1 = corpus_gradients(small_model.A, small_model.B, a, gA1, gB1)
+        ll2 = corpus_gradients(small_model.A, small_model.B, b, gA2, gB2)
+        assert ll1 == ll2
+        assert np.array_equal(gA1, gA2)
+        assert np.array_equal(gB1, gB2)

@@ -139,3 +139,54 @@ class TestCalibration:
         result.levels.append(ls)
         m = ParallelCostModel.from_result(result)
         assert m.level_work_units == [[100]]
+
+
+class TestDispatchCostEstimator:
+    def test_cold_start_orders_by_infections(self):
+        from repro.parallel.costmodel import DispatchCostEstimator
+
+        est = DispatchCostEstimator()
+        assert est.order([10, 500, 50]) == [1, 2, 0]
+
+    def test_ties_break_by_index(self):
+        from repro.parallel.costmodel import DispatchCostEstimator
+
+        est = DispatchCostEstimator()
+        assert est.order([5, 5, 5]) == [0, 1, 2]
+
+    def test_observation_calibrates_iters_and_seconds(self):
+        from repro.parallel.costmodel import DispatchCostEstimator
+
+        est = DispatchCostEstimator()
+        assert est.predict_seconds(100) is None
+        # 2 tasks, 10 iters each: work = 10 * infections
+        est.observe_level(
+            work_units=[1000, 500], infections=[100, 50], wall_seconds=[1.0, 0.5]
+        )
+        assert est.iters_per_task == pytest.approx(10.0)
+        assert est.seconds_per_work_unit == pytest.approx(1e-3)
+        assert est.predict_seconds(100) == pytest.approx(1.0)
+        assert est.n_observed_levels == 1
+
+    def test_ema_smoothing(self):
+        from repro.parallel.costmodel import DispatchCostEstimator
+
+        est = DispatchCostEstimator(smoothing=0.5)
+        est.observe_level([1000], [100], [1.0])
+        est.observe_level([2000], [100], [1.0])
+        assert est.iters_per_task == pytest.approx(15.0)
+
+    def test_empty_observation_ignored(self):
+        from repro.parallel.costmodel import DispatchCostEstimator
+
+        est = DispatchCostEstimator()
+        est.observe_level([], [], [])
+        assert est.n_observed_levels == 0
+
+    def test_validation(self):
+        from repro.parallel.costmodel import DispatchCostEstimator
+
+        with pytest.raises(ValueError):
+            DispatchCostEstimator(prior_iters=0)
+        with pytest.raises(ValueError):
+            DispatchCostEstimator(smoothing=0.0)

@@ -5,7 +5,11 @@ import pytest
 
 from repro.cascades.types import Cascade, CascadeSet
 from repro.community.partition import Partition
-from repro.parallel.splitting import split_cascades, subcorpus_for_community
+from repro.parallel.splitting import (
+    split_cascades,
+    split_positions,
+    subcorpus_for_community,
+)
 
 
 @pytest.fixture
@@ -81,3 +85,75 @@ class TestSubcorpusRelabeling:
         subs = split_cascades(cs, part, min_size=1)
         with pytest.raises(ValueError, match="outside"):
             subcorpus_for_community(subs[0], np.array([0, 1]))  # missing node 2
+
+
+class TestSplitPositions:
+    """Index-based splitting must mirror the object path exactly."""
+
+    def _flat(self, cs):
+        nodes = (
+            np.concatenate([c.nodes for c in cs])
+            if len(cs)
+            else np.empty(0, dtype=np.int64)
+        )
+        times = (
+            np.concatenate([c.times for c in cs])
+            if len(cs)
+            else np.empty(0, dtype=np.float64)
+        )
+        offsets = np.zeros(len(cs) + 1, dtype=np.int64)
+        np.cumsum(cs.sizes(), out=offsets[1:])
+        return nodes, times, offsets
+
+    def _assert_matches_object_path(self, cs, part, min_size):
+        nodes, times, offsets = self._flat(cs)
+        ps = split_positions(nodes, offsets, part.membership, min_size=min_size)
+        subs = split_cascades(cs, part, min_size=min_size)
+        assert np.all(np.diff(ps.group_community) >= 0)
+        for cid in range(part.n_communities):
+            lo, hi = ps.community_range(cid)
+            assert hi - lo == len(subs[cid])
+            for gi, c in zip(range(lo, hi), subs[cid]):
+                p = ps.positions[ps.sub_offsets[gi] : ps.sub_offsets[gi + 1]]
+                assert np.array_equal(nodes[p], c.nodes)
+                assert np.array_equal(times[p], c.times)
+
+    def test_matches_object_path(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        self._assert_matches_object_path(cs, part, min_size=2)
+
+    def test_min_size_one(self, corpus_and_partition):
+        cs, part = corpus_and_partition
+        self._assert_matches_object_path(cs, part, min_size=1)
+
+    def test_randomized_with_ties_and_singletons(self):
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            n = int(rng.integers(4, 25))
+            cs = CascadeSet(n)
+            for _ in range(int(rng.integers(1, 12))):
+                size = int(rng.integers(1, min(n, 8) + 1))
+                picks = rng.permutation(n)[:size]
+                times = np.sort(np.round(rng.uniform(0, 2, size), 1))
+                cs.append(Cascade(picks, times))
+            # random partition, may include single-node communities
+            part = Partition(rng.integers(0, max(2, n // 3), size=n))
+            self._assert_matches_object_path(cs, part, min_size=2)
+
+    def test_empty_corpus(self):
+        ps = split_positions(
+            np.empty(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(5, dtype=np.int64),
+        )
+        assert ps.positions.size == 0
+        assert ps.sub_offsets.tolist() == [0]
+        assert ps.community_range(0) == (0, 0)
+
+    def test_all_groups_filtered(self):
+        # every sub-cascade is a singleton -> nothing survives min_size=2
+        cs = CascadeSet(4, [Cascade([0, 1], [0.0, 1.0]), Cascade([2, 3], [0.0, 1.0])])
+        nodes, _, offsets = self._flat(cs)
+        ps = split_positions(nodes, offsets, np.arange(4), min_size=2)
+        assert ps.positions.size == 0
+        assert ps.group_community.size == 0
