@@ -1,13 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
+# Per-test watchdog (seconds) — enforced by pytest-timeout when installed,
+# by the SIGALRM fallback in tests/conftest.py otherwise.  The fault-injection
+# tests hang/kill workers on purpose; this keeps a supervision bug from
+# wedging the suite.
+export REPRO_TEST_TIMEOUT ?= 600
 
 .PHONY: check fast test bench bench-dispatch
 
-## tier-1 gate: full test suite, fail fast (what CI runs)
+## tier-1 gate: full test suite incl. slow fault-injection tests (what CI runs)
 check:
 	$(PYTHON) -m pytest -x -q
 
-## quick dev loop: skip slow (multiprocess-pool / benchmark) tests
+## quick dev loop: skip slow (multiprocess-pool / fault-injection / benchmark) tests
 fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 

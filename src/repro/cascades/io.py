@@ -3,15 +3,30 @@
 Format: first line is a header object ``{"n_nodes": N, "n_cascades": C}``;
 each following line is one cascade, ``{"nodes": [...], "times": [...]}``.
 Times are serialized at full float64 precision via ``repr``-style floats.
+
+Loading validates aggressively and attributes every failure to a
+``path:lineno`` so a corrupt or truncated corpus (the usual outcome of a
+killed writer) fails loudly at ingest rather than as a crash — or worse,
+a silently reordered cascade — deep in inference:
+
+* malformed JSON (including a file truncated mid-record) names the line;
+* infection times must already be non-monotone-free in the file: although
+  :class:`~repro.cascades.types.Cascade` would happily re-sort them, an
+  out-of-order record in a file *we wrote sorted* means the bytes are not
+  what the writer produced, so it is rejected;
+* node ids must lie in ``[0, n_nodes)`` — an id beyond the header's range
+  would otherwise surface later as an out-of-bounds embedding row.
 """
 
 from __future__ import annotations
 
 import json
+import numpy as np
 from pathlib import Path
 from typing import Union
 
 from repro.cascades.types import Cascade, CascadeSet
+from repro.utils.validation import check_sorted_times
 
 __all__ = ["save_cascades_jsonl", "load_cascades_jsonl"]
 
@@ -28,28 +43,61 @@ def save_cascades_jsonl(cascades: CascadeSet, path: Union[str, Path]) -> None:
 
 
 def load_cascades_jsonl(path: Union[str, Path]) -> CascadeSet:
-    """Read a corpus written by :func:`save_cascades_jsonl`."""
+    """Read a corpus written by :func:`save_cascades_jsonl`.
+
+    Raises
+    ------
+    ValueError
+        With a ``path:lineno`` prefix on malformed JSON, non-monotone
+        infection times, node ids outside ``[0, n_nodes)``, or a header /
+        cascade-count mismatch (a truncated file).
+    """
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
         header_line = fh.readline()
         if not header_line:
             raise ValueError(f"{path}: empty file")
-        header = json.loads(header_line)
-        if "n_nodes" not in header:
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:1: malformed header: {exc}") from exc
+        if not isinstance(header, dict) or "n_nodes" not in header:
             raise ValueError(f"{path}: missing header line with n_nodes")
-        out = CascadeSet(int(header["n_nodes"]))
+        n_nodes = int(header["n_nodes"])
+        out = CascadeSet(n_nodes)
         for lineno, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
                 continue
-            rec = json.loads(line)
             try:
-                out.append(Cascade(rec["nodes"], rec["times"]))
-            except (KeyError, ValueError) as exc:
-                raise ValueError(f"{path}:{lineno}: bad cascade record: {exc}") from exc
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed cascade record "
+                    f"(truncated or corrupt file?): {exc}"
+                ) from exc
+            try:
+                nodes = np.asarray(rec["nodes"], dtype=np.int64)
+                times = check_sorted_times(rec["times"], name="times")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: bad cascade record: {exc}"
+                ) from exc
+            if nodes.size and (nodes.min() < 0 or nodes.max() >= n_nodes):
+                bad = int(nodes.min()) if nodes.min() < 0 else int(nodes.max())
+                raise ValueError(
+                    f"{path}:{lineno}: node id {bad} outside [0, {n_nodes})"
+                )
+            try:
+                out.append(Cascade(nodes, times))
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: bad cascade record: {exc}"
+                ) from exc
         declared = int(header.get("n_cascades", len(out)))
         if declared != len(out):
             raise ValueError(
-                f"{path}: header declares {declared} cascades, found {len(out)}"
+                f"{path}: header declares {declared} cascades, found {len(out)} "
+                f"(truncated file?)"
             )
     return out

@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--l2", type=float, default=0.0)
     p.add_argument("--workers", type=int, default=1,
                    help=">1 runs the multiprocess backend")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="per-task retry budget under worker supervision")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="fixed per-task deadline in seconds (default: "
+                   "adaptive from the dispatch cost model)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="persist state after each merge-tree level here")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the checkpoint in --checkpoint-dir")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
 
@@ -164,7 +173,11 @@ def _cmd_infer(args) -> int:
     if args.train is not None:
         corpus, _ = corpus.split(min(args.train, len(corpus)))
     backend = (
-        MultiprocessBackend(n_workers=args.workers)
+        MultiprocessBackend(
+            n_workers=args.workers,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+        )
         if args.workers > 1
         else SerialBackend()
     )
@@ -177,14 +190,28 @@ def _cmd_infer(args) -> int:
             stop_at=args.stop_at,
             strategy=args.strategy,
             seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
     finally:
         backend.close()
     model.save(args.out)
-    print(
-        f"trained on {len(corpus)} cascades; merge tree {tree.widths()}; "
+    loglik = (
         f"final block log-likelihood {result.final_loglik:.1f}"
+        if result.levels
+        else "all levels already checkpointed"
     )
+    print(f"trained on {len(corpus)} cascades; merge tree {tree.widths()}; {loglik}")
+    if result.resumed_from_level is not None:
+        print(
+            f"resumed from checkpoint at level {result.resumed_from_level} "
+            f"(levels 0-{result.resumed_from_level - 1} already complete)"
+        )
+    if result.fault_log:
+        print(
+            f"supervision: {len(result.fault_log)} fault(s), "
+            f"{result.total_retries} retr{'y' if result.total_retries == 1 else 'ies'}"
+        )
     print(f"wrote embeddings ({model.n_nodes} x {model.n_topics} x 2) to {args.out}")
     return 0
 

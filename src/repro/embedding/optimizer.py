@@ -29,7 +29,25 @@ from repro.embedding.compiled import CompiledCorpus, corpus_gradients
 from repro.embedding.likelihood import EPS
 from repro.embedding.model import EmbeddingModel
 
-__all__ = ["OptimizerConfig", "FitResult", "ProjectedGradientAscent"]
+__all__ = [
+    "OptimizerConfig",
+    "FitResult",
+    "NumericalDivergenceError",
+    "ProjectedGradientAscent",
+]
+
+
+class NumericalDivergenceError(RuntimeError):
+    """The objective or its gradients became non-finite and stayed so.
+
+    Raised when repeated step-halving (``max_nonfinite_retries``
+    retractions in a row, or step-size underflow while retracting) fails
+    to return the iterate to a finite region — e.g. an extreme learning
+    rate overflowing ``exp``-free but unbounded rate sums.  Distinct from
+    ordinary convergence failure: the model state is not trustworthy, so
+    callers (the parallel engine's retry ladder in particular) should
+    treat the task as faulted rather than accept the result.
+    """
 
 
 @dataclass(frozen=True)
@@ -61,6 +79,10 @@ class OptimizerConfig:
         ``1/Δt`` from a handful of observations; a small ridge shrinks
         those unconstrained rows without noticeably moving well-observed
         ones.  0 (default) reproduces the paper's unregularized objective.
+    max_nonfinite_retries:
+        Consecutive non-finite evaluations (nan/inf log-likelihood or
+        gradients) tolerated while step-halving before the fit aborts
+        with :class:`NumericalDivergenceError`.
     background_rate:
         Exogenous hazard μ added inside every ``log Σ A_u·B_v`` term.
         When a merge-tree level reintroduces predecessor pairs whose rates
@@ -84,6 +106,7 @@ class OptimizerConfig:
     min_step: float = 1e-10
     eps: float = EPS
     l2: float = 0.0
+    max_nonfinite_retries: int = 8
     background_rate: float = 0.0
 
     def __post_init__(self) -> None:
@@ -97,6 +120,8 @@ class OptimizerConfig:
             raise ValueError("patience must be >= 1")
         if self.l2 < 0:
             raise ValueError("l2 must be >= 0")
+        if self.max_nonfinite_retries < 1:
+            raise ValueError("max_nonfinite_retries must be >= 1")
         if self.background_rate < 0:
             raise ValueError("background_rate must be >= 0")
 
@@ -193,8 +218,14 @@ class ProjectedGradientAscent:
         result = FitResult()
         lr = cfg.learning_rate
         best_ll = self._loglik_and_grads(model, corpus, gradA, gradB, cfg.eps)
+        if not self._all_finite(best_ll, gradA, gradB):
+            raise NumericalDivergenceError(
+                "objective or gradients non-finite at the starting point; "
+                "nothing to retract to — check initial embeddings and eps"
+            )
         result.history.append(best_ll)
         stall = 0
+        nonfinite_streak = 0
 
         for it in range(cfg.max_iters):
             if row_mask is not None:
@@ -208,6 +239,31 @@ class ProjectedGradientAscent:
 
             ll = self._loglik_and_grads(model, corpus, gradA, gradB, cfg.eps)
             result.n_iters = it + 1
+
+            if not self._all_finite(ll, gradA, gradB):
+                # The step left the finite region (overflowed rates,
+                # nan gradients).  Treat like a rejected step — retract
+                # and halve — but track the streak: if halving cannot
+                # recover, the fit is numerically dead and the caller
+                # must not trust the iterate.
+                model.A[:] = prevA
+                model.B[:] = prevB
+                lr *= cfg.step_decay
+                nonfinite_streak += 1
+                if nonfinite_streak > cfg.max_nonfinite_retries:
+                    raise NumericalDivergenceError(
+                        f"objective/gradients non-finite for "
+                        f"{nonfinite_streak} consecutive steps at "
+                        f"iteration {it + 1}; aborting"
+                    )
+                if lr < cfg.min_step:
+                    raise NumericalDivergenceError(
+                        f"step size underflowed ({lr:.3e}) while retreating "
+                        f"from a non-finite region at iteration {it + 1}"
+                    )
+                self._loglik_and_grads(model, corpus, gradA, gradB, cfg.eps)
+                continue
+            nonfinite_streak = 0
 
             if ll < best_ll - abs(best_ll) * 1e-12:
                 # Reject: retract, shrink step, retry from previous point.
@@ -241,6 +297,15 @@ class ProjectedGradientAscent:
             result.reason = "max iterations"
 
         return result
+
+    @staticmethod
+    def _all_finite(ll: float, gradA: np.ndarray, gradB: np.ndarray) -> bool:
+        """True when the objective and both gradient blocks are finite."""
+        return (
+            bool(np.isfinite(ll))
+            and bool(np.all(np.isfinite(gradA)))
+            and bool(np.all(np.isfinite(gradB)))
+        )
 
     def _loglik_and_grads(
         self,

@@ -172,6 +172,25 @@ class CorpusArena:
 
     # ------------------------------------------------------------------ #
 
+    def content_digest(self) -> str:
+        """Blake2b digest of the corpus content (nodes, times, offsets).
+
+        Matches the corpus component hashed by
+        :func:`repro.parallel.checkpoint.run_digest` — the arena stores
+        exactly the concatenation of every cascade's arrays — so
+        checkpoint validation can hash the flat shared buffers
+        (vectorized) instead of looping over ``Cascade`` objects.
+        """
+        if self._closed:
+            raise RuntimeError("arena already closed")
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.int64(self.n_nodes).tobytes())
+        h.update(np.int64(self.meta.n_cascades).tobytes())
+        h.update(np.ascontiguousarray(self.nodes).tobytes())
+        h.update(np.ascontiguousarray(self.times).tobytes())
+        h.update(np.ascontiguousarray(self.offsets).tobytes())
+        return h.hexdigest()
+
     @staticmethod
     def view(buf, meta: ArenaMeta):
         """Worker-side ndarray views ``(times, nodes, offsets)`` of a

@@ -25,11 +25,19 @@ The multiprocess backend has two dispatch paths:
   — kept for direct ``run_level`` callers and as the baseline the
   dispatch benchmark measures against.
 
-Either way, tasks are dispatched longest-predicted-first over
-``imap_unordered`` (LPT order from
+Either way, tasks are dispatched longest-predicted-first (LPT order from
 :class:`~repro.parallel.costmodel.DispatchCostEstimator`), so the level's
 straggler starts as early as possible instead of wherever ``Pool.map``'s
 chunking happened to place it.
+
+Dispatch is *supervised* (see :mod:`repro.parallel.supervision`): each
+attempt carries a deadline derived from the cost estimator, pool-process
+liveness is polled, and a crashed/hung/raising attempt is retried with
+exponential backoff down a degradation ladder — arena payload → legacy
+pickled payload → in-process serial execution — after respawning the
+worker pool (parent-owned shared segments survive; fresh workers simply
+re-attach and re-warm their compile caches).  Every retry re-seeds the
+task's embedding rows first, so faults never leak partial state.
 
 All paths produce bit-identical results for the same task inputs because
 the block optimizer is deterministic given its initial rows.
@@ -53,6 +61,12 @@ from repro.embedding.compiled import CompiledCorpus
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.optimizer import OptimizerConfig, ProjectedGradientAscent
 from repro.parallel.arena import ArenaMeta, CorpusArena, LevelSelection, SelectionMeta
+from repro.parallel.supervision import (
+    FaultLogEntry,
+    SupervisedDispatcher,
+    SupervisionConfig,
+    inject_fault,
+)
 from repro.utils.timing import Stopwatch
 
 __all__ = [
@@ -141,7 +155,15 @@ class DispatchStats:
     ``overhead_seconds`` is the level's wall-clock minus the compute time
     the workers measured for themselves — i.e. everything the parallel
     harness *added*: payload pickling, IPC, shared-memory (re)writes,
-    scheduling, and result collection.
+    scheduling, result collection, and (when faults occurred) retries,
+    backoff, and pool respawns.  ``compute_seconds`` counts each task's
+    *successful* attempt exactly once, so the accounting stays consistent
+    under retries — wasted attempts show up as overhead, where they
+    belong.
+
+    ``fault_log`` records every detected fault (timeout / crash /
+    exception) with the fallback rung chosen for the retry; see
+    :class:`~repro.parallel.supervision.FaultLogEntry`.
     """
 
     mode: str  # "arena" | "legacy" | "empty"
@@ -151,6 +173,9 @@ class DispatchStats:
     build_seconds: float
     payload_bytes: Optional[int] = None
     payload_pickle_seconds: Optional[float] = None
+    fault_log: List[FaultLogEntry] = field(default_factory=list)
+    n_retries: int = 0
+    n_respawns: int = 0
 
     @property
     def overhead_seconds(self) -> float:
@@ -307,6 +332,10 @@ def _mp_worker(args: Tuple) -> Tuple:
     sub-cascade arrays.  Both return
     ``(task_idx, community_id, n_iters, final_loglik, wall_seconds,
     work_units)`` — rows travel back through shared memory.
+
+    The trailing payload element is a test-only fault spec (normally
+    ``None``); it fires *before* any shared state is touched, so injected
+    faults exercise the supervision loop deterministically.
     """
     if args[0] == "arena":
         return _worker_arena(args)
@@ -328,7 +357,9 @@ def _worker_arena(args: Tuple) -> Tuple:
         mem_lo,
         mem_hi,
         config,
+        fault,
     ) = args
+    inject_fault(fault)
     sw = Stopwatch()
     with sw:
         shm_a = _attach_cached(shm_a_name)
@@ -372,7 +403,9 @@ def _worker_legacy(args: Tuple) -> Tuple:
         cascade_nodes,
         cascade_times,
         config,
+        fault,
     ) = args
+    inject_fault(fault)
     # The parent owns (and unlinks) these segments; attach without letting
     # this worker's resource tracker claim them too.
     shm_a = _attach_cached(shm_a_name)
@@ -448,6 +481,13 @@ class _Resources:
     Held via :func:`weakref.finalize` so abandoning a backend without
     ``close()`` (or an ``__init__`` failure after pool creation) still
     reaps the worker pool and unlinks the shared segments.
+
+    ``pool`` always points at the backend's *current* pool generation:
+    fault-triggered respawns terminate the old generation themselves and
+    then re-point this handle, so ``release`` stays idempotent across
+    generations — whichever generation is live when the backend closes
+    (or is GC'd) is the one reaped, and segments are unlinked exactly
+    once no matter how many respawns happened.
     """
 
     def __init__(self, pool) -> None:
@@ -475,6 +515,28 @@ def _finalize_resources(resources: _Resources) -> None:
     resources.release(graceful=False)
 
 
+@dataclass
+class _LevelContext:
+    """Per-``run_level`` state the supervised dispatch loop works against.
+
+    Holds everything needed to (re)build any task's payload at any rung —
+    so retries can degrade representation (arena → legacy → serial) and
+    reseed embedding rows without re-deriving level state.
+    """
+
+    tasks: List[BlockTask]
+    shape: Tuple[int, int]
+    name_a: str
+    name_b: str
+    A: np.ndarray  # parent view of the shared A block
+    B: np.ndarray
+    arena_mode: bool
+    arena_meta: Optional[ArenaMeta] = None
+    sel_meta: Optional[SelectionMeta] = None
+    #: per-task (sub_lo, sub_hi, mem_lo, mem_hi) index ranges (arena mode)
+    ranges: Optional[List[Tuple[int, int, int, int]]] = None
+
+
 class MultiprocessBackend(Backend):
     """Run tasks on a pool of OS processes with shared-memory embeddings.
 
@@ -494,6 +556,22 @@ class MultiprocessBackend(Backend):
         Record per-level payload size and pickle time in
         :attr:`level_profiles` (costs one extra serialization per payload;
         meant for the dispatch benchmark, not production runs).
+    max_retries:
+        Extra attempts per block task beyond the first; the last
+        permitted attempt always runs serially in the parent, so one
+        pathological community degrades instead of failing the run.
+        Shorthand for the corresponding :class:`SupervisionConfig` field.
+    task_timeout:
+        Explicit per-task deadline in seconds; ``None`` derives one from
+        the dispatch cost estimator once it has observed a level (see
+        :class:`SupervisionConfig`).
+    supervision:
+        Full supervision configuration; overrides ``max_retries`` /
+        ``task_timeout`` when given.
+    _fault_plan:
+        Test-only: a :class:`~repro.parallel.supervision._FaultPlan` (or
+        sequence of them) shipped to workers inside payloads to trigger
+        deterministic crash/hang/raise faults.
     """
 
     def __init__(
@@ -502,6 +580,10 @@ class MultiprocessBackend(Backend):
         context: str = "fork",
         use_arena: bool = True,
         profile_dispatch: bool = False,
+        max_retries: int = 3,
+        task_timeout: Optional[float] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        _fault_plan=None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -514,9 +596,22 @@ class MultiprocessBackend(Backend):
                 self, _finalize_resources, self._resources
             )
             self._pool = pool
+            self._worker_pids = frozenset(p.pid for p in pool._pool)
             self._closed = False
             self.use_arena = bool(use_arena)
             self.profile_dispatch = bool(profile_dispatch)
+            self.supervision = supervision or SupervisionConfig(
+                max_retries=max_retries, task_timeout=task_timeout
+            )
+            if _fault_plan is None:
+                self._fault_plans = ()
+            elif isinstance(_fault_plan, (list, tuple)):
+                self._fault_plans = tuple(_fault_plan)
+            else:
+                self._fault_plans = (_fault_plan,)
+            #: pool generations spawned after faults (0 = never respawned)
+            self.respawn_count = 0
+            self._level_ctx: Optional[_LevelContext] = None
             self._segments = _EmbeddingSegments()
             self._resources.segments.append(self._segments)
             self._arena: Optional[CorpusArena] = None
@@ -582,33 +677,47 @@ class MultiprocessBackend(Backend):
             self._arena is not None
             and all(t.is_arena_backed for t in tasks)
         )
+        ctx = _LevelContext(
+            tasks=tasks,
+            shape=shape,
+            name_a=name_a,
+            name_b=name_b,
+            A=A,
+            B=B,
+            arena_mode=arena_mode,
+        )
         if arena_mode:
-            payloads = self._arena_payloads(tasks, shape, name_a, name_b)
-        else:
-            payloads = self._legacy_payloads(tasks, shape, name_a, name_b)
+            self._publish_selection(ctx)
         build_seconds = time.perf_counter() - t_start
 
         payload_bytes = pickle_seconds = None
         if self.profile_dispatch:
+            native = "arena" if arena_mode else "legacy"
             t0 = time.perf_counter()
-            payload_bytes = sum(
-                len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
-                for p in payloads
-            )
+            payload_bytes = 0
+            for idx in range(len(tasks)):
+                payload = self._payload_for(ctx, idx, native, None)
+                payload_bytes += len(
+                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                )
             pickle_seconds = time.perf_counter() - t0
 
         # LPT dispatch: predicted-longest first, so the level's straggler
-        # is in flight before the cheap tasks queue up behind it.
+        # is in flight before the cheap tasks queue up behind it.  The
+        # supervised loop keeps ≤ n_workers outstanding, applies
+        # deadlines, and retries faults down the degradation ladder.
         order = self.estimator.order([t.n_infections for t in tasks])
-        raw: List[Optional[Tuple]] = [None] * len(tasks)
-        for rec in self._pool.imap_unordered(
-            _mp_worker, [payloads[i] for i in order], chunksize=1
-        ):
-            raw[rec[0]] = rec
+        self._level_ctx = ctx
+        try:
+            outcome = SupervisedDispatcher(
+                self, self.supervision, self.n_workers
+            ).run(order)
+        finally:
+            self._level_ctx = None
 
         results = []
-        for t, rec in zip(tasks, raw):
-            _idx, cid, n_iters, ll, secs, work = rec
+        for idx, t in enumerate(tasks):
+            _idx, cid, n_iters, ll, secs, work = outcome.records[idx]
             results.append(
                 BlockResult(
                     community_id=cid,
@@ -635,14 +744,20 @@ class MultiprocessBackend(Backend):
                 build_seconds=build_seconds,
                 payload_bytes=payload_bytes,
                 payload_pickle_seconds=pickle_seconds,
+                fault_log=outcome.fault_log,
+                n_retries=outcome.n_retries,
+                n_respawns=outcome.n_respawns,
             )
         )
         return results
 
     # ------------------------------------------------------------------ #
+    # Payload construction (per task, per degradation rung)
+    # ------------------------------------------------------------------ #
 
-    def _arena_payloads(self, tasks, shape, name_a, name_b) -> List[Tuple]:
-        """Publish the level's selection block; emit index-range payloads."""
+    def _publish_selection(self, ctx: _LevelContext) -> None:
+        """Publish the level's selection block; record per-task ranges."""
+        tasks = ctx.tasks
         positions = np.concatenate(
             [t.arena_positions for t in tasks]
             or [np.empty(0, dtype=np.int64)]
@@ -665,45 +780,166 @@ class MultiprocessBackend(Backend):
             g += s
             pos_base += int(t.arena_positions.size)
             mem_base += int(t.nodes.size)
-        sel_meta = self._selection.update(positions, sub_offsets, members)
-        arena_meta = self._arena.meta
-        return [
-            (
+        ctx.sel_meta = self._selection.update(positions, sub_offsets, members)
+        ctx.arena_meta = self._arena.meta
+        ctx.ranges = ranges
+
+    def _payload_for(
+        self, ctx: _LevelContext, idx: int, rung: str, fault
+    ) -> Tuple:
+        """Build task *idx*'s payload at the given degradation rung."""
+        t = ctx.tasks[idx]
+        if rung == "arena":
+            sub_lo, sub_hi, mem_lo, mem_hi = ctx.ranges[idx]
+            return (
                 "arena",
                 idx,
-                name_a,
-                name_b,
-                shape,
-                arena_meta,
-                sel_meta,
+                ctx.name_a,
+                ctx.name_b,
+                ctx.shape,
+                ctx.arena_meta,
+                ctx.sel_meta,
                 t.community_id,
                 sub_lo,
                 sub_hi,
                 mem_lo,
                 mem_hi,
                 t.config,
+                fault,
             )
-            for idx, (t, (sub_lo, sub_hi, mem_lo, mem_hi)) in enumerate(
-                zip(tasks, ranges)
-            )
-        ]
+        cascade_nodes, cascade_times = self._materialized_lists(t)
+        return (
+            "legacy",
+            idx,
+            ctx.name_a,
+            ctx.name_b,
+            ctx.shape,
+            t.community_id,
+            t.nodes,
+            cascade_nodes,
+            cascade_times,
+            t.config,
+            fault,
+        )
 
-    def _legacy_payloads(self, tasks, shape, name_a, name_b) -> List[Tuple]:
-        return [
-            (
-                "legacy",
-                idx,
-                name_a,
-                name_b,
-                shape,
-                t.community_id,
-                t.nodes,
-                t.cascade_nodes,
-                t.cascade_times,
-                t.config,
-            )
-            for idx, t in enumerate(tasks)
+    def _materialized_lists(self, t: BlockTask):
+        """The task's sub-cascades as local-id array lists.
+
+        Arena-backed tasks are materialized from the parent's own arena
+        views — the same gather + ``searchsorted`` remap workers perform,
+        so a degraded (legacy or serial) retry sees a bit-identical
+        corpus.
+        """
+        if t.cascade_nodes is not None:
+            return t.cascade_nodes, t.cascade_times
+        pos = t.arena_positions
+        offs = t.arena_sub_offsets
+        g_nodes = self._arena.nodes[pos]
+        times = self._arena.times[pos]
+        local = np.searchsorted(
+            np.asarray(t.nodes, dtype=np.int64), g_nodes
+        ).astype(np.int64)
+        cascade_nodes = [
+            local[offs[j] : offs[j + 1]] for j in range(offs.size - 1)
         ]
+        cascade_times = [
+            times[offs[j] : offs[j + 1]] for j in range(offs.size - 1)
+        ]
+        return cascade_nodes, cascade_times
+
+    # ------------------------------------------------------------------ #
+    # SupervisedDispatcher host protocol
+    # ------------------------------------------------------------------ #
+
+    def submit_attempt(self, idx: int, attempt: int, rung: str):
+        """Dispatch one attempt of task *idx* to the current pool."""
+        fault = self._fault_spec(idx, attempt)
+        payload = self._payload_for(self._level_ctx, idx, rung, fault)
+        return self._pool.apply_async(_mp_worker, (payload,))
+
+    def run_serial_fallback(self, idx: int) -> Tuple:
+        """Final degradation rung: run the task in-process, scatter rows."""
+        ctx = self._level_ctx
+        t = ctx.tasks[idx]
+        cascade_nodes, cascade_times = self._materialized_lists(t)
+        res = run_block_task(
+            BlockTask(
+                community_id=t.community_id,
+                nodes=t.nodes,
+                cascade_nodes=cascade_nodes,
+                cascade_times=cascade_times,
+                A_rows=t.A_rows,
+                B_rows=t.B_rows,
+                config=t.config,
+                level=t.level,
+            )
+        )
+        ctx.A[t.nodes] = res.A_rows
+        ctx.B[t.nodes] = res.B_rows
+        return (
+            idx,
+            t.community_id,
+            res.n_iters,
+            res.final_loglik,
+            res.wall_seconds,
+            res.work_units,
+        )
+
+    def reseed_tasks(self, indices: Sequence[int]) -> None:
+        """Restore tasks' seed rows before a retry (faults may have
+        partially scattered)."""
+        ctx = self._level_ctx
+        for idx in indices:
+            t = ctx.tasks[idx]
+            if t.nodes.size:
+                ctx.A[t.nodes] = t.A_rows
+                ctx.B[t.nodes] = t.B_rows
+
+    def respawn_pool(self) -> None:
+        """Hard-kill the current (damaged or hung) generation; start fresh.
+
+        Parent-owned shared segments are untouched — new workers simply
+        re-attach and re-warm their compile caches.
+        """
+        self._pool.terminate()
+        self._pool.join()
+        self._pool = self._ctx.Pool(self.n_workers)
+        self._resources.pool = self._pool
+        self._worker_pids = frozenset(p.pid for p in self._pool._pool)
+        self.respawn_count += 1
+
+    def pool_damaged(self) -> bool:
+        """True when any process of the current generation died (the pool's
+        own repopulation also changes the pid set, so a death is detected
+        even if the pool already replaced the corpse)."""
+        procs = getattr(self._pool, "_pool", None) or []
+        if any(p.exitcode is not None for p in procs):
+            return True
+        return frozenset(p.pid for p in procs) != self._worker_pids
+
+    def task_deadline(self, idx: int) -> Optional[float]:
+        cfg = self.supervision
+        if cfg.task_timeout is not None:
+            return cfg.task_timeout
+        t = self._level_ctx.tasks[idx]
+        return self.estimator.deadline(
+            t.n_infections, factor=cfg.timeout_factor, floor=cfg.timeout_floor
+        )
+
+    def task_rungs(self, idx: int) -> Tuple[str, ...]:
+        if self._level_ctx.arena_mode:
+            return ("arena", "legacy", "serial")
+        return ("legacy", "serial")
+
+    def task_community(self, idx: int) -> int:
+        return self._level_ctx.tasks[idx].community_id
+
+    def _fault_spec(self, idx: int, attempt: int):
+        for plan in self._fault_plans:
+            spec = plan.spec_for(idx, attempt)
+            if spec is not None:
+                return spec
+        return None
 
     @staticmethod
     def _empty_result(t: BlockTask) -> BlockResult:

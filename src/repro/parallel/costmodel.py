@@ -140,6 +140,21 @@ class DispatchCostEstimator:
             return None
         return self.predict_work(n_infections) * self._spu_ema
 
+    def deadline(
+        self, n_infections: int, factor: float = 10.0, floor: float = 10.0
+    ) -> float | None:
+        """Supervision deadline for a task: ``max(floor, factor × predicted)``.
+
+        ``None`` before any level has been observed (no seconds
+        calibration yet) — the supervision loop then leaves the task
+        un-deadlined rather than guessing; crash detection still covers
+        hard worker deaths at level 0.
+        """
+        pred = self.predict_seconds(n_infections)
+        if pred is None:
+            return None
+        return max(float(floor), float(factor) * pred)
+
     def order(self, infections: Sequence[int]) -> List[int]:
         """Indices of *infections* in dispatch (LPT: descending cost) order.
 

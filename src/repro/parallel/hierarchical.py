@@ -21,7 +21,8 @@ simulated *p*-core machine to regenerate the paper's scaling figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -33,11 +34,13 @@ from repro.cooccurrence.build import build_cooccurrence_graph
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.optimizer import OptimizerConfig
 from repro.parallel.backends import Backend, BlockResult, BlockTask, SerialBackend
+from repro.parallel.checkpoint import CheckpointManager, run_digest
 from repro.parallel.splitting import (
     split_cascades,
     split_positions,
     subcorpus_for_community,
 )
+from repro.parallel.supervision import FaultLogEntry
 from repro.utils.rng import SeedLike
 
 __all__ = ["LevelStats", "HierarchicalResult", "HierarchicalInference", "infer_embeddings"]
@@ -58,6 +61,11 @@ class LevelStats:
     #: per-community final block log-likelihood
     logliks: List[float] = field(default_factory=list)
     iterations: List[int] = field(default_factory=list)
+    #: faults the backend survived while running this level (empty for
+    #: serial backends and fault-free parallel levels)
+    fault_log: List[FaultLogEntry] = field(default_factory=list)
+    #: re-dispatched attempts at this level (0 when fault-free)
+    n_retries: int = 0
 
     @property
     def barrier_seconds(self) -> float:
@@ -72,13 +80,28 @@ class LevelStats:
 
 @dataclass
 class HierarchicalResult:
-    """Outcome of a hierarchical fit."""
+    """Outcome of a hierarchical fit.
+
+    ``resumed_from_level`` is the first level this run actually executed
+    when it restarted from a checkpoint (``None`` for a fresh run);
+    ``levels`` then only contains the executed levels.
+    """
 
     levels: List[LevelStats] = field(default_factory=list)
+    resumed_from_level: Optional[int] = None
 
     @property
     def total_work_units(self) -> int:
         return int(sum(sum(l.work_units) for l in self.levels))
+
+    @property
+    def fault_log(self) -> List[FaultLogEntry]:
+        """Every fault survived across all executed levels."""
+        return [e for l in self.levels for e in l.fault_log]
+
+    @property
+    def total_retries(self) -> int:
+        return int(sum(l.n_retries for l in self.levels))
 
     @property
     def serial_seconds(self) -> float:
@@ -123,18 +146,76 @@ class HierarchicalInference:
         self.min_subcascade_size = int(min_subcascade_size)
 
     def fit(
-        self, model: EmbeddingModel, cascades: CascadeSet
+        self,
+        model: EmbeddingModel,
+        cascades: CascadeSet,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        rng: Optional[np.random.Generator] = None,
     ) -> HierarchicalResult:
-        """Optimize *model* in place, traversing all merge-tree levels."""
+        """Optimize *model* in place, traversing all merge-tree levels.
+
+        Parameters
+        ----------
+        checkpoint_dir:
+            When given, the driver atomically persists ``A``/``B``, the
+            completed level index, the run digest (corpus + tree +
+            config), and *rng*'s state (if provided) after **every**
+            merge-tree level, so a crashed run loses at most one level.
+        resume:
+            Restart from the checkpoint in *checkpoint_dir*: the digest
+            is validated (:class:`~repro.parallel.checkpoint
+            .CheckpointMismatchError` on mismatch), the checkpointed
+            embeddings replace *model*'s, and execution continues from
+            the first incomplete level.  Resumed runs are bit-identical
+            to uninterrupted ones because each level is a pure function
+            of the previous level's embeddings.  With no checkpoint on
+            disk the run simply starts fresh.
+        rng:
+            Optional generator whose state is checkpointed and restored,
+            for callers that keep drawing from it after ``fit`` returns.
+        """
         if model.n_nodes != cascades.n_nodes:
             raise ValueError("model and cascades cover different universes")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        manager = digest = None
+        start_level = 0
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(checkpoint_dir)
+            digest = run_digest(cascades, self.tree, self.config)
+            if resume:
+                ck = manager.validate(digest)
+                if ck is not None:
+                    if ck.A.shape != model.A.shape:
+                        raise ValueError(
+                            f"checkpoint embeddings have shape {ck.A.shape}, "
+                            f"model has {model.A.shape}"
+                        )
+                    model.A[:] = ck.A
+                    model.B[:] = ck.B
+                    start_level = ck.level_idx + 1
+                    if rng is not None and ck.rng_state is not None:
+                        rng.bit_generator.state = ck.rng_state
         # Engine start: a zero-copy backend publishes the corpus to shared
         # memory once; every level then dispatches index ranges into it.
         arena = self.backend.prepare(cascades)
-        result = HierarchicalResult()
+        result = HierarchicalResult(
+            resumed_from_level=start_level if start_level > 0 else None
+        )
         for level_idx, partition in enumerate(self.tree.levels):
+            if level_idx < start_level:
+                continue  # already completed by the checkpointed run
             stats = self._run_level(level_idx, partition, model, cascades, arena)
             result.levels.append(stats)
+            if manager is not None:
+                manager.save(
+                    level_idx,
+                    model.A,
+                    model.B,
+                    digest,
+                    rng_state=rng.bit_generator.state if rng is not None else None,
+                )
         return result
 
     # ------------------------------------------------------------------ #
@@ -151,8 +232,14 @@ class HierarchicalInference:
             tasks = self._arena_tasks(level_idx, partition, model, arena)
         else:
             tasks = self._materialized_tasks(level_idx, partition, model, cascades)
+        profiles = getattr(self.backend, "level_profiles", None)
+        n_profiles_before = len(profiles) if profiles is not None else 0
         results = self.backend.run_level(tasks)
         stats = LevelStats(level=level_idx, n_communities=partition.n_communities)
+        if profiles is not None and len(profiles) > n_profiles_before:
+            # Surface the backend's fault accounting for this level.
+            stats.fault_log = list(profiles[-1].fault_log)
+            stats.n_retries = profiles[-1].n_retries
         for res in results:
             model.A[res.nodes] = res.A_rows
             model.B[res.nodes] = res.B_rows
@@ -252,6 +339,8 @@ def infer_embeddings(
     min_cooccurrence_weight: float = 0.1,
     seed: SeedLike = None,
     init_scale: float = 0.5,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> tuple[EmbeddingModel, HierarchicalResult, MergeTree]:
     """End-to-end inference: co-occurrence graph → SLPA → merge tree → fit.
 
@@ -265,6 +354,11 @@ def infer_embeddings(
         blocks, or a random partition for the ablation study).
     stop_at, strategy:
         Merge-tree controls (Alg. 2's *q* and the balancing strategy).
+    checkpoint_dir, resume:
+        Per-level checkpointing / restart; see
+        :meth:`HierarchicalInference.fit`.  Resume re-derives the
+        partition and tree from the same seed, then validates them
+        against the checkpoint digest before skipping completed levels.
     min_cooccurrence_weight:
         Dice-weight threshold applied to the co-occurrence graph before
         SLPA.  Viral cascades cross communities, so the raw graph carries
@@ -285,5 +379,7 @@ def infer_embeddings(
         cascades.n_nodes, n_topics, scale=init_scale, seed=rng
     )
     engine = HierarchicalInference(tree, config=config, backend=backend)
-    result = engine.fit(model, cascades)
+    result = engine.fit(
+        model, cascades, checkpoint_dir=checkpoint_dir, resume=resume, rng=rng
+    )
     return model, result, tree

@@ -1,6 +1,21 @@
-"""Shared fixtures: small deterministic corpora and models."""
+"""Shared fixtures (small deterministic corpora/models) + suite watchdog.
+
+The fault-tolerance tests deliberately hang and kill worker processes; a
+supervision bug would otherwise wedge the whole suite.  Every test runs
+under a per-test deadline (``REPRO_TEST_TIMEOUT`` seconds, default 600):
+
+* with the ``pytest-timeout`` plugin installed (a declared test extra),
+  its default timeout is set and the plugin does the enforcement;
+* without it — this container, for one — a SIGALRM fallback below fails
+  the test from the alarm handler.  Main-thread/main-process only, which
+  is where pytest runs tests; worker subprocesses are unaffected.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -8,6 +23,43 @@ import pytest
 from repro.cascades.types import Cascade, CascadeSet
 from repro.embedding.model import EmbeddingModel
 from repro.graphs.generators import stochastic_block_model
+
+_SUITE_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "600"))
+_HAVE_PLUGIN = False
+
+
+def pytest_configure(config):
+    global _HAVE_PLUGIN
+    _HAVE_PLUGIN = config.pluginmanager.hasplugin("timeout")
+    if _HAVE_PLUGIN and getattr(config.option, "timeout", None) in (None, 0):
+        config.option.timeout = _SUITE_TIMEOUT
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        not _HAVE_PLUGIN
+        and _SUITE_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return (yield)
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"watchdog: test exceeded {_SUITE_TIMEOUT:.0f}s "
+            f"(REPRO_TEST_TIMEOUT to adjust)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _SUITE_TIMEOUT)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,185 @@
+"""Integration: interrupt a hierarchical fit, resume, get identical results.
+
+Level *i+1* is a pure function of level *i*'s embeddings, so a run
+restarted from the per-level checkpoint must finish bit-identical to an
+uninterrupted one — that is the whole value proposition of checkpointing
+an hours-long fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascades.simulate import simulate_corpus
+from repro.community.mergetree import MergeTree
+from repro.community.partition import Partition
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.optimizer import OptimizerConfig
+from repro.graphs.generators import stochastic_block_model
+from repro.parallel.backends import SerialBackend
+from repro.parallel.checkpoint import CheckpointManager, CheckpointMismatchError
+from repro.parallel.hierarchical import HierarchicalInference, infer_embeddings
+
+N_NODES = 60
+
+
+class SimulatedCrash(Exception):
+    pass
+
+
+class CrashingBackend(SerialBackend):
+    """Serial backend that dies before running level *crash_at*."""
+
+    def __init__(self, crash_at):
+        self.crash_at = crash_at
+        self.levels_run = 0
+
+    def run_level(self, tasks):
+        if self.levels_run == self.crash_at:
+            raise SimulatedCrash(f"injected crash before level {self.crash_at}")
+        self.levels_run += 1
+        return super().run_level(tasks)
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, membership = stochastic_block_model(
+        N_NODES, 20, p_in=0.4, p_out=0.01, seed=0
+    )
+    cascades = simulate_corpus(graph, 40, window=0.5, seed=1, min_size=2)
+    return cascades, Partition(membership)
+
+
+@pytest.fixture
+def setup(world):
+    cascades, part = world
+    cfg = OptimizerConfig(max_iters=15)
+    tree = MergeTree(part, stop_at=1)
+    assert len(tree.levels) >= 2  # the interrupt tests need a middle
+    return cascades, cfg, tree
+
+
+def _model():
+    return EmbeddingModel.random(N_NODES, 3, seed=7)
+
+
+class TestResume:
+    def test_interrupted_run_resumes_bit_identical(self, setup, tmp_path):
+        cascades, cfg, tree = setup
+        ckdir = tmp_path / "ck"
+
+        reference = _model()
+        ref_result = HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            reference, cascades
+        )
+
+        # crash after completing exactly one level
+        crashed = _model()
+        with pytest.raises(SimulatedCrash):
+            HierarchicalInference(tree, cfg, CrashingBackend(crash_at=1)).fit(
+                crashed, cascades, checkpoint_dir=ckdir
+            )
+        ck = CheckpointManager(ckdir).load()
+        assert ck is not None and ck.level_idx == 0
+
+        resumed = _model()
+        result = HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            resumed, cascades, checkpoint_dir=ckdir, resume=True
+        )
+        np.testing.assert_array_equal(resumed.A, reference.A)
+        np.testing.assert_array_equal(resumed.B, reference.B)
+        assert result.resumed_from_level == 1
+        assert len(result.levels) == len(ref_result.levels) - 1
+        assert result.levels[0].level == 1
+
+    def test_resume_skips_all_completed_levels(self, setup, tmp_path):
+        cascades, cfg, tree = setup
+        ckdir = tmp_path / "ck"
+        done = _model()
+        HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            done, cascades, checkpoint_dir=ckdir
+        )
+        again = _model()
+        result = HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            again, cascades, checkpoint_dir=ckdir, resume=True
+        )
+        np.testing.assert_array_equal(again.A, done.A)
+        assert result.levels == []  # nothing left to execute
+        assert result.resumed_from_level == len(tree.levels)
+
+    def test_resume_with_empty_dir_runs_fresh(self, setup, tmp_path):
+        cascades, cfg, tree = setup
+        model = _model()
+        result = HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            model, cascades, checkpoint_dir=tmp_path / "empty", resume=True
+        )
+        assert result.resumed_from_level is None
+        assert len(result.levels) == len(tree.levels)
+
+    def test_resume_requires_checkpoint_dir(self, setup):
+        cascades, cfg, tree = setup
+        with pytest.raises(ValueError, match="requires checkpoint_dir"):
+            HierarchicalInference(tree, cfg, SerialBackend()).fit(
+                _model(), cascades, resume=True
+            )
+
+    def test_rng_state_restored(self, setup, tmp_path):
+        cascades, cfg, tree = setup
+        ckdir = tmp_path / "ck"
+        rng = np.random.default_rng(3)
+        rng.random(17)  # advance to a non-trivial state
+        HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            _model(), cascades, checkpoint_dir=ckdir, rng=rng
+        )
+        expected = rng.random()
+        rng2 = np.random.default_rng(999)  # totally different state
+        HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            _model(), cascades, checkpoint_dir=ckdir, resume=True, rng=rng2
+        )
+        assert rng2.random() == expected
+
+
+class TestDigestGuard:
+    def test_config_change_rejected(self, setup, tmp_path):
+        cascades, cfg, tree = setup
+        ckdir = tmp_path / "ck"
+        HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            _model(), cascades, checkpoint_dir=ckdir
+        )
+        other_cfg = OptimizerConfig(max_iters=16)
+        with pytest.raises(CheckpointMismatchError):
+            HierarchicalInference(tree, other_cfg, SerialBackend()).fit(
+                _model(), cascades, checkpoint_dir=ckdir, resume=True
+            )
+
+    def test_corpus_change_rejected(self, world, setup, tmp_path):
+        cascades, cfg, tree = setup
+        ckdir = tmp_path / "ck"
+        HierarchicalInference(tree, cfg, SerialBackend()).fit(
+            _model(), cascades, checkpoint_dir=ckdir
+        )
+        graph, _ = stochastic_block_model(N_NODES, 20, p_in=0.4, p_out=0.01, seed=5)
+        other = simulate_corpus(graph, 40, window=0.5, seed=6, min_size=2)
+        with pytest.raises(CheckpointMismatchError):
+            HierarchicalInference(tree, cfg, SerialBackend()).fit(
+                _model(), other, checkpoint_dir=ckdir, resume=True
+            )
+
+
+class TestPipelineEntryPoint:
+    def test_infer_embeddings_checkpoint_roundtrip(self, world, tmp_path):
+        cascades, part = world
+        ckdir = tmp_path / "ck"
+        cfg = OptimizerConfig(max_iters=10)
+        m1, r1, _ = infer_embeddings(
+            cascades, 3, config=cfg, partition=part, seed=11,
+            checkpoint_dir=ckdir,
+        )
+        # resume from the finished checkpoint: same seed re-derives the
+        # tree, digest validates, all levels skip, embeddings match
+        m2, r2, _ = infer_embeddings(
+            cascades, 3, config=cfg, partition=part, seed=11,
+            checkpoint_dir=ckdir, resume=True,
+        )
+        np.testing.assert_array_equal(m1.A, m2.A)
+        np.testing.assert_array_equal(m1.B, m2.B)
+        assert r2.levels == []

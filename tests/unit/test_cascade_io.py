@@ -65,3 +65,70 @@ class TestErrors:
         content = p.read_text().replace("\n", "\n\n")
         p.write_text(content)
         assert load_cascades_jsonl(p) == small_corpus
+
+
+class TestCorruptFiles:
+    """A killed writer leaves truncated/garbled bytes; loading must name
+    the offending line, not crash later inside inference."""
+
+    def test_malformed_header_reports_line_1(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        p.write_text('{"n_nodes": 3,\n')
+        with pytest.raises(ValueError, match=r":1: malformed header"):
+            load_cascades_jsonl(p)
+
+    def test_truncated_record_reports_line(self, tmp_path, small_corpus):
+        p = tmp_path / "x.jsonl"
+        save_cascades_jsonl(small_corpus, p)
+        text = p.read_text().rstrip("\n")
+        p.write_text(text[: len(text) // 2])  # chop mid-record
+        with pytest.raises(ValueError, match=r"x\.jsonl:\d+: malformed"):
+            load_cascades_jsonl(p)
+
+    def test_non_monotone_times_rejected(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        lines = [
+            json.dumps({"n_nodes": 3, "n_cascades": 1}),
+            json.dumps({"nodes": [0, 1], "times": [1.0, 0.0]}),
+        ]
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r":2:.*sorted"):
+            load_cascades_jsonl(p)
+
+    def test_node_id_beyond_n_nodes_rejected(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        lines = [
+            json.dumps({"n_nodes": 3, "n_cascades": 1}),
+            json.dumps({"nodes": [0, 3], "times": [0.0, 1.0]}),
+        ]
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r":2:.*node id 3 outside \[0, 3\)"):
+            load_cascades_jsonl(p)
+
+    def test_negative_node_id_rejected(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        lines = [
+            json.dumps({"n_nodes": 3, "n_cascades": 1}),
+            json.dumps({"nodes": [-1, 1], "times": [0.0, 1.0]}),
+        ]
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r":2:.*node id -1"):
+            load_cascades_jsonl(p)
+
+    def test_missing_times_key_reports_line(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        lines = [
+            json.dumps({"n_nodes": 3, "n_cascades": 1}),
+            json.dumps({"nodes": [0, 1]}),
+        ]
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r":2: bad cascade record"):
+            load_cascades_jsonl(p)
+
+    def test_truncated_tail_flagged_as_count_mismatch(self, tmp_path, small_corpus):
+        p = tmp_path / "x.jsonl"
+        save_cascades_jsonl(small_corpus, p)
+        lines = p.read_text().splitlines()
+        p.write_text("\n".join(lines[:-1]) + "\n")  # drop last full record
+        with pytest.raises(ValueError, match="truncated"):
+            load_cascades_jsonl(p)

@@ -1,0 +1,114 @@
+"""Unit tests for the optimizer's non-finite guard.
+
+``corpus_gradients`` is monkeypatched at the optimizer module level so
+nan/inf evaluations fire at chosen iterations, deterministically.
+"""
+
+import numpy as np
+import pytest
+
+import repro.embedding.optimizer as optimizer_mod
+from repro.embedding.optimizer import (
+    NumericalDivergenceError,
+    OptimizerConfig,
+    ProjectedGradientAscent,
+)
+
+
+class FakeGradients:
+    """Stands in for ``corpus_gradients``: finite except on chosen calls.
+
+    Finite calls return a slowly improving objective with a constant
+    ascent direction; ``bad_calls`` (1-based call numbers) return nan and
+    nan-filled gradients.
+    """
+
+    def __init__(self, bad_calls=()):
+        self.bad_calls = set(bad_calls)
+        self.n_calls = 0
+
+    def __call__(self, A, B, corpus, gradA, gradB, eps=0.0, background_rate=0.0):
+        self.n_calls += 1
+        if self.n_calls in self.bad_calls:
+            gradA.fill(np.nan)
+            gradB.fill(np.nan)
+            return float("nan")
+        gradA.fill(0.01)
+        gradB.fill(0.01)
+        # improves with the (monotone) sum of entries so steps are accepted
+        return -100.0 + float(A.sum() + B.sum())
+
+
+@pytest.fixture
+def patched(monkeypatch):
+    def patch(bad_calls=()):
+        fake = FakeGradients(bad_calls)
+        monkeypatch.setattr(optimizer_mod, "corpus_gradients", fake)
+        return fake
+
+    return patch
+
+
+class TestConfigValidation:
+    def test_rejects_zero_retries(self):
+        with pytest.raises(ValueError, match="max_nonfinite_retries"):
+            OptimizerConfig(max_nonfinite_retries=0)
+
+    def test_default_present(self):
+        assert OptimizerConfig().max_nonfinite_retries == 8
+
+
+class TestNonFiniteGuard:
+    def test_nonfinite_at_start_raises(self, patched, small_corpus, small_model):
+        patched(bad_calls=(1,))
+        opt = ProjectedGradientAscent(OptimizerConfig(max_iters=10))
+        with pytest.raises(NumericalDivergenceError, match="starting point"):
+            opt.fit(small_model, small_corpus)
+
+    def test_transient_nonfinite_recovers(self, patched, small_corpus, small_model):
+        # call 1 = initial, call 2 = iteration 1's evaluation goes bad,
+        # call 3 = recompute at the retracted point, then all finite
+        fake = patched(bad_calls=(2,))
+        opt = ProjectedGradientAscent(OptimizerConfig(max_iters=10))
+        result = opt.fit(small_model, small_corpus)
+        assert np.isfinite(result.final_loglik)
+        assert np.all(np.isfinite(small_model.A))
+        assert result.n_iters == 10  # the fit kept going after recovery
+        assert fake.n_calls > 3
+
+    def test_persistent_nonfinite_raises(self, patched, small_corpus, small_model):
+        # every stepped evaluation is bad; retraction recomputes (odd
+        # calls) stay finite, so only the step-evaluations burn retries
+        fake = patched(bad_calls=set(range(2, 100, 2)))
+        opt = ProjectedGradientAscent(
+            OptimizerConfig(max_iters=100, max_nonfinite_retries=3)
+        )
+        with pytest.raises(NumericalDivergenceError, match="consecutive"):
+            opt.fit(small_model, small_corpus)
+
+    def test_streak_resets_on_finite_iteration(self, patched, small_corpus, small_model):
+        # bad at scattered, non-consecutive step-evaluations: 2 then 6 —
+        # each is a streak of one, so a budget of 2 never trips
+        fake = patched(bad_calls=(2, 6))
+        opt = ProjectedGradientAscent(
+            OptimizerConfig(max_iters=10, max_nonfinite_retries=2)
+        )
+        result = opt.fit(small_model, small_corpus)
+        assert np.isfinite(result.final_loglik)
+
+    def test_model_not_left_nan_after_raise(self, patched, small_corpus, small_model):
+        patched(bad_calls=set(range(2, 100, 2)))
+        opt = ProjectedGradientAscent(
+            OptimizerConfig(max_iters=100, max_nonfinite_retries=2)
+        )
+        with pytest.raises(NumericalDivergenceError):
+            opt.fit(small_model, small_corpus)
+        # the guard retracts before raising: the iterate stays finite
+        assert np.all(np.isfinite(small_model.A))
+        assert np.all(np.isfinite(small_model.B))
+
+    def test_real_corpus_unaffected(self, small_corpus, small_model):
+        # no patching: the guard must not change behaviour on healthy data
+        opt = ProjectedGradientAscent(OptimizerConfig(max_iters=20))
+        result = opt.fit(small_model, small_corpus)
+        assert np.isfinite(result.final_loglik)

@@ -1,0 +1,296 @@
+"""Unit tests for the supervised dispatch loop (fake host, no processes).
+
+A fake host lets every supervision path — retry ladder, fault accounting,
+timeouts, crashes, exhaustion — run deterministically in-process.  The
+real-pool behaviour (actual kills, hangs, respawns) is exercised by
+``tests/integration/test_fault_tolerance.py``.
+"""
+
+import pytest
+
+from repro.parallel.supervision import (
+    DispatchOutcome,
+    FaultLogEntry,
+    InjectedFault,
+    SupervisedDispatcher,
+    SupervisionConfig,
+    TaskFailedError,
+    _FaultPlan,
+    inject_fault,
+)
+
+
+# --------------------------------------------------------------------- #
+# Config / fault-plan plumbing
+# --------------------------------------------------------------------- #
+
+
+class TestSupervisionConfig:
+    def test_defaults_valid(self):
+        cfg = SupervisionConfig()
+        assert cfg.max_retries == 3 and cfg.task_timeout is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"task_timeout": 0.0},
+            {"task_timeout": -1.0},
+            {"timeout_factor": 0.0},
+            {"timeout_floor": -1.0},
+            {"backoff_seconds": -0.1},
+            {"poll_interval": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionConfig(**kwargs)
+
+
+class TestFaultPlan:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            _FaultPlan(task_idx=0, action="explode")
+
+    def test_spec_matches_task_and_attempt(self):
+        plan = _FaultPlan(task_idx=2, action="raise", attempts=(0, 1))
+        assert plan.spec_for(2, 0) == ("raise", 3600.0)
+        assert plan.spec_for(2, 1) is not None
+        assert plan.spec_for(2, 2) is None
+        assert plan.spec_for(1, 0) is None
+
+    def test_inject_none_is_noop(self):
+        inject_fault(None)  # must not raise
+
+    def test_inject_raise(self):
+        with pytest.raises(InjectedFault):
+            inject_fault(("raise", 0.0))
+
+
+# --------------------------------------------------------------------- #
+# Fake host
+# --------------------------------------------------------------------- #
+
+
+class FakeResult:
+    """Duck-typed AsyncResult: immediately ready unless told otherwise."""
+
+    def __init__(self, fn, ready=True):
+        self._fn = fn
+        self._ready = ready
+
+    def ready(self):
+        return self._ready
+
+    def get(self):
+        return self._fn()
+
+    def wait(self, timeout):
+        pass
+
+
+def _record(idx):
+    return (idx, 100 + idx, 1, -1.0, 0.001, 5)
+
+
+class FakeHost:
+    """Host protocol stub: configurable failures, no real processes."""
+
+    def __init__(self, fail=None, rungs=("arena", "legacy", "serial"),
+                 deadlines=None, never_ready=()):
+        self.fail = fail or {}  # idx -> attempts that raise in the "worker"
+        self.rungs = tuple(rungs)
+        self.deadlines = deadlines or {}
+        self.never_ready = set(never_ready)  # (idx, attempt) that hang
+        self.damaged = False
+        self.reseeds = []
+        self.respawns = 0
+        self.serial_runs = []
+        self.submissions = []  # (idx, attempt, rung)
+
+    def submit_attempt(self, idx, attempt, rung):
+        self.submissions.append((idx, attempt, rung))
+
+        def fn():
+            if attempt in self.fail.get(idx, ()):
+                raise RuntimeError(f"boom {idx}@{attempt}")
+            return _record(idx)
+
+        return FakeResult(fn, ready=(idx, attempt) not in self.never_ready)
+
+    def run_serial_fallback(self, idx):
+        self.serial_runs.append(idx)
+        return _record(idx)
+
+    def reseed_tasks(self, indices):
+        self.reseeds.append(tuple(indices))
+
+    def respawn_pool(self):
+        self.respawns += 1
+        self.damaged = False
+
+    def pool_damaged(self):
+        return self.damaged
+
+    def task_deadline(self, idx):
+        return self.deadlines.get(idx)
+
+    def task_rungs(self, idx):
+        return self.rungs
+
+    def task_community(self, idx):
+        return 100 + idx
+
+
+def _dispatch(host, n_tasks, **cfg_kwargs):
+    cfg_kwargs.setdefault("backoff_seconds", 0.0)
+    cfg_kwargs.setdefault("poll_interval", 0.001)
+    cfg = SupervisionConfig(**cfg_kwargs)
+    return SupervisedDispatcher(host, cfg, n_workers=2).run(range(n_tasks))
+
+
+# --------------------------------------------------------------------- #
+# Dispatch behaviour
+# --------------------------------------------------------------------- #
+
+
+class TestCleanDispatch:
+    def test_all_tasks_recorded_once(self):
+        host = FakeHost()
+        out = _dispatch(host, 5)
+        assert sorted(out.records) == [0, 1, 2, 3, 4]
+        assert out.fault_log == [] and out.n_retries == 0 and out.n_respawns == 0
+        # one submission per task, all at attempt 0 on the first rung
+        assert sorted(host.submissions) == [(i, 0, "arena") for i in range(5)]
+
+    def test_empty_order(self):
+        out = _dispatch(FakeHost(), 0)
+        assert out.records == {} and isinstance(out, DispatchOutcome)
+
+
+class TestRetryLadder:
+    def test_rung_escalation(self):
+        d = SupervisedDispatcher(FakeHost(), SupervisionConfig(max_retries=3), 2)
+        assert d._rung_for(0, 0) == "arena"
+        assert d._rung_for(0, 1) == "legacy"
+        assert d._rung_for(0, 2) == "serial"
+        # final permitted attempt is always serial, whatever the ladder says
+        assert d._rung_for(0, 3) == "serial"
+
+    def test_short_ladder_final_attempt_serial(self):
+        host = FakeHost(rungs=("legacy", "serial"))
+        d = SupervisedDispatcher(host, SupervisionConfig(max_retries=3), 2)
+        assert d._rung_for(0, 0) == "legacy"
+        assert d._rung_for(0, 1) == "serial"
+        assert d._rung_for(0, 3) == "serial"
+
+    def test_zero_retries_runs_straight_to_last_rung(self):
+        host = FakeHost()
+        d = SupervisedDispatcher(host, SupervisionConfig(max_retries=0), 2)
+        assert d._rung_for(0, 0) == "serial"
+
+    def test_exception_walks_the_ladder(self):
+        # task 1 raises at attempts 0 and 1 -> arena, legacy fail; serial wins
+        host = FakeHost(fail={1: (0, 1)})
+        out = _dispatch(host, 3, max_retries=3)
+        assert sorted(out.records) == [0, 1, 2]
+        assert out.n_retries == 2
+        assert [(e.attempt, e.cause, e.fallback) for e in out.fault_log] == [
+            (0, "exception", "legacy"),
+            (1, "exception", "serial"),
+        ]
+        assert host.serial_runs == [1]
+        # seed rows restored before every retry
+        assert host.reseeds == [(1,), (1,)]
+
+    def test_faulty_task_counted_once(self):
+        host = FakeHost(fail={0: (0,)})
+        out = _dispatch(host, 4, max_retries=2)
+        assert len(out.records) == 4
+        assert all(out.records[i][0] == i for i in range(4))
+
+    def test_exhaustion_raises_with_history(self):
+        # ladder that never reaches an unkillable rung: exhausting the
+        # budget must raise, carrying every attempt's cause
+        host = FakeHost(fail={0: (0, 1)}, rungs=("legacy",))
+        with pytest.raises(TaskFailedError) as exc_info:
+            _dispatch(host, 1, max_retries=1)
+        err = exc_info.value
+        assert err.task_idx == 0 and err.community_id == 100
+        assert [e.attempt for e in err.entries] == [0, 1]
+        assert "attempt 1: exception" in str(err)
+
+
+class TestTimeouts:
+    def test_hung_task_times_out_and_degrades(self):
+        # attempt 0 never completes; deadline expires, respawn, retry
+        host = FakeHost(deadlines={0: 0.01}, never_ready={(0, 0)},
+                        rungs=("legacy", "serial"))
+        out = _dispatch(host, 1, max_retries=3)
+        assert out.records[0] == _record(0)
+        assert out.n_respawns == 1 and out.n_retries == 1
+        (entry,) = out.fault_log
+        assert entry.cause == "timeout" and entry.fallback == "serial"
+        assert entry.elapsed_seconds >= 0.01
+        assert host.serial_runs == [0]
+
+    def test_innocent_survivor_keeps_attempt_number(self):
+        # task 0 hangs past its deadline; task 1 is in flight in the same
+        # generation with no deadline -> requeued at the SAME attempt with
+        # no fault entry of its own
+        host = FakeHost(deadlines={0: 0.01},
+                        never_ready={(0, 0), (1, 0)},
+                        rungs=("legacy", "serial"))
+
+        # second submission of task 1 completes
+        orig_submit = host.submit_attempt
+
+        def submit(idx, attempt, rung):
+            if idx == 1 and len([s for s in host.submissions if s[0] == 1]) >= 1:
+                host.submissions.append((idx, attempt, rung))
+                return FakeResult(lambda: _record(1), ready=True)
+            return orig_submit(idx, attempt, rung)
+
+        host.submit_attempt = submit
+        out = _dispatch(host, 2, max_retries=3)
+        assert sorted(out.records) == [0, 1]
+        task1_faults = [e for e in out.fault_log if e.task_idx == 1]
+        assert task1_faults == []
+        task1_subs = [s for s in host.submissions if s[0] == 1]
+        assert [a for _, a, _ in task1_subs] == [0, 0]  # attempt not burned
+
+
+class TestCrashes:
+    def test_dead_generation_burns_an_attempt(self):
+        host = FakeHost(never_ready={(0, 0)}, rungs=("legacy", "serial"))
+        host.damaged = True  # a worker is already dead when dispatch starts
+        out = _dispatch(host, 1, max_retries=3)
+        assert out.records[0] == _record(0)
+        assert out.n_respawns == 1
+        (entry,) = out.fault_log
+        assert entry.cause == "crash" and entry.attempt == 0
+        assert host.respawns == 1
+
+
+class TestAccounting:
+    """DispatchOutcome invariants under retries (satellite coverage)."""
+
+    def test_retries_equal_fault_entries_with_fallback(self):
+        host = FakeHost(fail={0: (0,), 2: (0, 1)})
+        out = _dispatch(host, 3, max_retries=3)
+        retried = [e for e in out.fault_log if e.fallback is not None]
+        assert out.n_retries == len(retried) == 3
+        assert len(out.records) == 3  # every task exactly once
+
+    def test_attempts_recorded_in_order_per_task(self):
+        host = FakeHost(fail={1: (0, 1)})
+        out = _dispatch(host, 2, max_retries=3)
+        attempts = [e.attempt for e in out.fault_log if e.task_idx == 1]
+        assert attempts == [0, 1]
+
+    def test_community_ids_attributed(self):
+        host = FakeHost(fail={1: (0,)})
+        out = _dispatch(host, 2, max_retries=1)
+        (entry,) = out.fault_log
+        assert isinstance(entry, FaultLogEntry)
+        assert entry.community_id == 101
