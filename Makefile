@@ -6,11 +6,30 @@ export PYTHONPATH := src
 # wedging the suite.
 export REPRO_TEST_TIMEOUT ?= 600
 
-.PHONY: check fast test bench bench-dispatch
+.PHONY: check fast test bench bench-dispatch lint typecheck
 
-## tier-1 gate: full test suite incl. slow fault-injection tests (what CI runs)
-check:
+## tier-1 gate: lint, then typecheck, then the full test suite (what CI runs)
+check: lint typecheck
 	$(PYTHON) -m pytest -x -q
+
+## project-specific correctness lint (REP001–REP006), then ruff when installed.
+## The repro.devtools.lint pass always runs (stdlib-only); ruff is optional —
+## absent ruff prints a skip notice, an installed-but-failing ruff fails the target.
+lint:
+	$(PYTHON) -m repro.devtools.lint src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed — skipping (pip install -e '.[dev]')"; \
+	fi
+
+## mypy strict profile (embedding/, parallel/, cascades/); skipped when absent
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed — skipping (pip install -e '.[dev]')"; \
+	fi
 
 ## quick dev loop: skip slow (multiprocess-pool / fault-injection / benchmark) tests
 fast:

@@ -174,7 +174,7 @@ class CascadeSet:
     def __iter__(self) -> Iterator[Cascade]:
         return iter(self._cascades)
 
-    def __getitem__(self, i):
+    def __getitem__(self, i: "int | slice") -> "Cascade | CascadeSet":
         if isinstance(i, slice):
             return CascadeSet(self.n_nodes, self._cascades[i])
         return self._cascades[i]

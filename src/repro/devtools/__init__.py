@@ -1,0 +1,23 @@
+"""Correctness tooling for the reproduction: lint, sanitizers, typing.
+
+The paper's parallel design is only correct because of invariants the
+interpreter never checks on its own:
+
+* determinism — every stochastic step flows through seeded
+  :mod:`repro.utils.rng` generators, never global RNG state;
+* wall-clock hygiene — timing flows through :mod:`repro.utils.timing`
+  (``perf_counter``/``monotonic``), so results never depend on the clock;
+* shared-memory discipline — every POSIX segment is created through
+  :mod:`repro.parallel._shm` with a paired finalizer (no ``/dev/shm``
+  leaks) and every process through the sanctioned backends;
+* write disjointness — community block tasks write **disjoint row
+  blocks** of ``A``/``B`` (Algorithm 1's conflict freedom).
+
+:mod:`repro.devtools.lint` enforces the static side of these invariants
+per-commit (``make lint``); :mod:`repro.devtools.sanitize` checks the
+dynamic side at run time when ``REPRO_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

@@ -1,0 +1,116 @@
+"""Command-line front end: ``python -m repro.devtools.lint [paths...]``.
+
+Exit codes (CI contract):
+
+* ``0`` — scanned tree is clean,
+* ``1`` — at least one violation (including REP000 engine problems),
+* ``2`` — usage or I/O error (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.devtools.lint.engine import LintReport, Rule, lint_paths
+from repro.devtools.lint.rules import DEFAULT_RULES, rule_table
+
+__all__ = ["main", "build_parser"]
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Project lint: reproducibility/parallel-safety rules "
+        "REP001-REP006 (see DESIGN.md §10).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    if spec is None:
+        return list(DEFAULT_RULES)
+    wanted = {s.strip() for s in spec.split(",") if s.strip()}
+    by_id = {r.id: r for r in DEFAULT_RULES}
+    unknown = wanted - set(by_id)
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(by_id))})"
+        )
+    return [by_id[i] for i in sorted(wanted)]
+
+
+def _render_human(report: LintReport, out) -> None:
+    for v in report.violations:
+        print(v.render(), file=out)
+    counts = report.counts()
+    summary = (
+        f"{report.files_scanned} file(s) scanned, "
+        f"{len(report.violations)} violation(s), "
+        f"{report.n_suppressed} suppressed"
+    )
+    if counts:
+        summary += (
+            " [" + ", ".join(f"{k}: {n}" for k, n in counts.items()) + "]"
+        )
+    print(summary, file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for row in rule_table():
+            print(
+                f"{row['id']} ({row['name']}): {row['description']} "
+                f"[sanctioned in: {row['allowed_in']}]",
+                file=out,
+            )
+        return EXIT_CLEAN
+    try:
+        rules = _select_rules(args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        report = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.format == "json":
+        json.dump(report.to_json(), out, indent=2, sort_keys=True)
+        print(file=out)
+    else:
+        _render_human(report, out)
+    return EXIT_CLEAN if report.clean else EXIT_VIOLATIONS

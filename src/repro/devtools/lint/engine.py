@@ -1,0 +1,375 @@
+"""Custom AST lint engine: rule framework, suppressions, reporting.
+
+The engine is deliberately small: a :class:`Rule` inspects one parsed
+module (:class:`ModuleContext`) and yields :class:`Violation` records.
+Project rules live in :mod:`repro.devtools.lint.rules`; the CLI in
+:mod:`repro.devtools.lint.cli`.
+
+Suppressions
+------------
+A violation on line *L* is suppressed by an inline comment on that line::
+
+    something_forbidden()  # repro: noqa[REP001] reason the rule is wrong here
+
+The rule list is mandatory (blanket ``noqa`` is not supported) and the
+reason string is mandatory — a suppression without one is itself reported
+as ``REP000`` and cannot be suppressed.  ``REP000`` also covers files the
+engine cannot parse.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Violation",
+    "Suppression",
+    "ModuleContext",
+    "Rule",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Engine-level problems (parse failures, malformed suppressions).
+ENGINE_RULE_ID = "REP000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+class ModuleContext:
+    """Everything a rule needs about one module.
+
+    ``imports`` maps local names to the dotted module/object they are
+    bound to (``np`` → ``numpy``, ``shared_memory`` →
+    ``multiprocessing.shared_memory``, ``datetime`` →
+    ``datetime.datetime`` after ``from datetime import datetime``), so
+    rules can resolve attribute chains back to canonical dotted names
+    without executing anything.
+    """
+
+    def __init__(self, path: str, tree: ast.AST, source: str) -> None:
+        self.path = path
+        #: POSIX-style path used for allow-list matching.
+        self.posix_path = path.replace("\\", "/")
+        self.tree = tree
+        self.source = source
+        self.imports: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports resolve inside the package
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    # ------------------------------------------------------------------ #
+
+    def dotted_parts(self, node: ast.AST) -> Optional[List[str]]:
+        """``a.b.c`` attribute/name chain as ``["a", "b", "c"]``."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            parts.reverse()
+            return parts
+        return None
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, or ``None``.
+
+        The chain's root is looked up in the module's import table, so a
+        chain rooted at a local variable (unresolvable statically) stays
+        ``None`` rather than producing a false positive.
+        """
+        parts = self.dotted_parts(node)
+        if not parts:
+            return None
+        base = self.imports.get(parts[0])
+        if base is None:
+            return None
+        return ".".join([base] + parts[1:])
+
+
+class Rule:
+    """Base class for lint rules.
+
+    ``allowed_in`` lists path fragments where the rule is *sanctioned*:
+    an entry ending in ``.py`` is matched as a path suffix, an entry
+    ending in ``/`` as a directory component.  Everywhere else the rule
+    applies.
+    """
+
+    id: str = ENGINE_RULE_ID
+    name: str = ""
+    description: str = ""
+    allowed_in: Tuple[str, ...] = ()
+
+    def applies_to(self, posix_path: str) -> bool:
+        probe = "/" + posix_path.lstrip("/")
+        for pattern in self.allowed_in:
+            if pattern.endswith("/"):
+                if f"/{pattern}".replace("//", "/") in probe + "/":
+                    return False
+            elif probe.endswith("/" + pattern.lstrip("/")):
+                return False
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: ModuleContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    n_suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "n_violations": len(self.violations),
+            "n_suppressed": self.n_suppressed,
+            "counts": self.counts(),
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+
+# --------------------------------------------------------------------- #
+# Suppression parsing
+# --------------------------------------------------------------------- #
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, int, str]]:
+    """``(line, col, text)`` for each comment token in *source*.
+
+    Tokenizing (rather than scanning raw lines) keeps string literals
+    that merely *mention* the suppression marker — docstrings, the lint
+    engine's own tests — from being treated as suppressions.  Files the
+    tokenizer chokes on yield no comments; the parse-error path reports
+    them anyway.
+    """
+    import io
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        return
+
+
+def parse_suppressions(
+    path: str, source: str
+) -> Tuple[Dict[int, Suppression], List[Violation]]:
+    """Extract ``# repro: noqa[...]`` comments, flagging malformed ones."""
+    suppressions: Dict[int, Suppression] = {}
+    bad: List[Violation] = []
+    for lineno, col0, comment in _comment_tokens(source):
+        m = _SUPPRESS_RE.search(comment)
+        if m is None:
+            if "repro: noqa" in comment:
+                bad.append(
+                    Violation(
+                        rule=ENGINE_RULE_ID,
+                        path=path,
+                        line=lineno,
+                        col=col0,
+                        message=(
+                            "malformed suppression: expected "
+                            "'# repro: noqa[REPxxx,...] reason'"
+                        ),
+                    )
+                )
+            continue
+        rules = tuple(r.strip() for r in m.group("rules").split(",") if r.strip())
+        reason = m.group("reason").strip()
+        col = col0 + m.start()
+        if not rules or not all(_RULE_ID_RE.match(r) for r in rules):
+            bad.append(
+                Violation(
+                    rule=ENGINE_RULE_ID,
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        "suppression must name the rule(s) it silences, "
+                        "e.g. 'repro: noqa[REP003] reason'"
+                    ),
+                )
+            )
+            continue
+        if not reason:
+            bad.append(
+                Violation(
+                    rule=ENGINE_RULE_ID,
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        f"suppression of {', '.join(rules)} without a reason "
+                        "string; explain why the rule does not apply"
+                    ),
+                )
+            )
+            continue
+        suppressions[lineno] = Suppression(line=lineno, rules=rules, reason=reason)
+    return suppressions, bad
+
+
+# --------------------------------------------------------------------- #
+# Running
+# --------------------------------------------------------------------- #
+
+
+def lint_source(
+    path: str, source: str, rules: Sequence[Rule]
+) -> Tuple[List[Violation], int]:
+    """Lint one module's source; returns ``(violations, n_suppressed)``."""
+    suppressions, bad = parse_suppressions(path, source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        bad.append(
+            Violation(
+                rule=ENGINE_RULE_ID,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"could not parse file: {exc.msg}",
+            )
+        )
+        return bad, 0
+    ctx = ModuleContext(path, tree, source)
+    raw: List[Violation] = []
+    for rule in rules:
+        if rule.applies_to(ctx.posix_path):
+            raw.extend(rule.check(ctx))
+    kept: List[Violation] = []
+    n_suppressed = 0
+    for v in sorted(raw, key=lambda v: (v.line, v.col, v.rule)):
+        sup = suppressions.get(v.line)
+        if sup is not None and v.rule in sup.rules:
+            n_suppressed += 1
+            continue
+        kept.append(v)
+    # Engine-level problems are never suppressible.
+    kept.extend(bad)
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    return kept, n_suppressed
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of .py files."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            yield p
+        elif p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in f.parts
+                ):
+                    continue
+                yield f
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+
+
+def lint_paths(paths: Sequence[str], rules: Sequence[Rule]) -> LintReport:
+    """Lint every Python file under *paths* with *rules*."""
+    report = LintReport()
+    for f in iter_python_files(paths):
+        try:
+            with tokenize.open(f) as fh:  # honors PEP 263 encoding cookies
+                source = fh.read()
+        except (OSError, UnicodeDecodeError, SyntaxError) as exc:
+            report.violations.append(
+                Violation(
+                    rule=ENGINE_RULE_ID,
+                    path=str(f),
+                    line=1,
+                    col=0,
+                    message=f"could not read file: {exc}",
+                )
+            )
+            report.files_scanned += 1
+            continue
+        violations, n_sup = lint_source(str(f), source, rules)
+        report.violations.extend(violations)
+        report.n_suppressed += n_sup
+        report.files_scanned += 1
+    return report

@@ -1,0 +1,435 @@
+"""Project-specific lint rules (REP001–REP006).
+
+Each rule encodes one invariant the reproduction's correctness story
+depends on (see DESIGN.md §10 for the full rationale):
+
+========  ==============================================================
+REP001    Global/unseeded RNG state (``np.random.seed``-style module
+          functions, stdlib ``random`` module functions) outside
+          ``utils/rng.py``.  NetRate-style survival models silently lose
+          bit-reproducibility the moment any code path draws from global
+          state; everything must flow through seeded ``Generator``
+          plumbing.  ``np.random.default_rng`` / ``Generator`` /
+          ``SeedSequence`` are the sanctioned API and are not flagged.
+REP002    Wall-clock reads (``time.time``, ``datetime.now``, …) outside
+          ``utils/timing.py`` and observability code (``bench/``,
+          ``devtools/``).  Monotonic clocks (``perf_counter``,
+          ``monotonic``) are fine anywhere: they order events without
+          making results depend on the calendar.
+REP003    Raw ``shared_memory.SharedMemory(...)`` construction outside
+          ``parallel/_shm.py``.  Every segment must be created through
+          the sanctioned helper so it carries a paired finalizer —
+          the ``/dev/shm`` leak class PR 2 fixed cannot reappear.
+REP004    Bare ``multiprocessing`` ``Pool``/``Process`` construction
+          outside ``parallel/backends.py`` / ``parallel/hogwild.py``.
+          Only the supervised backends may own worker processes;
+          anything else bypasses liveness polling, deadlines, and the
+          retry ladder.
+REP005    Float ``==``/``!=`` against a non-zero float literal.  Exact
+          equality against a computed float is almost always an epsilon
+          bug in numeric code (the whole of ``src/repro`` is numeric).
+          Comparison against literal ``0.0`` is allowed: it is the
+          standard exact guard for quantities that are identically zero
+          by construction (empty sums, unweighted graphs) — see the
+          audited guards in ``community/modularity.py`` and
+          ``prediction/regression.py``.
+REP006    Mutable default arguments (list/dict/set displays or
+          constructor calls).  The classic shared-state footgun; use
+          ``None`` + in-body default or ``field(default_factory=...)``.
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+__all__ = ["DEFAULT_RULES", "rule_table"]
+
+
+#: numpy.random module-level functions that mutate/draw from global state.
+_NUMPY_GLOBAL_FNS = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "poisson",
+        "binomial",
+        "exponential",
+        "beta",
+        "gamma",
+        "lognormal",
+        "pareto",
+        "power",
+        "zipf",
+    }
+)
+
+#: stdlib ``random`` module functions backed by the hidden global Random().
+_STDLIB_GLOBAL_FNS = frozenset(
+    {
+        "seed",
+        "getstate",
+        "setstate",
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "normalvariate",
+        "gauss",
+        "lognormvariate",
+        "expovariate",
+        "vonmisesvariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    """REP001: global RNG state outside the sanctioned rng module."""
+
+    id = "REP001"
+    name = "unseeded-global-rng"
+    description = (
+        "global RNG state (np.random.* module functions, stdlib random.*) "
+        "outside utils/rng.py; use seeded Generator plumbing from "
+        "repro.utils.rng"
+    )
+    allowed_in = ("repro/utils/rng.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = ctx.resolve(node)
+                if resolved is None:
+                    continue
+                if self._is_global_rng(resolved):
+                    # Only report the outermost chain: `np.random.seed`
+                    # resolves once; its `np.random` sub-chain does not
+                    # match any banned function.
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{resolved} draws from global RNG state; "
+                        "thread a seeded numpy Generator through "
+                        "repro.utils.rng instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy.random":
+                    banned = _NUMPY_GLOBAL_FNS
+                elif node.module == "random":
+                    banned = _STDLIB_GLOBAL_FNS
+                else:
+                    continue
+                for alias in node.names:
+                    if alias.name in banned:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"importing {node.module}.{alias.name} binds "
+                            "global RNG state; use repro.utils.rng",
+                        )
+
+    @staticmethod
+    def _is_global_rng(resolved: str) -> bool:
+        if resolved.startswith("numpy.random."):
+            return resolved.rsplit(".", 1)[1] in _NUMPY_GLOBAL_FNS
+        if resolved.startswith("random."):
+            return resolved.rsplit(".", 1)[1] in _STDLIB_GLOBAL_FNS
+        return False
+
+
+#: Exact wall-clock reads; monotonic/perf_counter deliberately absent.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """REP002: wall-clock reads outside timing/observability code."""
+
+    id = "REP002"
+    name = "wall-clock"
+    description = (
+        "wall-clock call (time.time, datetime.now, ...) outside "
+        "utils/timing.py and observability code; use perf_counter/"
+        "monotonic via repro.utils.timing so results never depend on "
+        "the calendar"
+    )
+    allowed_in = ("repro/utils/timing.py", "bench/", "devtools/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            resolved = ctx.resolve(node)
+            if resolved is None:
+                continue
+            if resolved in _WALL_CLOCK:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{resolved} reads the wall clock; use "
+                    "repro.utils.timing (perf_counter-based) or pass "
+                    "timestamps in explicitly",
+                )
+
+
+class RawSharedMemoryRule(Rule):
+    """REP003: raw SharedMemory construction outside parallel/_shm.py."""
+
+    id = "REP003"
+    name = "raw-shared-memory"
+    description = (
+        "raw shared_memory.SharedMemory(...) outside parallel/_shm.py; "
+        "create segments with repro.parallel._shm.create_segment (paired "
+        "finalizer, no /dev/shm leaks) and attach with attach_untracked"
+    )
+    allowed_in = ("repro/parallel/_shm.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            if (
+                resolved == "multiprocessing.shared_memory.SharedMemory"
+                or resolved.endswith("shared_memory.SharedMemory")
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "raw SharedMemory construction; every segment must "
+                    "come from repro.parallel._shm.create_segment so it "
+                    "carries a paired finalizer",
+                )
+
+
+class BareMultiprocessingRule(Rule):
+    """REP004: Pool/Process construction outside the sanctioned backends."""
+
+    id = "REP004"
+    name = "bare-multiprocessing"
+    description = (
+        "bare multiprocessing Pool/Process outside parallel/backends.py "
+        "and parallel/hogwild.py; worker processes must be owned by the "
+        "supervised backends (deadlines, liveness, retry ladder)"
+    )
+    allowed_in = ("repro/parallel/backends.py", "repro/parallel/hogwild.py")
+
+    _ATTRS = frozenset({"Pool", "Process"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name: str = ""
+            if isinstance(func, ast.Attribute) and func.attr in self._ATTRS:
+                # Conservative: any `<expr>.Pool(...)` / `<expr>.Process(...)`
+                # call — multiprocessing contexts are plain locals
+                # (`ctx.Pool(...)`), invisible to import resolution.
+                name = ctx.resolve(func) or f"<...>.{func.attr}"
+            elif isinstance(func, ast.Name):
+                resolved = ctx.resolve(func)
+                if resolved in (
+                    "multiprocessing.Pool",
+                    "multiprocessing.Process",
+                    "multiprocessing.pool.Pool",
+                ):
+                    name = resolved
+            if name:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{name} constructed outside the sanctioned backends; "
+                    "route parallel work through repro.parallel.backends "
+                    "(or hogwild_fit for the lock-free solver)",
+                )
+
+
+class FloatEqualityRule(Rule):
+    """REP005: exact equality against a non-zero float literal."""
+
+    id = "REP005"
+    name = "float-equality"
+    description = (
+        "float ==/!= against a non-zero float literal; exact equality "
+        "on computed floats is an epsilon bug — compare with a tolerance "
+        "(literal-0.0 exact guards are allowed)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                for lit, other in ((left, right), (right, left)):
+                    value = self._float_literal(lit)
+                    if value is None or value == 0.0:
+                        continue
+                    if self._is_literal(other):
+                        continue  # constant folding, not a runtime compare
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"against float literal {value!r}; use an epsilon "
+                        "(math.isclose / np.isclose) — only literal-0.0 "
+                        "exact guards are allowed",
+                    )
+                    break  # one report per comparison pair
+
+    @staticmethod
+    def _float_literal(node: ast.AST) -> "float | None":
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            inner = FloatEqualityRule._float_literal(node.operand)
+            if inner is None:
+                return None
+            return -inner if isinstance(node.op, ast.USub) else inner
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return node.value
+        return None
+
+    @staticmethod
+    def _is_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            return FloatEqualityRule._is_literal(node.operand)
+        return isinstance(node, ast.Constant)
+
+
+class MutableDefaultRule(Rule):
+    """REP006: mutable default arguments."""
+
+    id = "REP006"
+    name = "mutable-default"
+    description = (
+        "mutable default argument (list/dict/set display or constructor); "
+        "the default is shared across calls — use None or "
+        "dataclasses.field(default_factory=...)"
+    )
+
+    _MUTABLE_BUILTINS = frozenset({"list", "dict", "set", "bytearray"})
+    _MUTABLE_DOTTED = frozenset(
+        {
+            "collections.defaultdict",
+            "collections.OrderedDict",
+            "collections.deque",
+            "collections.Counter",
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(ctx, default):
+                    label = (
+                        "<lambda>"
+                        if isinstance(node, ast.Lambda)
+                        else node.name
+                    )
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default argument in {label}(); the same "
+                        "object is shared by every call",
+                    )
+
+    def _is_mutable(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in self._MUTABLE_BUILTINS
+                and func.id not in ctx.imports
+            ):
+                return True
+            resolved = ctx.resolve(func)
+            if resolved in self._MUTABLE_DOTTED:
+                return True
+        return False
+
+
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    RawSharedMemoryRule(),
+    BareMultiprocessingRule(),
+    FloatEqualityRule(),
+    MutableDefaultRule(),
+)
+
+
+def rule_table() -> List[Dict[str, str]]:
+    """Rule metadata for ``--list-rules`` and the docs."""
+    return [
+        {
+            "id": r.id,
+            "name": r.name,
+            "description": r.description,
+            "allowed_in": ", ".join(r.allowed_in) or "(applies everywhere)",
+        }
+        for r in DEFAULT_RULES
+    ]

@@ -1,0 +1,291 @@
+"""Runtime write-disjointness sanitizer for the parallel engine.
+
+Algorithm 1's parallel correctness rests on one invariant: at every
+merge-tree level, community block tasks write **pairwise-disjoint row
+blocks** of the shared ``A``/``B`` embedding matrices, and each task
+writes **exactly the rows it was assigned** (its community's members).
+The optimizer, the arena scatter path, the retry ladder, and the
+checkpoint/resume machinery all assume it; none of them check it.
+
+Setting ``REPRO_SANITIZE=1`` turns the check on:
+
+* the hierarchical driver builds a :class:`WriteLedger` per level,
+  records each block task's assigned rows (the seed-row plumbing) and
+  the rows its result actually writes back, and calls
+  :meth:`WriteLedger.verify` **before** merging anything into the model;
+* :class:`~repro.parallel.backends.MultiprocessBackend` additionally
+  reads back the *published* :class:`~repro.parallel.arena
+  .LevelSelection` members block from shared memory and checks, via
+  :func:`verify_selection`, that every worker's scatter range matches
+  its task's assignment and that the ranges are pairwise disjoint —
+  catching stale-selection reuse and splitting bugs before any worker
+  writes a byte.
+
+Any breach raises a structured :class:`DisjointnessViolation` naming the
+level, the communities involved, and the offending rows.
+
+:mod:`repro.parallel.hogwild` is **exempt**: it races on shared rows by
+design (that is the experiment).  The exemption is itself asserted —
+``hogwild_fit`` calls :func:`assert_exempt`, which raises if the module
+is ever dropped from :data:`EXEMPT_MODULES`, so the exemption cannot
+silently widen or rot.
+
+The sanitizer is pure observation: with ``REPRO_SANITIZE`` unset (or
+``0``), no ledger is built and the engine's hot paths are untouched;
+with it set, recording copies only row-index arrays (never embedding
+data), so a sanitized run remains bit-identical to an unsanitized one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ENV_VAR",
+    "EXEMPT_MODULES",
+    "DisjointnessViolation",
+    "WriteLedger",
+    "assert_exempt",
+    "enabled",
+    "verify_selection",
+]
+
+#: Environment variable that arms the sanitizer.
+ENV_VAR = "REPRO_SANITIZE"
+
+#: Modules allowed to perform racy shared-memory writes.  Hogwild races
+#: by design — lock-free SGD is the paper's cited alternative, and its
+#: non-determinism is the phenomenon under study, not a bug.
+EXEMPT_MODULES = frozenset({"repro.parallel.hogwild"})
+
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to a truthy value.
+
+    Read from the environment on every call (it is consulted once per
+    level, not per row), so tests and long-running services can toggle
+    it without re-importing anything.
+    """
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+def assert_exempt(module: str) -> None:
+    """Assert that *module* holds a sanctioned exemption from the sanitizer.
+
+    Called by the exempt module itself at entry.  Raising on an unknown
+    module keeps the exemption list authoritative: moving or renaming
+    hogwild without updating :data:`EXEMPT_MODULES` fails loudly instead
+    of silently racing under a sanitized run.
+    """
+    if module not in EXEMPT_MODULES:
+        raise RuntimeError(
+            f"{module!r} performs unsanitized shared writes but is not on "
+            f"the sanitizer exemption list {sorted(EXEMPT_MODULES)}; either "
+            "route its writes through disjoint block tasks or add an "
+            "explicit exemption with a rationale in devtools/sanitize.py"
+        )
+
+
+class DisjointnessViolation(RuntimeError):
+    """A block write broke Algorithm 1's row-disjointness contract.
+
+    Attributes
+    ----------
+    level:
+        Merge-tree level at which the violation was detected.
+    kind:
+        ``"overlap"`` (two blocks wrote the same rows), ``"coverage"``
+        (a block's written rows differ from its assignment), or
+        ``"selection"`` (the published shared-memory selection disagrees
+        with the task assignments).
+    communities:
+        The community ids involved.
+    rows:
+        The offending global row indices (sorted, deduplicated).
+    """
+
+    def __init__(
+        self,
+        level: int,
+        kind: str,
+        communities: Sequence[int],
+        rows: np.ndarray,
+        detail: str = "",
+    ) -> None:
+        self.level = int(level)
+        self.kind = str(kind)
+        self.communities = tuple(int(c) for c in communities)
+        self.rows = np.unique(np.asarray(rows, dtype=np.int64))
+        shown = ", ".join(str(int(r)) for r in self.rows[:8])
+        if self.rows.size > 8:
+            shown += f", ... ({self.rows.size} rows)"
+        msg = (
+            f"level {self.level}: {self.kind} violation involving "
+            f"communit{'y' if len(self.communities) == 1 else 'ies'} "
+            f"{list(self.communities)} on A/B rows [{shown}]"
+        )
+        if detail:
+            msg += f" — {detail}"
+        super().__init__(msg)
+
+
+class WriteLedger:
+    """Per-level record of assigned vs. actually-written embedding rows.
+
+    Usage (one ledger per merge-tree level)::
+
+        ledger = WriteLedger(level)
+        for task in tasks:
+            ledger.assign(task.community_id, task.nodes)
+        ...                                  # backend runs the level
+        for result in results:
+            ledger.record_write(result.community_id, result.nodes)
+        ledger.verify()                      # before merging into the model
+    """
+
+    def __init__(self, level: int) -> None:
+        self.level = int(level)
+        self._assigned: Dict[int, np.ndarray] = {}
+        self._written: List[Tuple[int, np.ndarray]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def assign(self, community_id: int, rows: np.ndarray) -> None:
+        """Record the rows a block task is *allowed* (and expected) to write."""
+        cid = int(community_id)
+        if cid in self._assigned:
+            raise ValueError(
+                f"level {self.level}: community {cid} assigned twice"
+            )
+        self._assigned[cid] = np.asarray(rows, dtype=np.int64).copy()
+
+    def record_write(self, community_id: int, rows: np.ndarray) -> None:
+        """Record the rows a block task's result actually writes back."""
+        self._written.append(
+            (int(community_id), np.asarray(rows, dtype=np.int64).copy())
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def verify(self) -> None:
+        """Raise :class:`DisjointnessViolation` on any breach; else return.
+
+        Checks, in order:
+
+        1. **coverage** — every written block matches its assignment
+           exactly (an unassigned writer, a missing row, or a stray row
+           all fail), and
+        2. **overlap** — across blocks, no global row is written twice.
+
+        Communities that were assigned but produced no write are fine:
+        a community whose sub-corpus is empty at this level is skipped
+        by the driver and its rows legitimately keep their seed values.
+        """
+        for cid, rows in self._written:
+            expected = self._assigned.get(cid)
+            if expected is None:
+                raise DisjointnessViolation(
+                    self.level,
+                    "coverage",
+                    (cid,),
+                    rows,
+                    "block wrote rows but was never assigned any",
+                )
+            got = np.sort(rows)
+            exp = np.sort(expected)
+            if got.shape != exp.shape or not np.array_equal(got, exp):
+                stray = np.setdiff1d(got, exp)
+                missing = np.setdiff1d(exp, got)
+                raise DisjointnessViolation(
+                    self.level,
+                    "coverage",
+                    (cid,),
+                    np.concatenate([stray, missing]),
+                    f"{stray.size} row(s) written outside the assignment, "
+                    f"{missing.size} assigned row(s) not written",
+                )
+        if len(self._written) > 1:
+            rows = np.concatenate([r for _, r in self._written])
+            owners = np.concatenate(
+                [np.full(r.size, cid, dtype=np.int64) for cid, r in self._written]
+            )
+            order = np.argsort(rows, kind="stable")
+            r, o = rows[order], owners[order]
+            dup = np.zeros(r.size, dtype=bool)
+            dup[1:] = r[1:] == r[:-1]
+            if dup.any():
+                dup_rows = np.unique(r[dup])
+                involved = np.unique(o[np.isin(r, dup_rows)])
+                raise DisjointnessViolation(
+                    self.level,
+                    "overlap",
+                    involved,
+                    dup_rows,
+                    "two block tasks write the same A/B rows — the "
+                    "conflict-free merge of Algorithm 1 is broken",
+                )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._written)
+
+    @property
+    def n_rows_written(self) -> int:
+        return int(sum(r.size for _, r in self._written))
+
+
+def verify_selection(
+    level: int,
+    communities: Sequence[int],
+    assigned_rows: Sequence[np.ndarray],
+    members: np.ndarray,
+    ranges: Sequence[Tuple[int, int]],
+) -> None:
+    """Check a published level selection against the task assignments.
+
+    Parameters
+    ----------
+    communities, assigned_rows:
+        Per task: its community id and the global rows it was assigned
+        (``BlockTask.nodes`` — the seed-row plumbing).
+    members:
+        The members block as *read back from shared memory* (the array
+        workers will gather/scatter through).
+    ranges:
+        Per task ``(mem_lo, mem_hi)`` — its slice of *members*.
+
+    Raises
+    ------
+    DisjointnessViolation
+        ``kind="selection"`` when a task's published slice differs from
+        its assignment; ``kind="overlap"`` when slices collide.
+    """
+    if not (len(communities) == len(assigned_rows) == len(ranges)):
+        raise ValueError("communities, assigned_rows, ranges must align")
+    members = np.asarray(members, dtype=np.int64)
+    ledger = WriteLedger(level)
+    for cid, rows, (mem_lo, mem_hi) in zip(communities, assigned_rows, ranges):
+        rows = np.asarray(rows, dtype=np.int64)
+        published = members[int(mem_lo) : int(mem_hi)]
+        if published.shape != rows.shape or not np.array_equal(published, rows):
+            diff = np.concatenate(
+                [np.setdiff1d(published, rows), np.setdiff1d(rows, published)]
+            )
+            raise DisjointnessViolation(
+                level,
+                "selection",
+                (int(cid),),
+                diff if diff.size else published,
+                "published LevelSelection member range differs from the "
+                "task's assigned rows (stale or corrupt selection block)",
+            )
+        ledger.assign(int(cid), rows)
+        ledger.record_write(int(cid), published)
+    ledger.verify()

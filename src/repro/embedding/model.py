@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Tuple
 
 import numpy as np
@@ -130,12 +131,12 @@ class EmbeddingModel:
     # Persistence
     # ------------------------------------------------------------------ #
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Serialize to an ``.npz`` archive with arrays ``A`` and ``B``."""
         np.savez_compressed(path, A=self.A, B=self.B)
 
     @classmethod
-    def load(cls, path) -> "EmbeddingModel":
+    def load(cls, path: str | Path) -> EmbeddingModel:
         """Load a model written by :meth:`save`."""
         with np.load(path) as data:
             if "A" not in data or "B" not in data:

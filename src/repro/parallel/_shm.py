@@ -1,4 +1,16 @@
-"""Shared-memory attach helper for worker processes.
+"""Sanctioned shared-memory lifecycle helpers.
+
+All POSIX shared-memory segments in this package are **created** through
+:func:`create_segment` and **attached** through :func:`attach_untracked`;
+raw ``SharedMemory(...)`` construction anywhere else is a lint violation
+(REP003, see :mod:`repro.devtools.lint`).  Centralizing construction buys
+two guarantees:
+
+* every segment carries a *paired finalizer* — if its owner is abandoned
+  without ``close()``/``unlink()`` (the ``/dev/shm`` leak class PR 2
+  fixed), garbage collection or interpreter exit reaps the segment; and
+* every attach suppresses the worker-side resource-tracker registration
+  (the Python < 3.13 double-ownership bug described below).
 
 On Python < 3.13 ``SharedMemory(name=...)`` always registers the segment
 with the (process-tree-wide) resource tracker, even when merely
@@ -18,13 +30,62 @@ microseconds).
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 
-__all__ = ["attach_untracked"]
+__all__ = ["attach_untracked", "create_segment"]
 
 #: Serializes the resource-tracker monkeypatch across threads.
 _ATTACH_LOCK = threading.Lock()
+
+
+def _reap_leaked(name: str, owner_pid: int) -> None:
+    """Best-effort unlink of a segment whose owner never cleaned up.
+
+    The normal path — the owner called ``close()`` + ``unlink()`` — makes
+    the re-attach fail with ``FileNotFoundError`` and this is a no-op.
+    Only a genuinely leaked segment (owner garbage-collected without
+    closing) still exists and gets reaped here.
+
+    The PID guard makes the finalizer fork-safe: pool workers inherit
+    the parent's finalize registry via ``fork``, and a gracefully
+    exiting worker runs it — without the guard it would unlink segments
+    the parent still uses.
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        seg = attach_untracked(name)
+    except FileNotFoundError:
+        return
+    except Exception:  # pragma: no cover - interpreter teardown races
+        return
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - concurrent unlink
+        pass
+
+
+def create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a shared-memory segment with a paired leak finalizer.
+
+    The returned object is the segment's owner: callers remain
+    responsible for ``close()`` + ``unlink()`` on their normal paths
+    (idempotent ``close`` wrappers, ``_Resources`` finalizers, …).  The
+    finalizer registered here is a backstop — it fires when the owner
+    object is garbage-collected or at interpreter exit, and unlinks the
+    segment *only if it still exists and this is still the creating
+    process*, so ``/dev/shm`` can never accumulate orphans no matter how
+    the owner died.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    seg = shared_memory.SharedMemory(create=True, size=int(size))
+    weakref.finalize(seg, _reap_leaked, seg.name, os.getpid())
+    return seg
 
 
 def attach_untracked(name: str) -> shared_memory.SharedMemory:

@@ -46,11 +46,12 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cascades.types import CascadeSet
+from repro.parallel._shm import create_segment
 
 __all__ = [
     "ArenaMeta",
@@ -68,9 +69,13 @@ def _aligned(nbytes: int) -> int:
     return (int(nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
-def _layout(counts_dtypes: Tuple[Tuple[int, np.dtype], ...]) -> Tuple[Tuple[int, ...], int]:
+#: ``(element_count, dtype)`` per aligned field of a segment.
+_FieldSpec = Sequence[Tuple[int, "np.dtype | type"]]
+
+
+def _layout(counts_dtypes: _FieldSpec) -> Tuple[Tuple[int, ...], int]:
     """Byte offsets of consecutive aligned fields plus the total size."""
-    offsets = []
+    offsets: List[int] = []
     cursor = 0
     for count, dtype in counts_dtypes:
         offsets.append(cursor)
@@ -103,7 +108,7 @@ class SelectionMeta:
     n_members: int
 
 
-def _arena_layout(M: int, C: int):
+def _arena_layout(M: int, C: int) -> Tuple[Tuple[int, ...], int]:
     return _layout(
         (
             (M, np.dtype(np.float64)),  # times
@@ -113,7 +118,7 @@ def _arena_layout(M: int, C: int):
     )
 
 
-def _selection_layout(P: int, S: int, N: int):
+def _selection_layout(P: int, S: int, N: int) -> Tuple[Tuple[int, ...], int]:
     return _layout(
         (
             (P, np.dtype(np.int64)),  # positions
@@ -123,9 +128,13 @@ def _selection_layout(P: int, S: int, N: int):
     )
 
 
-def attach_arrays(buf, field_offsets, counts_dtypes):
+def attach_arrays(
+    buf: memoryview,
+    field_offsets: Sequence[int],
+    counts_dtypes: _FieldSpec,
+) -> List[np.ndarray]:
     """Map aligned fields of a segment buffer as ndarray views."""
-    out = []
+    out: List[np.ndarray] = []
     for off, (count, dtype) in zip(field_offsets, counts_dtypes):
         itemsize = np.dtype(dtype).itemsize
         out.append(
@@ -152,7 +161,7 @@ class CorpusArena:
         M = int(offsets[-1])
         C = len(cascades)
         field_offsets, total = _arena_layout(M, C)
-        self._shm = shared_memory.SharedMemory(create=True, size=total)
+        self._shm = create_segment(total)
         times, nodes, offs = attach_arrays(
             self._shm.buf,
             field_offsets,
@@ -192,7 +201,7 @@ class CorpusArena:
         return h.hexdigest()
 
     @staticmethod
-    def view(buf, meta: ArenaMeta):
+    def view(buf: memoryview, meta: ArenaMeta) -> List[np.ndarray]:
         """Worker-side ndarray views ``(times, nodes, offsets)`` of a
         segment attached under *meta*."""
         field_offsets, _ = _arena_layout(meta.n_infections, meta.n_cascades)
@@ -274,7 +283,7 @@ class LevelSelection:
             if self._shm is not None:
                 self._release_segment()
             self._capacity = _aligned(int(total * self._SLACK))
-            self._shm = shared_memory.SharedMemory(create=True, size=self._capacity)
+            self._shm = create_segment(self._capacity)
         pos_v, sub_v, mem_v = attach_arrays(
             self._shm.buf,
             field_offsets,
@@ -287,8 +296,21 @@ class LevelSelection:
         self.meta = SelectionMeta(self._shm.name, digest, P, S, N)
         return self.meta
 
+    def resident_views(self) -> List[np.ndarray]:
+        """Parent-side ndarray views of the *published* selection block.
+
+        Reads back what workers will actually see — used by the
+        ``REPRO_SANITIZE`` disjointness check to validate the resident
+        content (including the digest-matched reuse path, where
+        :meth:`update` skipped the write).  Callers must drop the views
+        before the segment is closed.
+        """
+        if self._shm is None or self.meta is None:
+            raise RuntimeError("no selection published")
+        return self.view(self._shm.buf, self.meta)
+
     @staticmethod
-    def view(buf, meta: SelectionMeta):
+    def view(buf: memoryview, meta: SelectionMeta) -> List[np.ndarray]:
         """Worker-side ndarray views ``(positions, sub_offsets, members)``."""
         field_offsets, _ = _selection_layout(
             meta.n_positions, meta.n_subcascades, meta.n_members

@@ -57,9 +57,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cascades.types import Cascade, CascadeSet
+from repro.devtools import sanitize
 from repro.embedding.compiled import CompiledCorpus
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.optimizer import OptimizerConfig, ProjectedGradientAscent
+from repro.parallel._shm import create_segment
 from repro.parallel.arena import ArenaMeta, CorpusArena, LevelSelection, SelectionMeta
 from repro.parallel.supervision import (
     FaultLogEntry,
@@ -233,7 +235,7 @@ class Backend:
     def __enter__(self) -> "Backend":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -450,14 +452,16 @@ class _EmbeddingSegments:
         self._shm_b: Optional[shared_memory.SharedMemory] = None
         self._capacity = 0
 
-    def ensure(self, shape: Tuple[int, int]):
+    def ensure(
+        self, shape: Tuple[int, int]
+    ) -> Tuple[np.ndarray, np.ndarray, str, str]:
         """Return ``(A, B, name_a, name_b)`` views of at least *shape*."""
         nbytes = int(np.prod(shape)) * 8
         if self._shm_a is None or nbytes > self._capacity:
             self.close()
             self._capacity = max(int(nbytes * self._SLACK), 1)
-            self._shm_a = shared_memory.SharedMemory(create=True, size=self._capacity)
-            self._shm_b = shared_memory.SharedMemory(create=True, size=self._capacity)
+            self._shm_a = create_segment(self._capacity)
+            self._shm_b = create_segment(self._capacity)
         A = np.ndarray(shape, dtype=np.float64, buffer=self._shm_a.buf)
         B = np.ndarray(shape, dtype=np.float64, buffer=self._shm_b.buf)
         return A, B, self._shm_a.name, self._shm_b.name
@@ -490,7 +494,7 @@ class _Resources:
     once no matter how many respawns happened.
     """
 
-    def __init__(self, pool) -> None:
+    def __init__(self, pool: Optional[mp.pool.Pool]) -> None:
         self.pool = pool
         self.segments: List = []  # objects exposing .close()
         self.released = False
@@ -688,6 +692,8 @@ class MultiprocessBackend(Backend):
         )
         if arena_mode:
             self._publish_selection(ctx)
+        if sanitize.enabled():
+            self._sanitize_level(ctx)
         build_seconds = time.perf_counter() - t_start
 
         payload_bytes = pickle_seconds = None
@@ -752,6 +758,40 @@ class MultiprocessBackend(Backend):
         return results
 
     # ------------------------------------------------------------------ #
+
+    def _sanitize_level(self, ctx: _LevelContext) -> None:
+        """``REPRO_SANITIZE`` pre-dispatch check of the level's writes.
+
+        Workers scatter ``A[members_slice] = ...`` (arena mode) or
+        ``A[task.nodes] = ...`` (legacy mode); both must be pairwise
+        disjoint and match each task's assignment.  Arena mode validates
+        the members block *read back from the published shared segment*
+        — the exact array workers will address — so a stale digest-reuse
+        or a corrupt selection write is caught before any worker runs.
+        """
+        level = ctx.tasks[0].level if ctx.tasks else 0
+        cids = [t.community_id for t in ctx.tasks]
+        assigned = [np.asarray(t.nodes, dtype=np.int64) for t in ctx.tasks]
+        if ctx.arena_mode:
+            _, _, mem_v = self._selection.resident_views()
+            try:
+                sanitize.verify_selection(
+                    level,
+                    cids,
+                    assigned,
+                    mem_v,
+                    [(mem_lo, mem_hi) for (_, _, mem_lo, mem_hi) in ctx.ranges],
+                )
+            finally:
+                del mem_v
+        else:
+            ledger = sanitize.WriteLedger(level)
+            for cid, rows in zip(cids, assigned):
+                ledger.assign(cid, rows)
+                ledger.record_write(cid, rows)
+            ledger.verify()
+
+    # ------------------------------------------------------------------ #
     # Payload construction (per task, per degradation rung)
     # ------------------------------------------------------------------ #
 
@@ -785,7 +825,7 @@ class MultiprocessBackend(Backend):
         ctx.ranges = ranges
 
     def _payload_for(
-        self, ctx: _LevelContext, idx: int, rung: str, fault
+        self, ctx: _LevelContext, idx: int, rung: str, fault: Optional[Tuple]
     ) -> Tuple:
         """Build task *idx*'s payload at the given degradation rung."""
         t = ctx.tasks[idx]
@@ -822,7 +862,9 @@ class MultiprocessBackend(Backend):
             fault,
         )
 
-    def _materialized_lists(self, t: BlockTask):
+    def _materialized_lists(
+        self, t: BlockTask
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
         """The task's sub-cascades as local-id array lists.
 
         Arena-backed tasks are materialized from the parent's own arena
@@ -851,7 +893,7 @@ class MultiprocessBackend(Backend):
     # SupervisedDispatcher host protocol
     # ------------------------------------------------------------------ #
 
-    def submit_attempt(self, idx: int, attempt: int, rung: str):
+    def submit_attempt(self, idx: int, attempt: int, rung: str) -> "mp.pool.AsyncResult":
         """Dispatch one attempt of task *idx* to the current pool."""
         fault = self._fault_spec(idx, attempt)
         payload = self._payload_for(self._level_ctx, idx, rung, fault)
@@ -934,7 +976,7 @@ class MultiprocessBackend(Backend):
     def task_community(self, idx: int) -> int:
         return self._level_ctx.tasks[idx].community_id
 
-    def _fault_spec(self, idx: int, attempt: int):
+    def _fault_spec(self, idx: int, attempt: int) -> Optional[Tuple]:
         for plan in self._fault_plans:
             spec = plan.spec_for(idx, attempt)
             if spec is not None:

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.parallel.arena import CorpusArena
 
 import numpy as np
 
@@ -31,6 +34,7 @@ from repro.community.mergetree import MergeTree
 from repro.community.partition import Partition
 from repro.community.slpa import slpa
 from repro.cooccurrence.build import build_cooccurrence_graph
+from repro.devtools import sanitize
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.optimizer import OptimizerConfig
 from repro.parallel.backends import Backend, BlockResult, BlockTask, SerialBackend
@@ -226,12 +230,19 @@ class HierarchicalInference:
         partition: Partition,
         model: EmbeddingModel,
         cascades: CascadeSet,
-        arena=None,
+        arena: Optional["CorpusArena"] = None,
     ) -> LevelStats:
         if arena is not None:
             tasks = self._arena_tasks(level_idx, partition, model, arena)
         else:
             tasks = self._materialized_tasks(level_idx, partition, model, cascades)
+        ledger: Optional[sanitize.WriteLedger] = None
+        if sanitize.enabled():
+            # Record the seed-row plumbing: the rows each block task is
+            # assigned (and therefore allowed to write back).
+            ledger = sanitize.WriteLedger(level_idx)
+            for task in tasks:
+                ledger.assign(task.community_id, task.nodes)
         profiles = getattr(self.backend, "level_profiles", None)
         n_profiles_before = len(profiles) if profiles is not None else 0
         results = self.backend.run_level(tasks)
@@ -240,6 +251,12 @@ class HierarchicalInference:
             # Surface the backend's fault accounting for this level.
             stats.fault_log = list(profiles[-1].fault_log)
             stats.n_retries = profiles[-1].n_retries
+        if ledger is not None:
+            # Verify disjointness + coverage BEFORE any row reaches the
+            # model: a violating level must not contaminate the merge.
+            for res in results:
+                ledger.record_write(res.community_id, res.nodes)
+            ledger.verify()
         for res in results:
             model.A[res.nodes] = res.A_rows
             model.B[res.nodes] = res.B_rows

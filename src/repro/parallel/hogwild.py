@@ -25,15 +25,16 @@ from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass
-from multiprocessing import shared_memory
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.cascades.types import Cascade, CascadeSet
+from repro.devtools import sanitize
 from repro.embedding.gradients import accumulate_gradients
 from repro.embedding.likelihood import EPS
 from repro.embedding.model import EmbeddingModel
+from repro.parallel._shm import create_segment
 from repro.utils.rng import SeedLike, as_generator, derive_seed
 
 __all__ = ["HogwildConfig", "hogwild_fit"]
@@ -139,6 +140,10 @@ def hogwild_fit(
 
     Returns the model (same object) for chaining.
     """
+    # Hogwild races on shared rows by design; its sanitizer exemption is
+    # asserted so the waiver fails loudly if the module is ever renamed
+    # without updating EXEMPT_MODULES.
+    sanitize.assert_exempt("repro.parallel.hogwild")
     if cascades.n_nodes > model.n_nodes:
         raise ValueError("cascades cover more nodes than the model has rows")
     payload = [(c.nodes, c.times) for c in cascades]
@@ -153,8 +158,8 @@ def hogwild_fit(
 
     shape = model.A.shape
     nbytes = max(int(np.prod(shape)) * 8, 1)
-    shm_a = shared_memory.SharedMemory(create=True, size=nbytes)
-    shm_b = shared_memory.SharedMemory(create=True, size=nbytes)
+    shm_a = create_segment(nbytes)
+    shm_b = create_segment(nbytes)
     try:
         A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
         B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)

@@ -1,0 +1,162 @@
+"""Engine-level lint behavior: suppressions, JSON schema, CLI exit codes."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.cli import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_VIOLATIONS,
+    main,
+)
+from repro.devtools.lint.engine import lint_source, parse_suppressions
+from repro.devtools.lint.rules import DEFAULT_RULES
+
+BAD_RNG = "import random\nv = random.random()\n"
+
+
+class TestSuppressions:
+    def test_valid_suppression_silences_rule(self):
+        src = (
+            "import random\n"
+            "v = random.random()  # repro: noqa[REP001] seeding handled upstream\n"
+        )
+        violations, n_suppressed = lint_source("m.py", src, DEFAULT_RULES)
+        assert violations == []
+        assert n_suppressed == 1
+
+    def test_suppression_for_other_rule_does_not_apply(self):
+        src = (
+            "import random\n"
+            "v = random.random()  # repro: noqa[REP006] wrong rule cited\n"
+        )
+        violations, n_suppressed = lint_source("m.py", src, DEFAULT_RULES)
+        assert [v.rule for v in violations] == ["REP001"]
+        assert n_suppressed == 0
+
+    def test_missing_reason_is_rep000(self):
+        src = "import random\nv = random.random()  # repro: noqa[REP001]\n"
+        violations, _ = lint_source("m.py", src, DEFAULT_RULES)
+        assert {v.rule for v in violations} == {"REP000", "REP001"}
+
+    def test_blanket_noqa_rejected(self):
+        src = "x = 1  # repro: noqa[] because I said so\n"
+        violations, _ = lint_source("m.py", src, DEFAULT_RULES)
+        assert [v.rule for v in violations] == ["REP000"]
+
+    def test_malformed_marker_is_rep000(self):
+        src = "x = 1  # repro: noqa REP001 missing brackets\n"
+        violations, _ = lint_source("m.py", src, DEFAULT_RULES)
+        assert [v.rule for v in violations] == ["REP000"]
+
+    def test_rep000_not_suppressible(self):
+        # A malformed suppression cannot be silenced by another
+        # suppression on the same line.
+        src = "x = 1  # repro: noqa[REP000] trying to silence the engine\n"
+        suppressions, bad = parse_suppressions("m.py", src)
+        assert 1 in suppressions  # grammar-valid...
+        violations, _ = lint_source(
+            "m.py",
+            "import random\n"
+            "v = random.random()  # repro: noqa[bogus] nope\n",
+            DEFAULT_RULES,
+        )
+        # ...but engine violations always survive filtering.
+        assert "REP000" in [v.rule for v in violations]
+
+    def test_docstring_mention_not_a_suppression(self):
+        src = '"""Explains the # repro: noqa[REP001] marker."""\nx = 1\n'
+        suppressions, bad = parse_suppressions("m.py", src)
+        assert suppressions == {}
+        assert bad == []
+
+    def test_multi_rule_suppression(self):
+        src = (
+            "import random, time\n"
+            "v = random.random() + time.time()"
+            "  # repro: noqa[REP001,REP002] fixture exercising both\n"
+        )
+        violations, n_suppressed = lint_source("m.py", src, DEFAULT_RULES)
+        assert violations == []
+        assert n_suppressed == 2
+
+    def test_syntax_error_is_rep000(self):
+        violations, _ = lint_source("m.py", "def f(:\n", DEFAULT_RULES)
+        assert [v.rule for v in violations] == ["REP000"]
+        assert "parse" in violations[0].message
+
+
+class TestCLI:
+    def test_clean_file_exits_zero(self, tmp_path):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        out = io.StringIO()
+        assert main([str(f)], out=out) == EXIT_CLEAN
+        assert "0 violation(s)" in out.getvalue()
+
+    def test_violating_file_exits_one_with_rule_id(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_RNG)
+        out = io.StringIO()
+        assert main([str(f)], out=out) == EXIT_VIOLATIONS
+        assert "REP001" in out.getvalue()
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "nope")], out=io.StringIO()) == EXIT_ERROR
+
+    def test_unknown_rule_id_exits_two(self, tmp_path):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        code = main([str(f), "--select", "REP999"], out=io.StringIO())
+        assert code == EXIT_ERROR
+
+    def test_select_restricts_rules(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_RNG)
+        out = io.StringIO()
+        # Only REP006 selected: the REP001 hit must not fire.
+        assert main([str(f), "--select", "REP006"], out=out) == EXIT_CLEAN
+
+    def test_json_schema(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_RNG)
+        out = io.StringIO()
+        assert main([str(f), "--format", "json"], out=out) == EXIT_VIOLATIONS
+        payload = json.loads(out.getvalue())
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert payload["files_scanned"] == 1
+        assert payload["n_violations"] == 1
+        assert payload["counts"] == {"REP001": 1}
+        (v,) = payload["violations"]
+        assert set(v) == {"rule", "path", "line", "col", "message"}
+        assert v["rule"] == "REP001"
+        assert v["line"] == 2
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert main(["--list-rules"], out=out) == EXIT_CLEAN
+        text = out.getvalue()
+        for rid in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert rid in text
+
+    def test_module_entry_point(self, tmp_path):
+        """``python -m repro.devtools.lint`` honors the exit-code contract."""
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_RNG)
+        repo_src = Path(__file__).resolve().parents[3] / "src"
+        env = dict(os.environ, PYTHONPATH=str(repo_src))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", str(f)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == EXIT_VIOLATIONS
+        assert "REP001" in proc.stdout

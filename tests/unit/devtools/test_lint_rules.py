@@ -1,0 +1,267 @@
+"""Per-rule good/bad fixtures for the REP001–REP006 lint rules.
+
+Each rule gets a bad snippet (must fire, with the right rule id) and a
+good snippet (must stay silent), exercised through ``lint_source`` so the
+full engine path — parsing, import resolution, allow-lists — is covered.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.devtools.lint.engine import lint_source
+from repro.devtools.lint.rules import DEFAULT_RULES, rule_table
+
+
+def run_lint(source, path="src/repro/somewhere/mod.py"):
+    violations, n_suppressed = lint_source(
+        path, textwrap.dedent(source), DEFAULT_RULES
+    )
+    return violations, n_suppressed
+
+
+def rule_ids(violations):
+    return [v.rule for v in violations]
+
+
+class TestRuleTable:
+    def test_all_rules_registered(self):
+        ids = [r.id for r in DEFAULT_RULES]
+        assert ids == sorted(ids)
+        assert set(ids) == {
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        }
+
+    def test_rule_table_schema(self):
+        for row in rule_table():
+            assert set(row) == {"id", "name", "description", "allowed_in"}
+            assert row["id"].startswith("REP")
+            assert row["description"]
+
+
+class TestREP001UnseededRandom:
+    def test_numpy_global_rng_flagged(self):
+        bad = """
+        import numpy as np
+        x = np.random.rand(3)
+        np.random.seed(0)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP001", "REP001"]
+
+    def test_stdlib_random_flagged(self):
+        bad = """
+        import random
+        v = random.random()
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP001"]
+
+    def test_from_import_of_global_fn_flagged(self):
+        bad = """
+        from random import shuffle
+        from numpy.random import randint
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP001", "REP001"]
+
+    def test_generator_api_allowed(self):
+        good = """
+        import numpy as np
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=3)
+        g = np.random.Generator(np.random.PCG64(1))
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_sanctioned_in_rng_module(self):
+        bad = "import random\nv = random.random()\n"
+        violations, _ = run_lint(bad, path="src/repro/utils/rng.py")
+        assert violations == []
+
+    def test_local_variable_named_random_not_flagged(self):
+        good = """
+        def f(random):
+            return random.random()
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+
+class TestREP002WallClock:
+    def test_time_time_flagged(self):
+        bad = """
+        import time
+        t = time.time()
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP002"]
+
+    def test_datetime_now_flagged(self):
+        bad = """
+        from datetime import datetime
+        stamp = datetime.now()
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP002"]
+
+    def test_monotonic_clocks_allowed(self):
+        good = """
+        import time
+        t0 = time.perf_counter()
+        t1 = time.monotonic()
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_sanctioned_in_timing_module(self):
+        bad = "import time\nt = time.time()\n"
+        violations, _ = run_lint(bad, path="src/repro/utils/timing.py")
+        assert violations == []
+
+
+class TestREP003RawSharedMemory:
+    def test_direct_constructor_flagged(self):
+        bad = """
+        from multiprocessing import shared_memory
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP003"]
+
+    def test_fully_qualified_flagged(self):
+        bad = """
+        import multiprocessing.shared_memory as sm
+        seg = sm.SharedMemory(create=True, size=64)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP003"]
+
+    def test_sanctioned_in_shm_module(self):
+        bad = """
+        from multiprocessing import shared_memory
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        """
+        violations, _ = run_lint(bad, path="src/repro/parallel/_shm.py")
+        assert violations == []
+
+    def test_helper_usage_allowed(self):
+        good = """
+        from repro.parallel._shm import attach_untracked, create_segment
+        seg = create_segment(64)
+        view = attach_untracked(seg.name)
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+
+class TestREP004BareMultiprocessing:
+    def test_pool_flagged(self):
+        bad = """
+        import multiprocessing as mp
+        pool = mp.Pool(4)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP004"]
+
+    def test_context_pool_flagged(self):
+        bad = """
+        import multiprocessing as mp
+        ctx = mp.get_context("fork")
+        p = ctx.Process(target=print)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP004"]
+
+    def test_sanctioned_in_backends(self):
+        bad = "import multiprocessing as mp\npool = mp.Pool(2)\n"
+        violations, _ = run_lint(
+            bad, path="src/repro/parallel/backends.py"
+        )
+        assert violations == []
+
+    def test_sanctioned_in_hogwild(self):
+        bad = "import multiprocessing as mp\np = mp.Process(target=print)\n"
+        violations, _ = run_lint(bad, path="src/repro/parallel/hogwild.py")
+        assert violations == []
+
+
+class TestREP005FloatEquality:
+    def test_nonzero_literal_comparison_flagged(self):
+        bad = """
+        def f(x):
+            return x == 0.5
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP005"]
+
+    def test_not_equal_flagged(self):
+        bad = """
+        def f(x):
+            return 1.5 != x
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP005"]
+
+    def test_zero_guard_allowed(self):
+        # The audited guards (modularity.py m == 0.0, regression.py
+        # ss_tot == 0.0) compare sums that are identically zero in the
+        # degenerate case — exact comparison is correct there.
+        good = """
+        def f(m):
+            if m == 0.0:
+                return 0.0
+            return 1.0 / m
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_literal_vs_literal_allowed(self):
+        violations, _ = run_lint("ok = 0.1 == 0.1\n")
+        assert violations == []
+
+    def test_nonliteral_comparison_not_flagged(self):
+        violations, _ = run_lint("def f(a, b):\n    return a == b\n")
+        assert violations == []
+
+
+class TestREP006MutableDefault:
+    def test_list_default_flagged(self):
+        violations, _ = run_lint("def f(xs=[]):\n    return xs\n")
+        assert rule_ids(violations) == ["REP006"]
+
+    def test_dict_and_set_defaults_flagged(self):
+        violations, _ = run_lint("def f(a={}, b=set()):\n    return a, b\n")
+        assert rule_ids(violations) == ["REP006", "REP006"]
+
+    def test_kwonly_default_flagged(self):
+        violations, _ = run_lint("def f(*, xs=list()):\n    return xs\n")
+        assert rule_ids(violations) == ["REP006"]
+
+    def test_defaultdict_flagged(self):
+        bad = """
+        import collections
+        def f(acc=collections.defaultdict(list)):
+            return acc
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP006"]
+
+    def test_none_and_tuple_defaults_allowed(self):
+        violations, _ = run_lint(
+            "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n"
+        )
+        assert violations == []
+
+
+class TestShippedTreeIsClean:
+    def test_src_has_no_violations(self):
+        from pathlib import Path
+
+        from repro.devtools.lint.engine import lint_paths
+
+        src = Path(__file__).resolve().parents[3] / "src"
+        report = lint_paths([str(src)], DEFAULT_RULES)
+        assert report.clean, "\n".join(v.render() for v in report.violations)
+        assert report.files_scanned > 50
