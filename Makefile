@@ -6,13 +6,13 @@ export PYTHONPATH := src
 # wedging the suite.
 export REPRO_TEST_TIMEOUT ?= 600
 
-.PHONY: check fast test bench bench-dispatch lint typecheck
+.PHONY: check fast test bench bench-dispatch bench-kernel lint typecheck
 
 ## tier-1 gate: lint, then typecheck, then the full test suite (what CI runs)
 check: lint typecheck
 	$(PYTHON) -m pytest -x -q
 
-## project-specific correctness lint (REP001–REP006), then ruff when installed.
+## project-specific correctness lint (REP001–REP007), then ruff when installed.
 ## The repro.devtools.lint pass always runs (stdlib-only); ruff is optional —
 ## absent ruff prints a skip notice, an installed-but-failing ruff fails the target.
 lint:
@@ -44,3 +44,8 @@ bench:
 ## arena-vs-legacy dispatch benchmark; writes BENCH_parallel.json
 bench-dispatch:
 	$(PYTHON) -m pytest -x -q benchmarks/test_perf_dispatch.py
+
+## gradient-kernel benchmark (scatter plan vs np.add.at, allocation audit);
+## writes BENCH_kernel.json
+bench-kernel:
+	$(PYTHON) -m pytest -x -q benchmarks/test_perf_kernel.py

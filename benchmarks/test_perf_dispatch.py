@@ -23,6 +23,10 @@ dumps() pass over the exact payload tuples (``profile_dispatch=True``),
 which is the component the arena is designed to eliminate.  Worker
 compute is reported for context, not compared — on this single-core
 machine, 4 timesharing workers make wall-minus-compute meaningless.
+Compute is further split into compile (local corpus build +
+:class:`CompiledCorpus` construction), kernel (the fit loop), and gather
+(model row gather/scatter around the fit), which localizes any
+arena-vs-legacy compute delta to the phase that actually differs.
 """
 
 import json
@@ -71,6 +75,16 @@ def _overhead(profile):
     return (profile.payload_pickle_seconds or 0.0) + profile.build_seconds
 
 
+def _compute_split(profile):
+    """Worker-side compute broken into its three phases (None on levels
+    that dispatched no tasks)."""
+    return {
+        "compile_seconds": profile.compile_seconds or 0.0,
+        "kernel_seconds": profile.kernel_seconds or 0.0,
+        "gather_seconds": profile.gather_seconds or 0.0,
+    }
+
+
 def test_dispatch_overhead_arena_vs_legacy(scale):
     exp, tree, cfg = _world(scale)
 
@@ -105,6 +119,7 @@ def test_dispatch_overhead_arena_vs_legacy(scale):
                     "dispatch_overhead_seconds": _overhead(p_leg),
                     "wall_seconds": p_leg.wall_seconds,
                     "compute_seconds": p_leg.compute_seconds,
+                    **_compute_split(p_leg),
                 },
                 "arena": {
                     "payload_bytes": p_arn.payload_bytes,
@@ -113,6 +128,7 @@ def test_dispatch_overhead_arena_vs_legacy(scale):
                     "dispatch_overhead_seconds": _overhead(p_arn),
                     "wall_seconds": p_arn.wall_seconds,
                     "compute_seconds": p_arn.compute_seconds,
+                    **_compute_split(p_arn),
                 },
             }
         )
@@ -127,6 +143,10 @@ def test_dispatch_overhead_arena_vs_legacy(scale):
                 l[m]["dispatch_overhead_seconds"] for l in levels
             ),
             "wall_seconds": sum(l[m]["wall_seconds"] for l in levels),
+            "compute_seconds": sum(l[m]["compute_seconds"] for l in levels),
+            "compile_seconds": sum(l[m]["compile_seconds"] for l in levels),
+            "kernel_seconds": sum(l[m]["kernel_seconds"] for l in levels),
+            "gather_seconds": sum(l[m]["gather_seconds"] for l in levels),
         }
         for m in ("legacy", "arena")
     }
@@ -174,6 +194,14 @@ def test_dispatch_overhead_arena_vs_legacy(scale):
         f"pickle time {pickle_ratio:.1f}x faster, "
         f"dispatch overhead {overhead_ratio:.1f}x lower"
     )
+    for m in ("legacy", "arena"):
+        t = tot[m]
+        lines.append(
+            f"{m} compute {t['compute_seconds']:.2f}s = "
+            f"compile {t['compile_seconds']:.2f}s + "
+            f"kernel {t['kernel_seconds']:.2f}s + "
+            f"gather {t['gather_seconds']:.2f}s"
+        )
     save_result("bench_parallel_dispatch", "\n".join(lines))
 
     # Acceptance: per-level pickle+IPC dispatch overhead reduced >= 3x.

@@ -36,6 +36,13 @@ REP005    Float ``==``/``!=`` against a non-zero float literal.  Exact
 REP006    Mutable default arguments (list/dict/set displays or
           constructor calls).  The classic shared-state footgun; use
           ``None`` + in-body default or ``field(default_factory=...)``.
+REP007    ``np.add.at`` / ``np.<ufunc>.at`` outside the sanctioned
+          modules.  Unbuffered ufunc scatter is NumPy's slowest
+          accumulation path — the hot gradient kernel replaced it with a
+          precomputed scatter plan (``repro.embedding.compiled``), and
+          this rule keeps the slow path from creeping back.  Reference/
+          baseline modules where ``.at`` is cold and duplicate indices
+          are essential keep using it (see ``allowed_in``).
 ========  ==============================================================
 """
 
@@ -412,6 +419,47 @@ class MutableDefaultRule(Rule):
         return False
 
 
+class UfuncAtRule(Rule):
+    """REP007: unbuffered ufunc scatter outside the sanctioned modules."""
+
+    id = "REP007"
+    name = "ufunc-at-scatter"
+    description = (
+        "np.<ufunc>.at(...) outside the sanctioned modules; unbuffered "
+        "ufunc scatter is NumPy's slowest accumulation path — hot code "
+        "must use the compiled scatter plan (repro.embedding.compiled) "
+        "or duplicate-free fancy indexing"
+    )
+    #: Cold reference/baseline code where ``.at`` stays: community/graph
+    #: statistics, the Kempe simulator, rank aggregation, and the NETINF
+    #: baseline (whose cross-cascade accumulation order a segment-sum
+    #: rewrite would not preserve bitwise).
+    allowed_in = (
+        "repro/community/modularity.py",
+        "repro/graphs/graph.py",
+        "repro/cascades/kempe.py",
+        "repro/analysis/reconstruction.py",
+        "repro/embedding/linkmodel.py",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "at"):
+                continue
+            resolved = ctx.resolve(func)
+            if resolved is not None and resolved.startswith("numpy."):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{resolved}(...) is an unbuffered scatter; use the "
+                    "compiled scatter plan (repro.embedding.compiled) or "
+                    "fancy-index += over duplicate-free indices",
+                )
+
+
 DEFAULT_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -419,6 +467,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     BareMultiprocessingRule(),
     FloatEqualityRule(),
     MutableDefaultRule(),
+    UfuncAtRule(),
 )
 
 

@@ -1,4 +1,4 @@
-"""Corpus compilation: one vectorized gradient pass over all cascades.
+"""Corpus compilation: one vectorized, allocation-free gradient pass.
 
 The two-sweep gradients of :mod:`repro.embedding.gradients` are exact but
 pay NumPy call overhead per cascade — ruinous when a corpus holds
@@ -12,23 +12,189 @@ arrays:
 * prefix sums run over the concatenation; per-cascade prefixes are
   recovered by subtracting the cumulative value at each cascade's start;
 * suffix sums likewise, subtracting at each cascade's end;
-* scatter-accumulation into the gradient matrices is one ``np.add.at``.
+* scatter-accumulation into the gradient matrices follows a compile-time
+  :class:`ScatterPlan` — an argsort-by-node permutation whose per-node
+  segments are reduced by contiguous "rank rounds" (and, for very
+  high-multiplicity nodes, power-of-two padded cumsum rectangles), then
+  added into the gradient rows with one fancy-index store.  The plan
+  applies each node's contributions as a strict left fold in original
+  position order, so it is *bit-identical* to ``np.add.at`` while being
+  several times faster (``np.add.reduceat`` is not an option: it
+  reassociates sums pairwise within segments and changes the bits).
 
-The result is bit-for-bit the same math as the per-cascade path (the test
-suite cross-checks them) at a fraction of the interpreter overhead.
+All per-iteration buffers live in a :class:`GradientWorkspace` that is
+reused across optimizer iterations, making :func:`corpus_gradients`
+allocation-free in steady state.  The result is bit-for-bit the same
+math as the per-cascade path (the test suite cross-checks them) at a
+fraction of the interpreter and allocator overhead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from functools import cached_property
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.cascades.types import Cascade, CascadeSet
+from repro.cascades.types import Cascade
 from repro.embedding.likelihood import EPS
 
-__all__ = ["CompiledCorpus", "corpus_gradients"]
+__all__ = [
+    "CompiledCorpus",
+    "ScatterPlan",
+    "GradientWorkspace",
+    "corpus_gradients",
+]
+
+#: Per-node segments longer than this leave the rank-round path and are
+#: reduced as power-of-two padded cumsum rectangles instead — rank
+#: rounds degrade to one NumPy call per occurrence rank, which loses to
+#: ``np.add.at`` once a single node dominates the corpus (zipf-style
+#: multiplicity).  128 was picked empirically: rounds win decisively
+#: below it on CI-scale corpora, rectangles win above it.
+ROUND_CAP = 128
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """Compile-time recipe turning per-position contributions into
+    per-node gradient updates, bit-identical to ``np.add.at``.
+
+    Built once per corpus from the node ids alone.  ``gather_rows``
+    permutes the ``(M + 1, K)`` contribution buffer (row ``M`` is an
+    always-zero sentinel used as padding) into segment-reduction order:
+    first the power-of-two padded rectangles of the high-multiplicity
+    nodes, then, for every occurrence rank ``r``, the rank-``r`` rows of
+    the remaining nodes (segments sorted by descending length so each
+    round is one contiguous slice).  ``gather_rows2`` is the same
+    permutation duplicated at plane offset ``M + 1`` so both gradient
+    contributions (dA, dB) are gathered with a single ``np.take``.
+    """
+
+    gather_rows: np.ndarray  # (G,) rows of the (M+1, K) contribution buffer
+    gather_rows2: np.ndarray  # (2G,) dual-plane rows of the (2(M+1), K) view
+    targets: np.ndarray  # (U,) gradient row per reduced segment
+    bins: Tuple[Tuple[int, int, int, int, int], ...]  # (r0, r1, s0, s1, lb)
+    rounds: Tuple[Tuple[int, int, int, int], ...]  # (src0, src1, dst0, dst1)
+    n_long: int  # segments reduced via rectangles (acc rows [0, n_long))
+    n_unique: int  # U, distinct nodes in the corpus
+    n_gather: int  # G, rows in the single-plane gather
+
+    @classmethod
+    def from_nodes(cls, nodes: np.ndarray, n_positions: int) -> "ScatterPlan":
+        """Build the plan for *nodes*; ``n_positions`` is the sentinel row."""
+        M = n_positions
+        perm = np.argsort(nodes, kind="stable")
+        if M == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return cls(empty, empty, empty, (), (), 0, 0, 0)
+        sn = nodes[perm]
+        is_start = np.empty(M, dtype=bool)
+        is_start[0] = True
+        np.not_equal(sn[1:], sn[:-1], out=is_start[1:])
+        seg_starts = np.flatnonzero(is_start)
+        n_unique = int(seg_starts.size)
+        seg_ends = np.append(seg_starts[1:], M)
+        lengths = seg_ends - seg_starts
+        long_mask = lengths > ROUND_CAP
+        long_ids = np.flatnonzero(long_mask)
+        short_ids = np.flatnonzero(~long_mask)
+        # Descending length makes round r's active set a prefix, so each
+        # round reads one contiguous slice of the gathered buffer.
+        short_ids = short_ids[np.argsort(-lengths[short_ids], kind="stable")]
+        n_long = int(long_ids.size)
+        parts = []
+        bins = []
+        row_off = 0
+        seg_off = 0
+        if n_long:
+            # Pad each long segment to the next power of two with the
+            # sentinel row (contributes +0.0, preserving every bit), so
+            # one cumsum over a (n_bins, pad, K) rectangle folds all
+            # segments of equal padded length at once.
+            pad = np.ones(n_long, dtype=np.int64)
+            ll = lengths[long_ids]
+            while np.any(pad < ll):
+                pad[pad < ll] *= 2
+            order = np.argsort(pad, kind="stable")
+            long_ids = long_ids[order]
+            pad = pad[order]
+            i = 0
+            while i < n_long:
+                j = i
+                lb = int(pad[i])
+                while j < n_long and pad[j] == lb:
+                    j += 1
+                nb = j - i
+                block = np.full((nb, lb), M, dtype=np.int64)
+                for row, seg in enumerate(long_ids[i:j]):
+                    block[row, : lengths[seg]] = perm[
+                        seg_starts[seg] : seg_ends[seg]
+                    ]
+                parts.append(block.ravel())
+                bins.append((row_off, row_off + nb * lb, seg_off, seg_off + nb, lb))
+                row_off += nb * lb
+                seg_off += nb
+                i = j
+        rounds = []
+        if short_ids.size:
+            short_lengths = lengths[short_ids]
+            n_rounds = int(short_lengths[0])
+            dst0 = n_long
+            for r in range(n_rounds):
+                n_active = int(np.searchsorted(-short_lengths, -r, side="left"))
+                parts.append(perm[seg_starts[short_ids[:n_active]] + r])
+                rounds.append((row_off, row_off + n_active, dst0, dst0 + n_active))
+                row_off += n_active
+        gather_rows = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        gather_rows2 = np.concatenate([gather_rows, gather_rows + (M + 1)])
+        targets = np.concatenate(
+            [sn[seg_starts[long_ids]], sn[seg_starts[short_ids]]]
+        )
+        return cls(
+            gather_rows=gather_rows,
+            gather_rows2=gather_rows2,
+            targets=targets,
+            bins=tuple(bins),
+            rounds=tuple(rounds),
+            n_long=n_long,
+            n_unique=n_unique,
+            n_gather=int(gather_rows.size),
+        )
+
+    def reduce_into(self, gathered: np.ndarray, acc: np.ndarray) -> None:
+        """Fold one gathered plane ``(n_gather, K)`` into ``acc[:U]``.
+
+        Rectangles first (cumsum along the padded axis, last column is
+        the segment total), then rank rounds — round 0 assigns, later
+        rounds add, applying occurrences in original position order.
+        """
+        K = gathered.shape[1]
+        for r0, r1, s0, s1, lb in self.bins:
+            cube = gathered[r0:r1].reshape(s1 - s0, lb, K)
+            np.cumsum(cube, axis=1, out=cube)
+            acc[s0:s1] = cube[:, lb - 1, :]
+        first = True
+        for src0, src1, dst0, dst1 in self.rounds:
+            if first:
+                acc[dst0:dst1] = gathered[src0:src1]
+                first = False
+            else:
+                acc[dst0:dst1] += gathered[src0:src1]
+
+    def apply_into(
+        self, grad: np.ndarray, acc: np.ndarray, gbuf: np.ndarray
+    ) -> None:
+        """``grad[targets] += acc[:U]`` via gather/add/store (targets are
+        unique, so the fancy store is exact)."""
+        U = self.n_unique
+        g = gbuf[:U]
+        np.take(grad, self.targets, axis=0, out=g, mode="clip")
+        g += acc[:U]
+        grad[self.targets] = g
 
 
 @dataclass(frozen=True)
@@ -89,6 +255,7 @@ class CompiledCorpus:
         nodes: np.ndarray,
         times: np.ndarray,
         offsets: np.ndarray,
+        assume_compact: bool = False,
     ) -> "CompiledCorpus":
         """Compile a flat CSR sub-corpus without materializing ``Cascade``s.
 
@@ -99,12 +266,16 @@ class CompiledCorpus:
         :meth:`from_cascades` over the same sub-cascades — including the
         skip of size-<2 sub-cascades — but with a fixed number of
         vectorized passes instead of a Python loop per cascade.
+
+        ``assume_compact=True`` skips the size-<2 scan entirely; callers
+        (the split planner emits groups with ``min_size=2``) use it when
+        every sub-cascade is guaranteed to carry likelihood signal.
         """
         nodes = np.ascontiguousarray(nodes, dtype=np.int64)
         times = np.ascontiguousarray(times, dtype=np.float64)
         offsets = np.asarray(offsets, dtype=np.int64)
         sizes = np.diff(offsets)
-        if np.any(sizes < 2):
+        if not assume_compact and np.any(sizes < 2):
             # Compact away sub-cascades that carry no likelihood signal.
             keep = sizes >= 2
             mask = np.repeat(keep, sizes)
@@ -147,6 +318,107 @@ class CompiledCorpus:
     def n_infections(self) -> int:
         return int(self.nodes.size)
 
+    # -- compile-time derived structure (cached; corpus is immutable) -- #
+
+    @cached_property
+    def scatter_plan(self) -> ScatterPlan:
+        """The segment-reduce plan for this corpus's node multiset."""
+        return ScatterPlan.from_nodes(self.nodes, self.n_infections)
+
+    @cached_property
+    def ties_free(self) -> bool:
+        """True when no two infections share a timestamp within a
+        cascade — then ``starts == arange(M)`` / ``ends == arange(M)+1``
+        and the kernel reads prefix/suffix rows as views instead of
+        gathering them."""
+        M = self.n_infections
+        idx = np.arange(M, dtype=np.int64)
+        return bool(
+            np.array_equal(self.starts, idx)
+            and np.array_equal(self.ends, idx + 1)
+        )
+
+    @cached_property
+    def invalid_rows(self) -> np.ndarray:
+        """Positions with no strict predecessor (first tie group of each
+        cascade); their dB/suffix contributions are zeroed."""
+        return np.flatnonzero(~self.valid)
+
+    @cached_property
+    def valid_rows(self) -> np.ndarray:
+        """Complement of :attr:`invalid_rows` — the positions whose
+        likelihood terms are summed.  Cached so the kernel's compaction
+        is a plain ``np.take`` (``np.compress`` re-derives this index
+        array on every call, ~600 KB of transient heap at CI scale)."""
+        return np.flatnonzero(self.valid)
+
+    @cached_property
+    def n_valid(self) -> int:
+        return int(self.valid.sum())
+
+
+class GradientWorkspace:
+    """Reusable buffer pool for :func:`corpus_gradients` (and the
+    optimizer's retract candidates).
+
+    Buffers grow monotonically and are recycled across iterations — in
+    steady state (same corpus, same K) a gradient evaluation performs no
+    heap allocation.  The workspace may be reused across corpora of
+    different shapes; every buffer is fully written before it is read
+    within a call, so no stale data can leak between corpora (the
+    property suite checks workspace-reuse against fresh allocation
+    bitwise).  Not thread-safe: one workspace per thread/process.
+    """
+
+    #: Growth slack so a slowly growing corpus sequence doesn't realloc
+    #: on every call.
+    _SLACK = 1.25
+
+    def __init__(self) -> None:
+        self._mats: Dict[str, np.ndarray] = {}
+        self._vecs: Dict[str, np.ndarray] = {}
+
+    # -- sizing ------------------------------------------------------- #
+
+    def _mat(self, name: str, rows: int, cols: int) -> np.ndarray:
+        buf = self._mats.get(name)
+        if buf is None or buf.shape[1] != cols or buf.shape[0] < rows:
+            cap = max(rows, int(rows * self._SLACK), 1)
+            buf = np.empty((cap, cols), dtype=np.float64)
+            self._mats[name] = buf
+        return buf[:rows]
+
+    def _vec(self, name: str, size: int) -> np.ndarray:
+        buf = self._vecs.get(name)
+        if buf is None or buf.size < size:
+            cap = max(size, int(size * self._SLACK), 1)
+            buf = np.empty(cap, dtype=np.float64)
+            self._vecs[name] = buf
+        return buf[:size]
+
+    # -- optimizer candidates ------------------------------------------ #
+
+    def model_candidates(
+        self, n_rows: int, n_cols: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Two ``(n_rows, n_cols)`` buffers for the optimizer's
+        out-of-place candidate step (ping-pong retraction)."""
+        a = self._mats.get("candA")
+        b = self._mats.get("candB")
+        if a is None or a.shape != (n_rows, n_cols):
+            a = np.empty((n_rows, n_cols), dtype=np.float64)
+            self._mats["candA"] = a
+        if b is None or b.shape != (n_rows, n_cols):
+            b = np.empty((n_rows, n_cols), dtype=np.float64)
+            self._mats["candB"] = b
+        return a, b
+
+    def release_candidates(self) -> None:
+        """Drop the candidate buffers (they may alias a model's arrays
+        after the optimizer's final pointer swap)."""
+        self._mats.pop("candA", None)
+        self._mats.pop("candB", None)
+
 
 def corpus_gradients(
     A: np.ndarray,
@@ -156,10 +428,14 @@ def corpus_gradients(
     gradB: np.ndarray,
     eps: float = EPS,
     background_rate: float = 0.0,
+    workspace: Optional[GradientWorkspace] = None,
 ) -> float:
     """Add the full-corpus ∇L to *gradA*/*gradB* in place; return Σ_c L_c.
 
     Exactly Eq. 12–16, evaluated in one pass (see module docstring).
+    Passing a :class:`GradientWorkspace` makes the evaluation
+    allocation-free in steady state; results are bit-identical either
+    way.
 
     *background_rate* adds a constant exogenous hazard μ to every
     infection's denominator (``log(Σ A_u·B_v + μ)``): each adoption can
@@ -174,55 +450,132 @@ def corpus_gradients(
     M = corpus.n_infections
     if M == 0:
         return 0.0
+    if workspace is None:
+        workspace = GradientWorkspace()
+    ws = workspace
     nodes = corpus.nodes
-    t = corpus.times
     K = A.shape[1]
-    A_pos = A[nodes]
-    B_pos = B[nodes]
-    t_col = t[:, None]
+    plan = corpus.scatter_plan
+    ties_free = corpus.ties_free
+    invalid_rows = corpus.invalid_rows
+    # Column broadcasts by times / inv_denom all go through einsum
+    # "ik,i->ik": multiplying by a (M,1) operand makes numpy's ufunc
+    # machinery allocate a 64 KB iterator buffer per call and run ~1.5x
+    # slower; the einsum products are bit-identical.
+    times = corpus.times
+
+    # All gathers use mode="clip": indices are in bounds by construction
+    # and the default "raise" path is ~2.5x slower when writing to out=.
+    cumA = ws._mat("cumA", M + 1, K)
+    cumtA = ws._mat("cumtA", M + 1, K)
+    dual = ws._mat("dual", 2 * (M + 1), K)  # plane 0: dA, plane 1: dB
+    dA_plane = dual[: M + 1]
+    dB_plane = dual[M + 1 :]
+    H = ws._mat("H", M, K)
+    Q = ws._mat("Q", M, K)
+    T1 = ws._mat("T1", M, K)
+    sufB = ws._mat("sufB", M + 1, K)
+    suftB = ws._mat("suftB", M + 1, K)
+    sufBd = ws._mat("sufBd", M + 1, K)
 
     # ---- forward sweep ------------------------------------------------ #
-    cumA = np.empty((M + 1, K))
+    np.take(A, nodes, axis=0, out=cumA[1:], mode="clip")
+    np.einsum("ik,i->ik", cumA[1:], times, out=cumtA[1:])
     cumA[0] = 0.0
-    np.cumsum(A_pos, axis=0, out=cumA[1:])
-    cumtA = np.empty((M + 1, K))
     cumtA[0] = 0.0
-    np.cumsum(t_col * A_pos, axis=0, out=cumtA[1:])
-    H = cumA[corpus.starts] - cumA[corpus.cascade_begin]
-    G = cumtA[corpus.starts] - cumtA[corpus.cascade_begin]
+    np.cumsum(cumA[1:], axis=0, out=cumA[1:])
+    np.cumsum(cumtA[1:], axis=0, out=cumtA[1:])
+    G = dB_plane[:M]
+    np.take(cumA, corpus.cascade_begin, axis=0, out=T1, mode="clip")
+    if ties_free:
+        np.subtract(cumA[:M], T1, out=H)
+    else:
+        np.take(cumA, corpus.starts, axis=0, out=H, mode="clip")
+        H -= T1
+    np.take(cumtA, corpus.cascade_begin, axis=0, out=T1, mode="clip")
+    if ties_free:
+        np.subtract(cumtA[:M], T1, out=G)
+    else:
+        np.take(cumtA, corpus.starts, axis=0, out=G, mode="clip")
+        G -= T1
 
-    valid = corpus.valid
-    denom = np.einsum("ik,ik->i", H, B_pos)
+    B_pos = sufB[:M]
+    np.take(B, nodes, axis=0, out=B_pos, mode="clip")
+    denom = ws._vec("denom", M)
+    inv_denom = ws._vec("inv_denom", M)
+    np.einsum("ik,ik->i", H, B_pos, out=denom)
     if background_rate > 0.0:
         denom += background_rate
     np.maximum(denom, eps, out=denom)
-    inv_denom = 1.0 / denom
+    np.divide(1.0, denom, out=inv_denom)
 
-    lin = G - t_col * H
-    dB_pos = lin + H * inv_denom[:, None]
-    dB_pos[~valid] = 0.0
+    # lin = G - t*H, then dB = lin + H/denom — both built in the dB plane.
+    np.einsum("ik,i->ik", H, times, out=T1)
+    np.subtract(G, T1, out=G)
+    ll_lin = ws._vec("ll_lin", M)
+    np.einsum("ik,ik->i", G, B_pos, out=ll_lin)  # before the dB overwrite
+    np.einsum("ik,i->ik", H, inv_denom, out=T1)
+    np.add(G, T1, out=G)
+    G[invalid_rows] = 0.0
+    dB_plane[M] = 0.0  # scatter sentinel row
+
+    # ---- log-likelihood ----------------------------------------------- #
+    n_valid = corpus.n_valid
+    # np.compress would re-derive the index array every call (~600 KB of
+    # transient heap at CI scale); take through the cached valid_rows is
+    # allocation-free.  c1 gets its own buffer: take's out must not alias
+    # its input.
+    c1 = ws._vec("ll_sum", M)[:n_valid]
+    c2 = ws._vec("ll_log", M)[:n_valid]
+    valid_rows = corpus.valid_rows
+    np.take(ll_lin, valid_rows, out=c1, mode="clip")
+    np.take(denom, valid_rows, out=c2, mode="clip")
+    np.log(c2, out=c2)
+    c1 += c2
+    ll = float(np.sum(c1))
 
     # ---- backward sweep ------------------------------------------------ #
-    vmask = valid[:, None]
-    vB = np.where(vmask, B_pos, 0.0)
-    vtB = t_col * vB
-    vBd = vB * inv_denom[:, None]
-    def suffix(x: np.ndarray) -> np.ndarray:
-        out = np.empty((M + 1, K))
-        out[M] = 0.0
-        out[:M] = np.cumsum(x[::-1], axis=0)[::-1]
-        return out
+    B_pos[invalid_rows] = 0.0  # B_pos becomes vB in place (einsums done)
+    np.einsum("ik,i->ik", B_pos, times, out=suftB[:M])
+    np.einsum("ik,i->ik", B_pos, inv_denom, out=sufBd[:M])
+    for buf in (sufB, suftB, sufBd):
+        buf[M] = 0.0
+        rev = buf[:M][::-1]
+        np.cumsum(rev, axis=0, out=rev)
+    P = dA_plane[:M]
+    np.take(sufB, corpus.cascade_end, axis=0, out=T1, mode="clip")
+    if ties_free:
+        np.subtract(sufB[1:], T1, out=P)
+    else:
+        np.take(sufB, corpus.ends, axis=0, out=P, mode="clip")
+        P -= T1
+    np.take(suftB, corpus.cascade_end, axis=0, out=T1, mode="clip")
+    if ties_free:
+        np.subtract(suftB[1:], T1, out=Q)
+    else:
+        np.take(suftB, corpus.ends, axis=0, out=Q, mode="clip")
+        Q -= T1
+    np.einsum("ik,i->ik", P, times, out=T1)  # einsum's out must not alias
+    np.subtract(T1, Q, out=P)
+    np.take(sufBd, corpus.cascade_end, axis=0, out=Q, mode="clip")
+    if ties_free:
+        np.subtract(sufBd[1:], Q, out=T1)
+    else:
+        np.take(sufBd, corpus.ends, axis=0, out=T1, mode="clip")
+        T1 -= Q
+    P += T1  # dA = t*P - Q + R
+    dA_plane[M] = 0.0  # scatter sentinel row
 
-    sufB = suffix(vB)
-    suftB = suffix(vtB)
-    sufBd = suffix(vBd)
-    P = sufB[corpus.ends] - sufB[corpus.cascade_end]
-    Q = suftB[corpus.ends] - suftB[corpus.cascade_end]
-    R = sufBd[corpus.ends] - sufBd[corpus.cascade_end]
-    dA_pos = t_col * P - Q + R
-
-    np.add.at(gradA, nodes, dA_pos)
-    np.add.at(gradB, nodes, dB_pos)
-
-    ll_lin = np.einsum("ik,ik->i", lin, B_pos)
-    return float(np.sum(ll_lin[valid] + np.log(denom[valid])))
+    # ---- scatter ------------------------------------------------------- #
+    if plan.n_unique:
+        gathered = ws._mat("gather", max(2 * plan.n_gather, 1), K)
+        accA = ws._mat("accA", max(plan.n_unique, 1), K)
+        accB = ws._mat("accB", max(plan.n_unique, 1), K)
+        gbuf = ws._mat("gbuf", max(plan.n_unique, 1), K)
+        both = gathered[: 2 * plan.n_gather]
+        np.take(dual, plan.gather_rows2, axis=0, out=both, mode="clip")
+        plan.reduce_into(both[: plan.n_gather], accA)
+        plan.reduce_into(both[plan.n_gather :], accB)
+        plan.apply_into(gradA, accA, gbuf)
+        plan.apply_into(gradB, accB, gbuf)
+    return ll

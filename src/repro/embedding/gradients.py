@@ -89,15 +89,21 @@ def accumulate_gradients(
 
     denom = np.einsum("ik,ik->i", H, B_pos)
     denom = np.maximum(denom, eps)
+    # Reciprocal-multiply rather than divide: the compiled corpus kernel
+    # computes 1/denom once and multiplies, and x * (1/d) differs from
+    # x / d in the last bit — this form keeps the per-cascade path
+    # bit-identical to :func:`repro.embedding.compiled.corpus_gradients`
+    # on single-cascade corpora (the property suite relies on it).
+    inv_denom = 1.0 / denom
 
     # ∇_{B_v}: Eq. 13, zero for invalid positions.
-    dB_pos = G - t_col * H + H / denom[:, None]
+    dB_pos = G - t_col * H + H * inv_denom[:, None]
     dB_pos[~valid] = 0.0
 
     # ---- backward sweep: suffix sums for P, Q, R over *valid* v ------ #
     vB = np.where(valid[:, None], B_pos, 0.0)
     vtB = np.where(valid[:, None], t_col * B_pos, 0.0)
-    vBd = np.where(valid[:, None], B_pos / denom[:, None], 0.0)
+    vBd = np.where(valid[:, None], B_pos * inv_denom[:, None], 0.0)
     # suffix[p] = Σ_{i >= p} X_i, with suffix[s] = 0.
     sufB = np.vstack([np.cumsum(vB[::-1], axis=0)[::-1], np.zeros((1, K))])
     suftB = np.vstack([np.cumsum(vtB[::-1], axis=0)[::-1], np.zeros((1, K))])

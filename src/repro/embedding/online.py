@@ -23,7 +23,11 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.cascades.types import Cascade, CascadeSet
-from repro.embedding.gradients import accumulate_gradients
+from repro.embedding.compiled import (
+    CompiledCorpus,
+    GradientWorkspace,
+    corpus_gradients,
+)
 from repro.embedding.likelihood import EPS
 from repro.embedding.model import EmbeddingModel
 from repro.utils.rng import SeedLike, as_generator
@@ -94,6 +98,8 @@ class OnlineEmbeddingInference:
         )
         self._gradA = np.zeros_like(self.model.A)
         self._gradB = np.zeros_like(self.model.B)
+        #: kernel buffers, reused across every batch this estimator sees
+        self._workspace = GradientWorkspace()
         #: cascades consumed so far (drives the step-size schedule)
         self.t = 0
 
@@ -112,6 +118,20 @@ class OnlineEmbeddingInference:
                 )
         cfg = self.config
         A, B = self.model.A, self.model.B
+        # Compile each cascade once per batch: every sweep re-evaluates the
+        # same cascades, and the compiled kernel (with the persistent
+        # workspace) is bit-identical to per-cascade accumulate_gradients.
+        compiled = [
+            CompiledCorpus.from_arena(
+                c.nodes,
+                c.times,
+                np.array([0, c.size], dtype=np.int64),
+                assume_compact=True,
+            )
+            if c.size >= 2
+            else None
+            for c in batch
+        ]
         for _ in range(cfg.sweeps_per_batch):
             order = self._rng.permutation(len(batch))
             for idx in order:
@@ -121,7 +141,10 @@ class OnlineEmbeddingInference:
                 rows = c.nodes
                 self._gradA[rows] = 0.0
                 self._gradB[rows] = 0.0
-                accumulate_gradients(A, B, c, self._gradA, self._gradB, eps=EPS)
+                corpus_gradients(
+                    A, B, compiled[idx], self._gradA, self._gradB,
+                    eps=EPS, workspace=self._workspace,
+                )
                 lr = self._step() / c.size
                 dA = np.clip(lr * self._gradA[rows], -cfg.max_step, cfg.max_step)
                 dB = np.clip(lr * self._gradB[rows], -cfg.max_step, cfg.max_step)

@@ -25,7 +25,11 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.cascades.types import CascadeSet
-from repro.embedding.compiled import CompiledCorpus, corpus_gradients
+from repro.embedding.compiled import (
+    CompiledCorpus,
+    GradientWorkspace,
+    corpus_gradients,
+)
 from repro.embedding.likelihood import EPS
 from repro.embedding.model import EmbeddingModel
 
@@ -158,6 +162,7 @@ class ProjectedGradientAscent:
         cascades: Union[CascadeSet, CompiledCorpus],
         update_rows: Optional[np.ndarray] = None,
         callback: Optional[Callable[[int, float], None]] = None,
+        workspace: Optional[GradientWorkspace] = None,
     ) -> FitResult:
         """Optimize *model* in place on *cascades*.
 
@@ -178,6 +183,12 @@ class ProjectedGradientAscent:
         callback:
             Called as ``callback(iteration, loglik)`` after each accepted
             step.
+        workspace:
+            Optional :class:`GradientWorkspace` reused across iterations
+            (and, by long-lived callers such as the parallel workers,
+            across fits).  Supplies every kernel buffer plus the
+            candidate arrays of the step loop; results are bit-identical
+            with or without it.
 
         Returns
         -------
@@ -213,11 +224,18 @@ class ProjectedGradientAscent:
             corpus = cascades
         else:
             corpus = CompiledCorpus.from_cascades(cascades)
+        if workspace is None:
+            workspace = GradientWorkspace()
         gradA = np.zeros_like(model.A)
         gradB = np.zeros_like(model.B)
+        frozen_rows = (
+            None if row_mask is None else np.flatnonzero(~row_mask)
+        )
         result = FitResult()
         lr = cfg.learning_rate
-        best_ll = self._loglik_and_grads(model, corpus, gradA, gradB, cfg.eps)
+        best_ll = self._loglik_and_grads(
+            model.A, model.B, corpus, gradA, gradB, cfg.eps, workspace
+        )
         if not self._all_finite(best_ll, gradA, gradB):
             raise NumericalDivergenceError(
                 "objective or gradients non-finite at the starting point; "
@@ -227,74 +245,108 @@ class ProjectedGradientAscent:
         stall = 0
         nonfinite_streak = 0
 
-        for it in range(cfg.max_iters):
-            if row_mask is not None:
-                gradA[~row_mask] = 0.0
-                gradB[~row_mask] = 0.0
-            prevA = model.A.copy()
-            prevB = model.B.copy()
-            model.A += lr * gradA
-            model.B += lr * gradB
-            model.project()
+        # The step loop ping-pongs between the model's arrays and a pair
+        # of candidate buffers: the candidate point is built out of place,
+        # so a rejected step retracts by simply not swapping — no
+        # per-iteration prevA/prevB copies.  The model may therefore
+        # temporarily point at workspace-owned arrays; the finally block
+        # restores the original array *objects* (copying values back) so
+        # callers that alias model.A/model.B — the parallel engine's
+        # shared-memory blocks in particular — always see the result in
+        # the arrays they handed in.
+        origA, origB = model.A, model.B
+        candA, candB = workspace.model_candidates(n, model.n_topics)
+        try:
+            for it in range(cfg.max_iters):
+                if frozen_rows is not None:
+                    gradA[frozen_rows] = 0.0
+                    gradB[frozen_rows] = 0.0
+                np.multiply(gradA, lr, out=candA)
+                candA += model.A
+                np.multiply(gradB, lr, out=candB)
+                candB += model.B
+                np.maximum(candA, 0.0, out=candA)
+                np.maximum(candB, 0.0, out=candB)
 
-            ll = self._loglik_and_grads(model, corpus, gradA, gradB, cfg.eps)
-            result.n_iters = it + 1
+                ll = self._loglik_and_grads(
+                    candA, candB, corpus, gradA, gradB, cfg.eps, workspace
+                )
+                result.n_iters = it + 1
 
-            if not self._all_finite(ll, gradA, gradB):
-                # The step left the finite region (overflowed rates,
-                # nan gradients).  Treat like a rejected step — retract
-                # and halve — but track the streak: if halving cannot
-                # recover, the fit is numerically dead and the caller
-                # must not trust the iterate.
-                model.A[:] = prevA
-                model.B[:] = prevB
-                lr *= cfg.step_decay
-                nonfinite_streak += 1
-                if nonfinite_streak > cfg.max_nonfinite_retries:
-                    raise NumericalDivergenceError(
-                        f"objective/gradients non-finite for "
-                        f"{nonfinite_streak} consecutive steps at "
-                        f"iteration {it + 1}; aborting"
+                if not self._all_finite(ll, gradA, gradB):
+                    # The step left the finite region (overflowed rates,
+                    # nan gradients).  Treat like a rejected step — the
+                    # model never moved, so just halve — but track the
+                    # streak: if halving cannot recover, the fit is
+                    # numerically dead and the caller must not trust the
+                    # iterate.
+                    lr *= cfg.step_decay
+                    nonfinite_streak += 1
+                    if nonfinite_streak > cfg.max_nonfinite_retries:
+                        raise NumericalDivergenceError(
+                            f"objective/gradients non-finite for "
+                            f"{nonfinite_streak} consecutive steps at "
+                            f"iteration {it + 1}; aborting"
+                        )
+                    if lr < cfg.min_step:
+                        raise NumericalDivergenceError(
+                            f"step size underflowed ({lr:.3e}) while "
+                            f"retreating from a non-finite region at "
+                            f"iteration {it + 1}"
+                        )
+                    self._loglik_and_grads(
+                        model.A, model.B, corpus, gradA, gradB, cfg.eps,
+                        workspace,
                     )
-                if lr < cfg.min_step:
-                    raise NumericalDivergenceError(
-                        f"step size underflowed ({lr:.3e}) while retreating "
-                        f"from a non-finite region at iteration {it + 1}"
+                    continue
+                nonfinite_streak = 0
+
+                if ll < best_ll - abs(best_ll) * 1e-12:
+                    # Reject: keep the model where it was, shrink step.
+                    lr *= cfg.step_decay
+                    if lr < cfg.min_step:
+                        result.converged = True
+                        result.reason = "step size underflow"
+                        break
+                    # gradA/gradB currently hold gradients at the rejected
+                    # candidate; recompute them at the retained point.
+                    self._loglik_and_grads(
+                        model.A, model.B, corpus, gradA, gradB, cfg.eps,
+                        workspace,
                     )
-                self._loglik_and_grads(model, corpus, gradA, gradB, cfg.eps)
-                continue
-            nonfinite_streak = 0
+                    continue
 
-            if ll < best_ll - abs(best_ll) * 1e-12:
-                # Reject: retract, shrink step, retry from previous point.
-                model.A[:] = prevA
-                model.B[:] = prevB
-                lr *= cfg.step_decay
-                if lr < cfg.min_step:
-                    result.converged = True
-                    result.reason = "step size underflow"
-                    break
-                # gradA/gradB currently hold gradients at the rejected
-                # point; recompute them at the retracted point.
-                self._loglik_and_grads(model, corpus, gradA, gradB, cfg.eps)
-                continue
-
-            result.history.append(ll)
-            if callback is not None:
-                callback(it, ll)
-            improvement = ll - best_ll
-            rel = improvement / max(abs(best_ll), 1.0)
-            if rel < cfg.tol:
-                stall += 1
-                if stall >= cfg.patience:
-                    result.converged = True
-                    result.reason = "log-likelihood plateau"
-                    break
+                # Accept: the candidate becomes the model; the displaced
+                # arrays become the next candidate buffers.
+                model.A, candA = candA, model.A
+                model.B, candB = candB, model.B
+                result.history.append(ll)
+                if callback is not None:
+                    callback(it, ll)
+                improvement = ll - best_ll
+                rel = improvement / max(abs(best_ll), 1.0)
+                if rel < cfg.tol:
+                    stall += 1
+                    if stall >= cfg.patience:
+                        result.converged = True
+                        result.reason = "log-likelihood plateau"
+                        break
+                else:
+                    stall = 0
+                best_ll = max(best_ll, ll)
             else:
-                stall = 0
-            best_ll = max(best_ll, ll)
-        else:
-            result.reason = "max iterations"
+                result.reason = "max iterations"
+        finally:
+            if model.A is not origA:
+                origA[:] = model.A
+                model.A = origA
+            if model.B is not origB:
+                origB[:] = model.B
+                model.B = origB
+            # The displaced buffers may be the caller's arrays after an
+            # odd number of swaps; drop them so a later fit through the
+            # same workspace cannot scribble over a finished model.
+            workspace.release_candidates()
 
         return result
 
@@ -309,28 +361,33 @@ class ProjectedGradientAscent:
 
     def _loglik_and_grads(
         self,
-        model: EmbeddingModel,
+        A: np.ndarray,
+        B: np.ndarray,
         corpus: CompiledCorpus,
         gradA: np.ndarray,
         gradB: np.ndarray,
         eps: float,
+        workspace: GradientWorkspace,
     ) -> float:
         """Zero the accumulators, then one full pass (Alg. 1 lines 14–21).
 
+        Takes the evaluation point as raw arrays (not a model) because the
+        step loop evaluates candidate points that are not yet the model.
         Returns the (optionally ridge-penalized) objective so the step
         accept/reject logic tracks what the update actually ascends.
         """
         gradA.fill(0.0)
         gradB.fill(0.0)
         ll = corpus_gradients(
-            model.A, model.B, corpus, gradA, gradB,
+            A, B, corpus, gradA, gradB,
             eps=eps, background_rate=self.config.background_rate,
+            workspace=workspace,
         )
         l2 = self.config.l2
         if l2 > 0.0:
-            gradA -= l2 * model.A
-            gradB -= l2 * model.B
+            gradA -= l2 * A
+            gradB -= l2 * B
             ll -= 0.5 * l2 * (
-                float(np.sum(model.A**2)) + float(np.sum(model.B**2))
+                float(np.sum(A**2)) + float(np.sum(B**2))
             )
         return ll

@@ -58,7 +58,7 @@ import numpy as np
 
 from repro.cascades.types import Cascade, CascadeSet
 from repro.devtools import sanitize
-from repro.embedding.compiled import CompiledCorpus
+from repro.embedding.compiled import CompiledCorpus, GradientWorkspace
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.optimizer import OptimizerConfig, ProjectedGradientAscent
 from repro.parallel._shm import create_segment
@@ -148,6 +148,11 @@ class BlockResult:
     wall_seconds: float
     #: iterations × infections — the unit-cost workload the cost model uses
     work_units: int = 0
+    #: compute-time split: sub-corpus compile/fetch, optimizer iterations,
+    #: and shared-memory row gather/scatter (each a slice of wall_seconds)
+    compile_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    gather_seconds: float = 0.0
 
 
 @dataclass
@@ -178,14 +183,28 @@ class DispatchStats:
     fault_log: List[FaultLogEntry] = field(default_factory=list)
     n_retries: int = 0
     n_respawns: int = 0
+    #: worker-measured split of ``compute_seconds``: sub-corpus compile
+    #: (zero on a warm cache), gradient-kernel iterations, and embedding
+    #: row gather/scatter against shared memory.  ``None`` for "empty"
+    #: levels, which dispatch no work.
+    kernel_seconds: Optional[float] = None
+    compile_seconds: Optional[float] = None
+    gather_seconds: Optional[float] = None
 
     @property
     def overhead_seconds(self) -> float:
         return max(0.0, self.wall_seconds - self.compute_seconds)
 
 
-def run_block_task(task: BlockTask) -> BlockResult:
-    """Execute one block task (module-level so it pickles for the pool)."""
+def run_block_task(
+    task: BlockTask, workspace: Optional[GradientWorkspace] = None
+) -> BlockResult:
+    """Execute one block task (module-level so it pickles for the pool).
+
+    *workspace* lets long-lived callers (SerialBackend, the serial
+    degradation rung) reuse kernel buffers across tasks; results are
+    bit-identical either way.
+    """
     if task.cascade_nodes is None or task.cascade_times is None:
         raise ValueError(
             "arena-backed BlockTask has no materialized cascades; "
@@ -193,13 +212,18 @@ def run_block_task(task: BlockTask) -> BlockResult:
         )
     sw = Stopwatch()
     with sw:
+        t0 = time.perf_counter()
         m = task.nodes.size
         local = CascadeSet(m)
         for nodes, times in zip(task.cascade_nodes, task.cascade_times):
             local.append(Cascade(nodes, times))
+        corpus = CompiledCorpus.from_cascades(local)
+        t1 = time.perf_counter()
         model = EmbeddingModel(task.A_rows.copy(), task.B_rows.copy())
+        t2 = time.perf_counter()
         opt = ProjectedGradientAscent(task.config)
-        fit = opt.fit(model, local)
+        fit = opt.fit(model, corpus, workspace=workspace)
+        t3 = time.perf_counter()
     n_inf = task.n_infections
     return BlockResult(
         community_id=task.community_id,
@@ -210,6 +234,9 @@ def run_block_task(task: BlockTask) -> BlockResult:
         final_loglik=fit.final_loglik,
         wall_seconds=sw.elapsed,
         work_units=max(1, fit.n_iters) * n_inf,
+        compile_seconds=t1 - t0,
+        kernel_seconds=t3 - t2,
+        gather_seconds=t2 - t1,
     )
 
 
@@ -242,8 +269,13 @@ class Backend:
 class SerialBackend(Backend):
     """Run tasks sequentially in-process (deterministic reference)."""
 
+    # Lazy class-level default: subclasses that skip __init__ still work.
+    _workspace: Optional[GradientWorkspace] = None
+
     def run_level(self, tasks: Sequence[BlockTask]) -> List[BlockResult]:
-        return [run_block_task(t) for t in tasks]
+        if self._workspace is None:
+            self._workspace = GradientWorkspace()
+        return [run_block_task(t, workspace=self._workspace) for t in tasks]
 
 
 # --------------------------------------------------------------------- #
@@ -259,6 +291,18 @@ _ATTACHMENTS_MAX = 16
 #: the compiled structure even across run_level calls.
 _COMPILE_CACHE: "OrderedDict[str, Dict[int, Tuple[CompiledCorpus, int]]]" = OrderedDict()
 _COMPILE_CACHE_MAX_LEVELS = 4
+
+#: per-process gradient workspace, reused across every task/level this
+#: worker runs (lives alongside the compile cache; grow-only buffers, so
+#: one instance serves corpora of any shape without reallocation churn).
+_WORKSPACE: Optional[GradientWorkspace] = None
+
+
+def _worker_workspace() -> GradientWorkspace:
+    global _WORKSPACE
+    if _WORKSPACE is None:
+        _WORKSPACE = GradientWorkspace()
+    return _WORKSPACE
 
 
 def _attach_cached(name: str) -> shared_memory.SharedMemory:
@@ -320,7 +364,11 @@ def _compiled_for_task(
     members = mem_v[mem_lo:mem_hi]
     local_nodes = np.searchsorted(members, g_nodes).astype(np.int64)
     rel_offsets = sub_v[sub_lo : sub_hi + 1] - pos_lo
-    corpus = CompiledCorpus.from_arena(local_nodes, times, rel_offsets)
+    # The driver's sub-cascade splitter drops size-<2 groups before they
+    # reach the arena, so the compaction scan is a guaranteed no-op.
+    corpus = CompiledCorpus.from_arena(
+        local_nodes, times, rel_offsets, assume_compact=True
+    )
     entry = (corpus, int(pos_hi - pos_lo))
     per_level[community_id] = entry
     return entry
@@ -333,7 +381,8 @@ def _mp_worker(args: Tuple) -> Tuple:
     ranges into shared buffers; ``"legacy"`` payloads carry pickled
     sub-cascade arrays.  Both return
     ``(task_idx, community_id, n_iters, final_loglik, wall_seconds,
-    work_units)`` — rows travel back through shared memory.
+    work_units, (compile_s, kernel_s, gather_s))`` — rows travel back
+    through shared memory.
 
     The trailing payload element is a test-only fault spec (normally
     ``None``); it fires *before* any shared state is touched, so injected
@@ -371,18 +420,23 @@ def _worker_arena(args: Tuple) -> Tuple:
         )
         A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
         B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
+        t0 = time.perf_counter()
         corpus, n_inf = _compiled_for_task(
             arena_meta, sel_meta, community_id, sub_lo, sub_hi, mem_lo, mem_hi
         )
+        t1 = time.perf_counter()
         sel_shm = _attach_cached(sel_meta.name)
         _, _, mem_v = LevelSelection.view(sel_shm.buf, sel_meta)
         members = mem_v[mem_lo:mem_hi]
         model = EmbeddingModel(A[members], B[members])  # fancy gather = copy
+        t2 = time.perf_counter()
         opt = ProjectedGradientAscent(config)
-        fit = opt.fit(model, corpus)
+        fit = opt.fit(model, corpus, workspace=_worker_workspace())
+        t3 = time.perf_counter()
         # Scatter: disjoint rows per community — conflict-free by design.
         A[members] = model.A
         B[members] = model.B
+        t4 = time.perf_counter()
     return (
         task_idx,
         community_id,
@@ -390,6 +444,7 @@ def _worker_arena(args: Tuple) -> Tuple:
         fit.final_loglik,
         sw.elapsed,
         max(1, fit.n_iters) * n_inf,
+        (t1 - t0, t3 - t2, (t2 - t1) + (t4 - t3)),
     )
 
 
@@ -424,7 +479,7 @@ def _worker_legacy(args: Tuple) -> Tuple:
         B_rows=B[nodes],
         config=config,
     )
-    result = run_block_task(task)
+    result = run_block_task(task, workspace=_worker_workspace())
     A[nodes] = result.A_rows
     B[nodes] = result.B_rows
     return (
@@ -434,6 +489,7 @@ def _worker_legacy(args: Tuple) -> Tuple:
         result.final_loglik,
         result.wall_seconds,
         result.work_units,
+        (result.compile_seconds, result.kernel_seconds, result.gather_seconds),
     )
 
 
@@ -616,6 +672,8 @@ class MultiprocessBackend(Backend):
             #: pool generations spawned after faults (0 = never respawned)
             self.respawn_count = 0
             self._level_ctx: Optional[_LevelContext] = None
+            #: kernel buffers for the serial degradation rung (parent-side)
+            self._serial_workspace = GradientWorkspace()
             self._segments = _EmbeddingSegments()
             self._resources.segments.append(self._segments)
             self._arena: Optional[CorpusArena] = None
@@ -723,7 +781,8 @@ class MultiprocessBackend(Backend):
 
         results = []
         for idx, t in enumerate(tasks):
-            _idx, cid, n_iters, ll, secs, work = outcome.records[idx]
+            _idx, cid, n_iters, ll, secs, work, split = outcome.records[idx]
+            compile_s, kernel_s, gather_s = split
             results.append(
                 BlockResult(
                     community_id=cid,
@@ -734,6 +793,9 @@ class MultiprocessBackend(Backend):
                     final_loglik=ll,
                     wall_seconds=secs,
                     work_units=work,
+                    compile_seconds=compile_s,
+                    kernel_seconds=kernel_s,
+                    gather_seconds=gather_s,
                 )
             )
         self.estimator.observe_level(
@@ -753,6 +815,9 @@ class MultiprocessBackend(Backend):
                 fault_log=outcome.fault_log,
                 n_retries=outcome.n_retries,
                 n_respawns=outcome.n_respawns,
+                kernel_seconds=float(sum(r.kernel_seconds for r in results)),
+                compile_seconds=float(sum(r.compile_seconds for r in results)),
+                gather_seconds=float(sum(r.gather_seconds for r in results)),
             )
         )
         return results
@@ -914,7 +979,8 @@ class MultiprocessBackend(Backend):
                 B_rows=t.B_rows,
                 config=t.config,
                 level=t.level,
-            )
+            ),
+            workspace=self._serial_workspace,
         )
         ctx.A[t.nodes] = res.A_rows
         ctx.B[t.nodes] = res.B_rows
@@ -925,6 +991,7 @@ class MultiprocessBackend(Backend):
             res.final_loglik,
             res.wall_seconds,
             res.work_units,
+            (res.compile_seconds, res.kernel_seconds, res.gather_seconds),
         )
 
     def reseed_tasks(self, indices: Sequence[int]) -> None:

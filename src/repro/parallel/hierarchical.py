@@ -147,6 +147,11 @@ class HierarchicalInference:
         self.tree = tree
         self.config = config or OptimizerConfig()
         self.backend = backend or SerialBackend()
+        # Workers compile arena sub-corpora with assume_compact=True,
+        # which is only sound when the splitter never emits a size-<2
+        # group (such groups carry no likelihood signal anyway).
+        if int(min_subcascade_size) < 2:
+            raise ValueError("min_subcascade_size must be >= 2")
         self.min_subcascade_size = int(min_subcascade_size)
 
     def fit(

@@ -25,13 +25,17 @@ from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.cascades.types import Cascade, CascadeSet
 from repro.devtools import sanitize
-from repro.embedding.gradients import accumulate_gradients
+from repro.embedding.compiled import (
+    CompiledCorpus,
+    GradientWorkspace,
+    corpus_gradients,
+)
 from repro.embedding.likelihood import EPS
 from repro.embedding.model import EmbeddingModel
 from repro.parallel._shm import create_segment
@@ -76,6 +80,28 @@ class HogwildConfig:
             raise ValueError("max_step must be positive")
 
 
+def _compile_singles(
+    cascades: List[Tuple[np.ndarray, np.ndarray]],
+) -> List[Optional[CompiledCorpus]]:
+    """Pre-compile each cascade as its own corpus (``None`` for size < 2).
+
+    Per-cascade SGD re-evaluates the same cascade every epoch; compiling
+    once lets the sweeps run the workspace-backed kernel, which is
+    bit-identical to :func:`accumulate_gradients` on single-cascade
+    corpora (the gradient property suite pins this equivalence).
+    """
+    compiled: List[Optional[CompiledCorpus]] = []
+    for nodes, times in cascades:
+        if nodes.size < 2:
+            compiled.append(None)
+            continue
+        offsets = np.array([0, nodes.size], dtype=np.int64)
+        compiled.append(
+            CompiledCorpus.from_arena(nodes, times, offsets, assume_compact=True)
+        )
+    return compiled
+
+
 def _sgd_sweep(
     A: np.ndarray,
     B: np.ndarray,
@@ -83,19 +109,26 @@ def _sgd_sweep(
     order: np.ndarray,
     lr: float,
     max_step: float,
+    compiled: Optional[List[Optional[CompiledCorpus]]] = None,
+    workspace: Optional[GradientWorkspace] = None,
 ) -> None:
     """One pass of immediate (per-cascade) projected SGD updates."""
     gradA = np.zeros_like(A)
     gradB = np.zeros_like(B)
+    if compiled is None:
+        compiled = _compile_singles(cascades)
+    if workspace is None:
+        workspace = GradientWorkspace()
     for idx in order:
+        corpus = compiled[idx]
+        if corpus is None:  # size-<2 cascade: no likelihood signal
+            continue
         nodes, times = cascades[idx]
         c = Cascade(nodes, times)
-        if c.size < 2:
-            continue
         rows = c.nodes
         gradA[rows] = 0.0
         gradB[rows] = 0.0
-        accumulate_gradients(A, B, c, gradA, gradB, eps=EPS)
+        corpus_gradients(A, B, corpus, gradA, gradB, eps=EPS, workspace=workspace)
         # Size-normalized, clipped step: gradient mass grows with the
         # cascade length and raced updates have no retract safety net.
         step = lr / c.size
@@ -117,9 +150,11 @@ def _hogwild_worker(args: Tuple) -> None:
         A = np.ndarray(shape, dtype=np.float64, buffer=shm_a.buf)
         B = np.ndarray(shape, dtype=np.float64, buffer=shm_b.buf)
         rng = as_generator(seed)
+        compiled = _compile_singles(cascades)
+        workspace = GradientWorkspace()
         for _ in range(n_epochs):
             order = rng.permutation(len(cascades))
-            _sgd_sweep(A, B, cascades, order, lr, max_step)
+            _sgd_sweep(A, B, cascades, order, lr, max_step, compiled, workspace)
     finally:
         shm_a.close()
         shm_b.close()
@@ -151,9 +186,14 @@ def hogwild_fit(
 
     if config.n_workers == 1:
         rng = as_generator(base_seed)
+        compiled = _compile_singles(payload)
+        workspace = GradientWorkspace()
         for _ in range(config.n_epochs):
             order = rng.permutation(len(payload))
-            _sgd_sweep(model.A, model.B, payload, order, config.learning_rate, config.max_step)
+            _sgd_sweep(
+                model.A, model.B, payload, order,
+                config.learning_rate, config.max_step, compiled, workspace,
+            )
         return model
 
     shape = model.A.shape

@@ -130,8 +130,10 @@ def split_positions(
         return PositionSplit(empty, np.zeros(1, dtype=np.int64), empty)
     kept_sizes = group_ends - group_starts
     pos_mask = np.zeros(M + 1, dtype=np.int64)
-    np.add.at(pos_mask, group_starts, 1)
-    np.add.at(pos_mask, group_ends, -1)
+    # Group boundaries are strictly increasing, so each index set is
+    # duplicate-free and plain fancy indexing accumulates correctly.
+    pos_mask[group_starts] += 1
+    pos_mask[group_ends] -= 1
     inside = np.cumsum(pos_mask[:-1]) > 0
     positions = order[inside]
     sub_offsets = np.zeros(kept_sizes.size + 1, dtype=np.int64)

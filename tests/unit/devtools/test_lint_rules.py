@@ -1,4 +1,4 @@
-"""Per-rule good/bad fixtures for the REP001–REP006 lint rules.
+"""Per-rule good/bad fixtures for the REP001–REP007 lint rules.
 
 Each rule gets a bad snippet (must fire, with the right rule id) and a
 good snippet (must stay silent), exercised through ``lint_source`` so the
@@ -30,6 +30,7 @@ class TestRuleTable:
         assert ids == sorted(ids)
         assert set(ids) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         }
 
     def test_rule_table_schema(self):
@@ -253,6 +254,76 @@ class TestREP006MutableDefault:
             "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n"
         )
         assert violations == []
+
+
+class TestREP007UfuncAtScatter:
+    def test_add_at_flagged(self):
+        bad = """
+        import numpy as np
+        np.add.at(grad, idx, contrib)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP007"]
+
+    def test_other_ufunc_at_flagged(self):
+        bad = """
+        import numpy as np
+        np.subtract.at(acc, idx, vals)
+        np.maximum.at(acc, idx, vals)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP007", "REP007"]
+
+    def test_import_alias_resolved(self):
+        bad = """
+        import numpy
+        numpy.add.at(grad, idx, contrib)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP007"]
+
+    def test_fancy_indexing_allowed(self):
+        good = """
+        import numpy as np
+        def f(grad, idx, contrib):
+            grad[idx] += contrib
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_non_numpy_at_not_flagged(self):
+        good = """
+        def f(frame, key):
+            return frame.at[key]
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_sanctioned_modules_allowed(self):
+        bad = "import numpy as np\nnp.add.at(acc, idx, w)\n"
+        for path in (
+            "src/repro/community/modularity.py",
+            "src/repro/graphs/graph.py",
+            "src/repro/cascades/kempe.py",
+            "src/repro/analysis/reconstruction.py",
+            "src/repro/embedding/linkmodel.py",
+        ):
+            violations, _ = run_lint(bad, path=path)
+            assert violations == [], path
+
+    def test_hot_kernel_module_not_sanctioned(self):
+        bad = "import numpy as np\nnp.add.at(acc, idx, w)\n"
+        violations, _ = run_lint(bad, path="src/repro/embedding/compiled.py")
+        assert rule_ids(violations) == ["REP007"]
+
+    def test_noqa_suppression_counts(self):
+        src = (
+            "import numpy as np\n"
+            "np.add.at(acc, idx, w)  # repro: noqa[REP007] oracle scatter\n"
+        )
+        violations, n_suppressed = run_lint(src)
+        assert violations == []
+        assert n_suppressed == 1
 
 
 class TestShippedTreeIsClean:

@@ -93,3 +93,25 @@ class TestResultAccounting:
         ls = LevelStats(level=0, n_communities=3)
         assert ls.barrier_seconds == 0.0
         assert ls.total_seconds == 0.0
+
+
+class TestMinSubcascadeSizeGuard:
+    def test_size_below_two_rejected(self):
+        # Workers compile arena sub-corpora with assume_compact=True,
+        # which is only sound when the splitter never emits size-<2
+        # groups — the constructor enforces the precondition.
+        part = Partition([0, 0, 1, 1])
+        tree = MergeTree(part, stop_at=1)
+        for bad in (0, 1, -3):
+            with pytest.raises(ValueError):
+                HierarchicalInference(
+                    tree, OptimizerConfig(max_iters=5),
+                    min_subcascade_size=bad,
+                )
+
+    def test_size_two_accepted(self):
+        part = Partition([0, 0, 1, 1])
+        tree = MergeTree(part, stop_at=1)
+        HierarchicalInference(
+            tree, OptimizerConfig(max_iters=5), min_subcascade_size=2
+        )

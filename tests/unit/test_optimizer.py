@@ -153,3 +153,63 @@ class TestBlockCoordinate:
 class TestFitResult:
     def test_final_loglik_empty(self):
         assert FitResult().final_loglik == float("-inf")
+
+
+class TestWorkspaceThreading:
+    """An explicit GradientWorkspace must change nothing but allocations."""
+
+    def _fit(self, corpus, workspace=None, seed=3):
+        model = EmbeddingModel.random(4, 2, scale=0.5, seed=seed)
+        result = ProjectedGradientAscent(OptimizerConfig(max_iters=25)).fit(
+            model, corpus, workspace=workspace
+        )
+        return model, result
+
+    def test_explicit_workspace_bit_identical(self, corpus):
+        from repro.embedding.compiled import GradientWorkspace
+
+        m1, r1 = self._fit(corpus)
+        m2, r2 = self._fit(corpus, workspace=GradientWorkspace())
+        assert r1.history == r2.history
+        assert np.array_equal(m1.A, m2.A)
+        assert np.array_equal(m1.B, m2.B)
+
+    def test_model_array_identity_preserved(self, corpus):
+        # The parallel engine aliases model.A/model.B into shared memory;
+        # fit must keep writing through the SAME arrays even though the
+        # accept path swaps candidate buffers internally.
+        model = EmbeddingModel.random(4, 2, seed=4)
+        origA, origB = model.A, model.B
+        ProjectedGradientAscent(OptimizerConfig(max_iters=25)).fit(model, corpus)
+        assert model.A is origA
+        assert model.B is origB
+
+    def test_workspace_reused_across_fits_of_different_shapes(self, corpus):
+        from repro.embedding.compiled import GradientWorkspace
+
+        ws = GradientWorkspace()
+        big = CascadeSet(6)
+        big.append(Cascade([0, 1, 2, 3, 4, 5], [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]))
+        big.append(Cascade([5, 3, 1], [0.0, 0.7, 0.9]))
+        model_big = EmbeddingModel.random(6, 3, seed=5)
+        ProjectedGradientAscent(OptimizerConfig(max_iters=10)).fit(
+            model_big, big, workspace=ws
+        )
+        m1, r1 = self._fit(corpus, workspace=ws)  # smaller corpus, K=2
+        m2, r2 = self._fit(corpus)
+        assert r1.history == r2.history
+        assert np.array_equal(m1.A, m2.A)
+        assert np.array_equal(m1.B, m2.B)
+
+    def test_candidates_released_after_fit(self, corpus):
+        from repro.embedding.compiled import GradientWorkspace
+
+        ws = GradientWorkspace()
+        model = EmbeddingModel.random(4, 2, seed=6)
+        ProjectedGradientAscent(OptimizerConfig(max_iters=5)).fit(
+            model, corpus, workspace=ws
+        )
+        # candidate buffers may alias caller arrays after the final swap —
+        # fit must drop them on the way out
+        assert "candA" not in ws._mats
+        assert "candB" not in ws._mats

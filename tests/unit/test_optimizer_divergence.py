@@ -27,7 +27,10 @@ class FakeGradients:
         self.bad_calls = set(bad_calls)
         self.n_calls = 0
 
-    def __call__(self, A, B, corpus, gradA, gradB, eps=0.0, background_rate=0.0):
+    def __call__(
+        self, A, B, corpus, gradA, gradB,
+        eps=0.0, background_rate=0.0, workspace=None,
+    ):
         self.n_calls += 1
         if self.n_calls in self.bad_calls:
             gradA.fill(np.nan)

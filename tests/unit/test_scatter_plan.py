@@ -1,0 +1,201 @@
+"""Unit tests for the compile-time scatter plan and gradient workspace.
+
+The plan must reproduce ``np.add.at`` bit-for-bit (strict left-fold
+accumulation order per target row) for every segment-length profile:
+singleton targets, short segments handled by the round schedule, and
+over-``ROUND_CAP`` segments routed to pow2-padded rectangle bins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade
+from repro.embedding.compiled import (
+    ROUND_CAP,
+    CompiledCorpus,
+    GradientWorkspace,
+    ScatterPlan,
+    corpus_gradients,
+)
+from repro.embedding.model import EmbeddingModel
+
+
+def plan_scatter(plan, contrib_ext, grad):
+    """Run the gather → segment-reduce → apply pipeline once."""
+    K = contrib_ext.shape[1]
+    gathered = np.take(contrib_ext, plan.gather_rows, axis=0)
+    acc = np.empty((max(plan.n_unique, 1), K))
+    gbuf = np.empty_like(acc)
+    plan.reduce_into(gathered, acc)
+    plan.apply_into(grad, acc, gbuf)
+
+
+def reference_scatter(nodes, contrib, grad):
+    np.add.at(grad, nodes, contrib)  # the oracle the plan replaces
+
+
+def assert_plan_matches_add_at(nodes, n_targets, K=3, seed=0):
+    nodes = np.asarray(nodes, dtype=np.int64)
+    M = nodes.size
+    rng = np.random.default_rng(seed)
+    contrib_ext = np.zeros((M + 1, K))
+    contrib_ext[:M] = rng.normal(size=(M, K))
+    plan = ScatterPlan.from_nodes(nodes, M)
+    got = np.zeros((n_targets, K))
+    want = np.zeros((n_targets, K))
+    plan_scatter(plan, contrib_ext, got)
+    reference_scatter(nodes, contrib_ext[:M], want)
+    assert np.array_equal(got, want)
+    return plan
+
+
+class TestScatterPlan:
+    def test_unique_nodes(self):
+        plan = assert_plan_matches_add_at([3, 0, 7, 5], 9)
+        assert plan.n_long == 0
+        assert plan.n_unique == 4
+
+    def test_short_segments_mixed_lengths(self):
+        rng = np.random.default_rng(1)
+        nodes = rng.integers(0, 12, size=200)
+        plan = assert_plan_matches_add_at(nodes, 12, seed=2)
+        assert plan.n_long == 0
+
+    def test_long_segment_bins(self):
+        # 300 cascades all containing nodes 0 and 1: multiplicity 300
+        # exceeds ROUND_CAP, so both segments go to one pow2-padded
+        # rectangle bin of length 512.
+        nodes = np.tile([0, 1], 300)
+        plan = assert_plan_matches_add_at(nodes, 2, seed=3)
+        assert plan.n_long == 2
+        assert plan.bins == ((0, 1024, 0, 2, 512),)
+
+    def test_mixed_long_and_short(self):
+        nodes = np.concatenate(
+            [np.full(ROUND_CAP + 5, 2), np.full(3, 0), [1]]
+        )
+        plan = assert_plan_matches_add_at(nodes, 4, seed=4)
+        assert plan.n_long == 1
+        assert plan.n_unique == 3
+
+    def test_boundary_multiplicity_stays_short(self):
+        nodes = np.full(ROUND_CAP, 6)
+        plan = assert_plan_matches_add_at(nodes, 7, seed=5)
+        assert plan.n_long == 0
+
+    def test_empty(self):
+        plan = ScatterPlan.from_nodes(np.empty(0, dtype=np.int64), 0)
+        assert plan.n_unique == 0
+        assert plan.n_gather == 0
+
+    def test_left_fold_order_with_cancellation(self):
+        # Values chosen so any reassociation of the per-target sum
+        # changes the last bits: mixing magnitudes across 9 decades.
+        nodes = np.array([4, 4, 4, 4, 4, 4], dtype=np.int64)
+        vals = np.array(
+            [1e9, 1.0, -1e9, 1e-7, 3.0, -4.0], dtype=np.float64
+        )[:, None]
+        ext = np.vstack([vals, np.zeros((1, 1))])
+        plan = ScatterPlan.from_nodes(nodes, nodes.size)
+        got = np.zeros((5, 1))
+        want = np.zeros((5, 1))
+        plan_scatter(plan, ext, got)
+        reference_scatter(nodes, vals, want)
+        assert np.array_equal(got, want)
+
+
+class TestAssumeCompact:
+    FIELDS = (
+        "nodes", "times", "starts", "ends",
+        "cascade_begin", "cascade_end", "valid",
+    )
+
+    def _flat(self, cascades):
+        nodes = np.concatenate([c.nodes for c in cascades])
+        times = np.concatenate([c.times for c in cascades])
+        offsets = np.zeros(len(cascades) + 1, dtype=np.int64)
+        np.cumsum([c.size for c in cascades], out=offsets[1:])
+        return nodes, times, offsets
+
+    def test_fast_path_identical_structure(self):
+        # Every cascade has size >= 2, so the compaction scan the fast
+        # path skips is a no-op — both corpora must be field-identical.
+        cascades = [
+            Cascade([0, 1, 2], [0.0, 0.3, 0.8]),
+            Cascade([2, 3], [0.0, 0.4]),
+            Cascade([1, 3, 0, 2], [0.0, 0.0, 0.6, 0.9]),
+        ]
+        flat = self._flat(cascades)
+        a = CompiledCorpus.from_arena(*flat)
+        b = CompiledCorpus.from_arena(*flat, assume_compact=True)
+        for f in self.FIELDS:
+            assert np.array_equal(getattr(a, f), getattr(b, f)), f
+
+    def test_scan_still_drops_small_groups_by_default(self):
+        cascades = [
+            Cascade([0], [0.0]),
+            Cascade([1, 2], [0.0, 1.0]),
+        ]
+        compiled = CompiledCorpus.from_arena(*self._flat(cascades))
+        assert compiled.n_infections == 2
+
+
+class TestGradientWorkspace:
+    def _random_corpus(self, rng, n_nodes, n_cascades):
+        cascades = []
+        for _ in range(n_cascades):
+            size = int(rng.integers(2, 7))
+            nodes = rng.permutation(n_nodes)[:size]
+            times = np.sort(np.round(rng.uniform(0, 3, size), 1))
+            cascades.append(Cascade(nodes, times))
+        return CompiledCorpus.from_cascades(cascades)
+
+    def test_reuse_across_shapes_matches_fresh(self):
+        # One workspace carried across corpora of different (M, K):
+        # grow, shrink, change K — results must equal fresh-allocation
+        # evaluation bitwise every time (no stale data leaks).
+        rng = np.random.default_rng(11)
+        ws = GradientWorkspace()
+        for n_nodes, n_casc, K in [
+            (10, 3, 4), (30, 12, 4), (10, 2, 4), (15, 5, 2), (30, 12, 6),
+        ]:
+            corpus = self._random_corpus(rng, n_nodes, n_casc)
+            model = EmbeddingModel.random(n_nodes, K, seed=int(rng.integers(1 << 30)))
+            g = [np.zeros((n_nodes, K)) for _ in range(4)]
+            ll_ws = corpus_gradients(
+                model.A, model.B, corpus, g[0], g[1], workspace=ws
+            )
+            ll_fresh = corpus_gradients(model.A, model.B, corpus, g[2], g[3])
+            assert ll_ws == ll_fresh
+            assert np.array_equal(g[0], g[2])
+            assert np.array_equal(g[1], g[3])
+
+    def test_buffers_never_alias_outputs(self):
+        rng = np.random.default_rng(12)
+        ws = GradientWorkspace()
+        corpus = self._random_corpus(rng, 8, 3)
+        model = EmbeddingModel.random(8, 3, seed=5)
+        gradA = np.zeros((8, 3))
+        gradB = np.zeros((8, 3))
+        corpus_gradients(model.A, model.B, corpus, gradA, gradB, workspace=ws)
+        for buf in list(ws._mats.values()) + list(ws._vecs.values()):
+            assert not np.shares_memory(buf, gradA)
+            assert not np.shares_memory(buf, gradB)
+            assert not np.shares_memory(buf, model.A)
+            assert not np.shares_memory(buf, model.B)
+
+    def test_empty_corpus_with_workspace(self):
+        ws = GradientWorkspace()
+        model = EmbeddingModel.random(4, 2, seed=1)
+        gA, gB = np.zeros((4, 2)), np.zeros((4, 2))
+        comp = CompiledCorpus.from_cascades([])
+        assert corpus_gradients(model.A, model.B, comp, gA, gB, workspace=ws) == 0.0
+        assert np.all(gA == 0.0) and np.all(gB == 0.0)
+
+    def test_candidate_release(self):
+        ws = GradientWorkspace()
+        a, b = ws.model_candidates(4, 3)
+        assert a.shape == (4, 3) and b.shape == (4, 3)
+        ws.release_candidates()
+        a2, _ = ws.model_candidates(4, 3)
+        assert a2 is not a  # fresh buffer after release
