@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # wedging the suite.
 export REPRO_TEST_TIMEOUT ?= 600
 
-.PHONY: check fast test bench bench-dispatch bench-kernel lint typecheck
+.PHONY: check fast test bench bench-dispatch bench-kernel bench-serving lint typecheck
 
 ## tier-1 gate: lint, then typecheck, then the full test suite (what CI runs)
 check: lint typecheck
@@ -23,7 +23,7 @@ lint:
 		echo "ruff not installed — skipping (pip install -e '.[dev]')"; \
 	fi
 
-## mypy strict profile (embedding/, parallel/, cascades/); skipped when absent
+## mypy strict profile (embedding/, parallel/, cascades/, serving/); skipped when absent
 typecheck:
 	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy; \
@@ -49,3 +49,8 @@ bench-dispatch:
 ## writes BENCH_kernel.json
 bench-kernel:
 	$(PYTHON) -m pytest -x -q benchmarks/test_perf_kernel.py
+
+## scoring-service benchmark (micro-batched vs one-at-a-time, ingest rate,
+## latency percentiles); writes BENCH_serving.json
+bench-serving:
+	$(PYTHON) -m pytest -x -q benchmarks/test_perf_serving.py

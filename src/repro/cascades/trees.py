@@ -25,11 +25,38 @@ from repro.embedding.likelihood import tie_groups
 from repro.embedding.model import EmbeddingModel
 
 __all__ = [
+    "map_parent",
     "map_infector_tree",
     "tree_depth",
     "max_breadth",
     "structural_virality",
 ]
+
+
+def map_parent(
+    model: EmbeddingModel,
+    nodes: np.ndarray,
+    times: np.ndarray,
+    i: int,
+    start: int,
+) -> int:
+    """MAP parent of position *i* given its strict predecessors.
+
+    *start* is the beginning of position *i*'s tie group (positions
+    ``< start`` are the strict predecessors); -1 when there are none.
+
+    This is the single primitive both :func:`map_infector_tree` and the
+    incremental serving tracker evaluate — sharing it is what makes the
+    streamed tree bit-identical to the batch one on every prefix.
+    """
+    if start == 0:
+        return -1
+    v = nodes[i]
+    preds = nodes[:start]
+    dt = times[i] - times[:start]
+    rates = model.A[preds] @ model.B[v]
+    density = rates * np.exp(-rates * dt)
+    return int(np.argmax(density))
 
 
 def map_infector_tree(model: EmbeddingModel, cascade: Cascade) -> np.ndarray:
@@ -46,14 +73,7 @@ def map_infector_tree(model: EmbeddingModel, cascade: Cascade) -> np.ndarray:
     nodes, times = cascade.nodes, cascade.times
     starts, _ = tie_groups(times)
     for i in range(s):
-        if starts[i] == 0:
-            continue
-        v = nodes[i]
-        preds = nodes[: starts[i]]
-        dt = times[i] - times[: starts[i]]
-        rates = model.A[preds] @ model.B[v]
-        density = rates * np.exp(-rates * dt)
-        parents[i] = int(np.argmax(density))
+        parents[i] = map_parent(model, nodes, times, i, int(starts[i]))
     return parents
 
 

@@ -14,6 +14,7 @@ stages compose through the filesystem:
     repro influencers  --model model.npz --corpus corpus.jsonl --top 10
     repro gdelt        --sites 800 --events 500 --out events.jsonl
     repro speedup      --corpus corpus.jsonl --cores 1,2,4,8,16,32,64
+    repro serve        --model model.npz --predictor svm.npz --port 7569
 """
 
 from __future__ import annotations
@@ -115,6 +116,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stop-at", type=int, default=4)
     p.add_argument("--cores", type=_parse_int_list, default=[1, 2, 4, 8, 16, 32, 64])
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "serve", help="real-time scoring service (newline-JSON over TCP or stdio)"
+    )
+    p.add_argument("--model", required=True,
+                   help="embedding .npz, checkpoint dir, or checkpoint .npz")
+    p.add_argument("--predictor", default=None,
+                   help=".npz written by ViralityPredictor.save (scores need it)")
+    p.add_argument("--features", choices=("paper", "extended"), default="paper")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7569)
+    p.add_argument("--stdio", action="store_true",
+                   help="speak the protocol on stdin/stdout instead of TCP")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="flush as soon as this many score requests are queued")
+    p.add_argument("--max-delay", type=float, default=0.005,
+                   help="max seconds a queued score request waits for a batch")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="queue depth bound before backpressure kicks in")
+    p.add_argument("--overflow", choices=("reject", "shed_oldest"),
+                   default="reject",
+                   help="full-queue policy: refuse new or drop oldest")
+    p.add_argument("--capacity", type=int, default=100_000,
+                   help="max cascades tracked before LRU eviction")
+    p.add_argument("--ttl", type=float, default=None,
+                   help="expire cascades idle this many seconds (default: never)")
 
     return parser
 
@@ -301,6 +328,45 @@ def _cmd_speedup(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.prediction.features import EXTENDED_FEATURES, PAPER_FEATURES
+    from repro.serving.server import ScoringServer, build_service, serve_stdio
+
+    service = build_service(
+        args.model,
+        predictor_path=args.predictor,
+        feature_set=EXTENDED_FEATURES if args.features == "extended" else PAPER_FEATURES,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        max_pending=args.max_pending,
+        overflow=args.overflow,
+        capacity=args.capacity,
+        ttl=args.ttl,
+    )
+    snap = service.registry.current()
+    scorer = "with fitted predictor" if snap.predictor is not None else "features only"
+    print(
+        f"serving model v{snap.version} ({snap.source}; {scorer}); "
+        f"batch<= {args.max_batch}, delay {args.max_delay * 1e3:.1f} ms, "
+        f"queue {args.max_pending} ({args.overflow})",
+        file=sys.stderr,
+    )
+
+    async def _run_tcp() -> None:
+        server = ScoringServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"listening on {args.host}:{server.port}", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve_stdio(service) if args.stdio else _run_tcp())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "simulate-sbm": _cmd_simulate_sbm,
     "gdelt": _cmd_gdelt,
@@ -308,6 +374,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "influencers": _cmd_influencers,
     "speedup": _cmd_speedup,
+    "serve": _cmd_serve,
 }
 
 

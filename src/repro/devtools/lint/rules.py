@@ -1,4 +1,4 @@
-"""Project-specific lint rules (REP001–REP006).
+"""Project-specific lint rules (REP001–REP008).
 
 Each rule encodes one invariant the reproduction's correctness story
 depends on (see DESIGN.md §10 for the full rationale):
@@ -43,6 +43,15 @@ REP007    ``np.add.at`` / ``np.<ufunc>.at`` outside the sanctioned
           this rule keeps the slow path from creeping back.  Reference/
           baseline modules where ``.at`` is cold and duplicate indices
           are essential keep using it (see ``allowed_in``).
+REP008    Blocking calls inside ``async def`` bodies (``time.sleep``,
+          blocking socket/subprocess/select/urllib calls, non-awaited
+          ``<expr>.wait(...)``).  One blocking call inside the scoring
+          server's event loop stalls *every* connection and the
+          micro-batch flusher with it; blocking work must go through
+          ``loop.run_in_executor`` (or ``asyncio.sleep`` /
+          ``asyncio.wait_for``).  Calls under an ``await`` expression
+          (e.g. ``await asyncio.wait_for(ev.wait(), ...)``) are the
+          sanctioned idiom and are not flagged.
 ========  ==============================================================
 """
 
@@ -460,6 +469,118 @@ class UfuncAtRule(Rule):
                 )
 
 
+#: Resolved dotted names that block the calling thread outright.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "socket.gethostbyname_ex",
+        "socket.gethostbyaddr",
+        "socket.getfqdn",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.getoutput",
+        "subprocess.getstatusoutput",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "os.popen",
+        "select.select",
+        "select.poll",
+        "urllib.request.urlopen",
+    }
+)
+
+
+class BlockingCallInAsyncRule(Rule):
+    """REP008: blocking calls inside ``async def`` bodies."""
+
+    id = "REP008"
+    name = "blocking-call-in-async"
+    description = (
+        "blocking call (time.sleep, socket/subprocess/select/urllib, "
+        "non-awaited <expr>.wait(...)) inside an async def; one blocking "
+        "call stalls the whole event loop — use asyncio.sleep/wait_for "
+        "or push the work through loop.run_in_executor"
+    )
+    #: Async benchmark drivers may block deliberately (e.g. to simulate
+    #: a slow client); production async code may not.
+    allowed_in = ("bench/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(ctx, node)
+
+    def _check_async_body(
+        self, ctx: ModuleContext, fn: ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        awaited = self._awaited_subtrees(fn)
+        for node in self._own_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _BLOCKING_CALLS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{resolved}(...) blocks the event loop inside "
+                    f"async {fn.name}(); use the asyncio equivalent or "
+                    "loop.run_in_executor",
+                )
+                continue
+            # Heuristic: a non-awaited `<expr>.wait(...)` in async code is
+            # almost always threading.Event.wait / process .wait — the
+            # sanctioned `await asyncio.wait_for(ev.wait(), ...)` shape
+            # keeps the call under an await expression and is exempt.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "wait"
+                and id(node) not in awaited
+                and not (resolved or "").startswith("asyncio.")
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"non-awaited .wait(...) call inside async {fn.name}() "
+                    "looks like a thread-blocking wait; await it (asyncio "
+                    "primitives) or run it in an executor",
+                )
+
+    @staticmethod
+    def _own_nodes(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk *fn*'s body, not descending into nested function scopes.
+
+        A nested sync ``def`` is a new scope (often an executor target or
+        callback, where blocking is legitimate); a nested ``async def``
+        is checked on its own when the outer walk reaches it.
+        """
+        scopes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        stack: List[ast.AST] = [s for s in fn.body if not isinstance(s, scopes)]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, scopes):
+                    continue
+                stack.append(child)
+
+    @classmethod
+    def _awaited_subtrees(cls, fn: ast.AsyncFunctionDef) -> frozenset:
+        """ids of every node somewhere under an ``await`` expression."""
+        out = set()
+        for node in cls._own_nodes(fn):
+            if isinstance(node, ast.Await):
+                for sub in ast.walk(node):
+                    out.add(id(sub))
+        return frozenset(out)
+
+
 DEFAULT_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -468,6 +589,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     FloatEqualityRule(),
     MutableDefaultRule(),
     UfuncAtRule(),
+    BlockingCallInAsyncRule(),
 )
 
 

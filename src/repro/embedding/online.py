@@ -109,8 +109,16 @@ class OnlineEmbeddingInference:
         return self.config.learning_rate / (1.0 + self.config.decay * self.t)
 
     def partial_fit(self, cascades: Iterable[Cascade]) -> "OnlineEmbeddingInference":
-        """Fold a batch of newly observed cascades into the model."""
+        """Fold a batch of newly observed cascades into the model.
+
+        An empty batch is a true no-op: no RNG draws, no counter
+        advance — ``partial_fit([])`` leaves the estimator bit-identical
+        to not having called it (streaming pipelines routinely tick with
+        nothing to deliver).
+        """
         batch = list(cascades)
+        if not batch:
+            return self
         for c in batch:
             if c.size and int(c.nodes.max()) >= self.model.n_nodes:
                 raise ValueError(

@@ -1,22 +1,46 @@
-"""Early-adopter feature extraction (Eq. 17–19).
+"""Early-adopter feature extraction (Eq. 17–19), batch and streaming.
 
 The features deliberately use only the *influence* vectors of the early
 adopters — no topology — which is what lets the predictor work when the
 propagation network is hidden (§V).  Selectivity-based analogues
 (``diverB``/``normB``/``maxB``) and the raw early-adopter count are
 provided as extensions; the paper's feature set is the default.
+
+Streaming evaluation
+--------------------
+:class:`IncrementalFeatures` folds adoption events in one at a time —
+``normA``/``maxA`` as running sums, ``diverA`` via an O(mK) new-adopter
+distance update, the MAP-infector-tree statistics via appending to the
+parent forest — instead of the O(m²K) recompute a batch call performs on
+every prefix.  :func:`extract_features` *is* this class replayed over a
+prefix, so the streamed and batch feature vectors are bit-identical on
+every observed prefix by construction (the serving layer's parity
+guarantee, property-tested in ``tests/property/test_prop_serving.py``).
+
+A consequence worth stating: the canonical summation order of ``sumA``
+is the *left fold in adoption order* (not numpy's pairwise ``sum``), and
+``diverA`` is the max over per-adopter distance updates (not one Gram
+matrix).  Both are mathematically the quantities of Eq. 17–19; only the
+float rounding path is pinned down so that two implementations can agree
+bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.cascades.types import Cascade
 from repro.embedding.model import EmbeddingModel
 
-__all__ = ["PAPER_FEATURES", "EXTENDED_FEATURES", "extract_features", "FeatureExtractor"]
+__all__ = [
+    "PAPER_FEATURES",
+    "EXTENDED_FEATURES",
+    "extract_features",
+    "FeatureExtractor",
+    "IncrementalFeatures",
+]
 
 PAPER_FEATURES: Tuple[str, ...] = ("diverA", "normA", "maxA")
 EXTENDED_FEATURES: Tuple[str, ...] = (
@@ -34,20 +58,379 @@ EXTENDED_FEATURES: Tuple[str, ...] = (
     "sviral",
 )
 
+#: initial per-cascade buffer capacity (doubled on demand)
+_INIT_CAPACITY = 8
 
-def _diver(vectors: np.ndarray) -> float:
-    """Max pairwise Euclidean distance (Eq. 17), 0 for < 2 adopters.
 
-    Computed with the Gram-matrix identity ‖x−y‖² = ‖x‖² + ‖y‖² − 2x·y,
-    O(m²K) without a Python pair loop.
+def _row_sq_norm(v: np.ndarray) -> float:
+    """Squared Euclidean norm of one embedding row, the canonical way.
+
+    Both the batch path and the incremental tracker compute ‖x‖² through
+    this single call so the bits can never diverge.
     """
-    m = vectors.shape[0]
-    if m < 2:
-        return 0.0
-    sq = np.einsum("ik,ik->i", vectors, vectors)
-    gram = vectors @ vectors.T
-    d2 = sq[:, None] + sq[None, :] - 2.0 * gram
-    return float(np.sqrt(max(float(d2.max()), 0.0)))
+    return float(np.einsum("k,k->", v, v))
+
+
+class _SideState:
+    """Incremental state for one embedding plane (A or B).
+
+    Maintains what the requested features need and nothing more: the
+    adopter rows + squared norms and the running max pairwise squared
+    distance when ``diver*`` is wanted; the running left-fold sum when
+    ``norm*``/``max*`` are.
+    """
+
+    __slots__ = ("need_diver", "need_sum", "V", "sq", "d2max", "vec_sum")
+
+    def __init__(self, n_topics: int, need_diver: bool, need_sum: bool) -> None:
+        self.need_diver = need_diver
+        self.need_sum = need_sum
+        self.V: Optional[np.ndarray] = (
+            np.empty((_INIT_CAPACITY, n_topics)) if need_diver else None
+        )
+        self.sq: Optional[np.ndarray] = (
+            np.empty(_INIT_CAPACITY) if need_diver else None
+        )
+        self.d2max = float("-inf")
+        self.vec_sum: Optional[np.ndarray] = (
+            np.zeros(n_topics) if need_sum else None
+        )
+
+    def grow(self, capacity: int) -> None:
+        if self.V is not None and self.sq is not None:
+            V = np.empty((capacity, self.V.shape[1]))
+            V[: self.V.shape[0]] = self.V
+            self.V = V
+            sq = np.empty(capacity)
+            sq[: self.sq.shape[0]] = self.sq
+            self.sq = sq
+
+    def append(self, i: int, row: np.ndarray) -> None:
+        """Fold adopter *i*'s embedding row into the running state.
+
+        The ``diver`` update is the O(mK) step: squared distances of the
+        new adopter against every previous one via one mat-vec, folded
+        into the running max (max is order-independent, so the running
+        fold equals the batch max bit-for-bit).
+        """
+        if self.V is not None and self.sq is not None:
+            self.V[i] = row
+            sq_new = _row_sq_norm(self.V[i])
+            self.sq[i] = sq_new
+            if i >= 1:
+                d2 = self.sq[:i] + sq_new - 2.0 * (self.V[:i] @ self.V[i])
+                self.d2max = max(self.d2max, float(d2.max()))
+        if self.vec_sum is not None:
+            # left fold in adoption order — the canonical summation
+            self.vec_sum = self.vec_sum + row
+
+    # -- feature reads ------------------------------------------------- #
+
+    def diver(self, m: int) -> float:
+        """Max pairwise Euclidean distance (Eq. 17), 0 for < 2 adopters."""
+        if m < 2:
+            return 0.0
+        return float(np.sqrt(max(self.d2max, 0.0)))
+
+    def norm(self) -> float:
+        assert self.vec_sum is not None
+        return float(np.linalg.norm(self.vec_sum))
+
+    def max(self) -> float:
+        assert self.vec_sum is not None
+        return float(self.vec_sum.max()) if self.vec_sum.size else 0.0
+
+
+class _TreeState:
+    """Incremental MAP infector forest + Cheng-et-al. structure stats.
+
+    Parents only ever *append* under time-ordered arrival (a new adopter
+    cannot change an earlier adopter's MAP parent — its strict
+    predecessors are fixed), so depth/breadth are O(1) updates and the
+    Wiener total is an O(m·depth) LCA sweep per event.  All quantities
+    are integers accumulated exactly, so the running totals match the
+    batch recompute bit-for-bit in any arrival order.
+    """
+
+    __slots__ = (
+        "parents",
+        "depths",
+        "depth_counts",
+        "max_depth",
+        "max_breadth",
+        "anc_sets",
+        "sv_total",
+        "track_sviral",
+    )
+
+    def __init__(self, track_sviral: bool) -> None:
+        self.parents = np.empty(_INIT_CAPACITY, dtype=np.int64)
+        self.depths = np.empty(_INIT_CAPACITY, dtype=np.int64)
+        self.depth_counts: List[int] = []
+        self.max_depth = 0
+        self.max_breadth = 0
+        #: per-position {ancestor position: distance}; -1 is the virtual
+        #: origin every root hangs off (structural_virality's convention)
+        self.anc_sets: List[Dict[int, int]] = []
+        self.sv_total = 0.0
+        self.track_sviral = track_sviral
+
+    def grow(self, capacity: int) -> None:
+        parents = np.empty(capacity, dtype=np.int64)
+        parents[: self.parents.shape[0]] = self.parents
+        self.parents = parents
+        depths = np.empty(capacity, dtype=np.int64)
+        depths[: self.depths.shape[0]] = self.depths
+        self.depths = depths
+
+    def append(
+        self,
+        model: EmbeddingModel,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        i: int,
+    ) -> None:
+        from repro.cascades.trees import map_parent
+
+        start = int(np.searchsorted(times, times[i], side="left"))
+        p = map_parent(model, nodes, times, i, start)
+        self.parents[i] = p
+        d = 0 if p < 0 else int(self.depths[p]) + 1
+        self.depths[i] = d
+        if d >= len(self.depth_counts):
+            self.depth_counts.append(0)
+        self.depth_counts[d] += 1
+        self.max_depth = max(self.max_depth, d)
+        self.max_breadth = max(self.max_breadth, self.depth_counts[d])
+        if not self.track_sviral:
+            return
+        chain = [i]
+        while self.parents[chain[-1]] >= 0:
+            chain.append(int(self.parents[chain[-1]]))
+        chain.append(-1)  # virtual origin above every root
+        for j in range(i):
+            set_j = self.anc_sets[j]
+            for d_i, n in enumerate(chain):
+                if n in set_j:
+                    self.sv_total += set_j[n] + d_i  # ints: exact in any order
+                    break
+        self.anc_sets.append({n: d for d, n in enumerate(chain)})
+
+    def sviral(self, m: int) -> float:
+        """Mean pairwise tree distance (Wiener index), 0 for < 2 adopters."""
+        if m < 2:
+            return 0.0
+        return self.sv_total / (m * (m - 1) // 2)
+
+
+class IncrementalFeatures:
+    """Streaming evaluator of one cascade's early-adopter features.
+
+    Feed adoption events through :meth:`update`; read the current
+    feature vector with :meth:`features`.  Designed for the serving
+    layer's per-cascade trackers, and *the* definition of the feature
+    math: :func:`extract_features` replays this class over a prefix, so
+    stream and batch agree bit-for-bit on every observed prefix.
+
+    Parameters
+    ----------
+    model:
+        Trained embeddings.  Swap with :meth:`rebind` (replays the
+        observed events under the new model).
+    feature_set:
+        Names from :data:`EXTENDED_FEATURES`; order defines the output
+        layout.
+
+    Notes
+    -----
+    * Events may arrive out of time order; the tracker then rebuilds its
+      state over the stable time-sorted event log — the same ordering
+      :class:`~repro.cascades.types.Cascade` applies — so the result is
+      always the feature vector of ``Cascade(nodes_seen, times_seen)``.
+      In-order (and tied-time) arrivals take the cheap append path.
+    * A node adopting twice is ignored (:meth:`update` returns ``False``)
+      — cascades are SI processes, re-deliveries are expected in an
+      at-least-once event stream.
+    * Zero observed adopters yield a well-defined all-zero vector.
+    """
+
+    def __init__(
+        self,
+        model: EmbeddingModel,
+        feature_set: Sequence[str] = PAPER_FEATURES,
+    ) -> None:
+        for name in feature_set:
+            if name not in EXTENDED_FEATURES:
+                raise ValueError(
+                    f"unknown feature {name!r}; valid: {EXTENDED_FEATURES}"
+                )
+        self.model = model
+        self.feature_set = tuple(feature_set)
+        fs = frozenset(self.feature_set)
+        self._need_a = ("diverA" in fs, bool(fs & {"normA", "maxA"}))
+        self._need_b = ("diverB" in fs, bool(fs & {"normB", "maxB"}))
+        self._need_tree = bool(fs & {"depth", "breadth", "sviral"})
+        self._need_sviral = "sviral" in fs
+        #: arrival-order event log; the source of truth for rebuilds
+        self._events: List[Tuple[int, float]] = []
+        self._node_set: Set[int] = set()
+        self._init_derived()
+
+    # ------------------------------------------------------------------ #
+
+    def _init_derived(self) -> None:
+        K = self.model.n_topics
+        self._m = 0
+        self._capacity = _INIT_CAPACITY
+        self._nodes = np.empty(_INIT_CAPACITY, dtype=np.int64)
+        self._times = np.empty(_INIT_CAPACITY, dtype=np.float64)
+        self._side_a = _SideState(K, *self._need_a)
+        self._side_b = _SideState(K, *self._need_b)
+        self._tree = _TreeState(self._need_sviral) if self._need_tree else None
+
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < n:
+            capacity *= 2
+        nodes = np.empty(capacity, dtype=np.int64)
+        nodes[: self._m] = self._nodes[: self._m]
+        self._nodes = nodes
+        times = np.empty(capacity, dtype=np.float64)
+        times[: self._m] = self._times[: self._m]
+        self._times = times
+        self._side_a.grow(capacity)
+        self._side_b.grow(capacity)
+        if self._tree is not None:
+            self._tree.grow(capacity)
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_events(self) -> int:
+        """Number of distinct adopters observed so far."""
+        return self._m
+
+    @property
+    def last_time(self) -> float:
+        """Latest adoption time observed (-inf before any event)."""
+        return float(self._times[self._m - 1]) if self._m else float("-inf")
+
+    def observed(self) -> Cascade:
+        """The observed prefix as a :class:`Cascade` (stable time order)."""
+        if not self._events:
+            return Cascade([], [])
+        nodes, times = zip(*self._events)
+        return Cascade(list(nodes), list(times))
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, node: int, t: float) -> bool:
+        """Observe one adoption event; ``False`` if the node is a re-adopt.
+
+        In-order arrivals (``t`` at or after the latest observed time)
+        take the O(mK) append path; an out-of-order arrival triggers a
+        rebuild over the stable time-sorted log.
+        """
+        node = int(node)
+        t = float(t)
+        if not np.isfinite(t):
+            raise ValueError("adoption times must be finite")
+        if node < 0 or node >= self.model.n_nodes:
+            raise ValueError(
+                f"node {node} outside the model universe of "
+                f"{self.model.n_nodes} nodes"
+            )
+        if node in self._node_set:
+            return False
+        self._events.append((node, t))
+        self._node_set.add(node)
+        if self._m and t < float(self._times[self._m - 1]):
+            self._rebuild()
+        else:
+            self._append(node, t)
+        return True
+
+    def rebind(self, model: EmbeddingModel) -> None:
+        """Swap the embedding model and replay the event log under it."""
+        if self._node_set and max(self._node_set) >= model.n_nodes:
+            raise ValueError(
+                "new model's node universe does not cover the observed nodes"
+            )
+        self.model = model
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        events = self._events
+        self._init_derived()
+        if not events:
+            return
+        nodes = np.asarray([n for n, _ in events], dtype=np.int64)
+        times = np.asarray([t for _, t in events], dtype=np.float64)
+        order = np.argsort(times, kind="stable")  # Cascade's ordering
+        for i in order:
+            self._append(int(nodes[i]), float(times[i]))
+
+    def _append(self, node: int, t: float) -> None:
+        i = self._m
+        self._ensure_capacity(i + 1)
+        self._nodes[i] = node
+        self._times[i] = t
+        self._m = i + 1
+        if self._side_a.need_diver or self._side_a.need_sum:
+            self._side_a.append(i, self.model.A[node])
+        if self._side_b.need_diver or self._side_b.need_sum:
+            self._side_b.append(i, self.model.B[node])
+        if self._tree is not None:
+            self._tree.append(
+                self.model, self._nodes[: self._m], self._times[: self._m], i
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def features(self) -> np.ndarray:
+        """Current feature vector, shape ``(len(feature_set),)``.
+
+        Zero observed adopters yield the all-zero vector — every feature
+        is identically 0 for an empty prefix, stated here explicitly
+        rather than left to downstream arithmetic.
+        """
+        out = np.zeros(len(self.feature_set), dtype=np.float64)
+        m = self._m
+        if m == 0:
+            return out
+        for idx, name in enumerate(self.feature_set):
+            out[idx] = self._value(name, m)
+        return out
+
+    def _value(self, name: str, m: int) -> float:
+        if name == "diverA":
+            return self._side_a.diver(m)
+        if name == "normA":
+            return self._side_a.norm()
+        if name == "maxA":
+            return self._side_a.max()
+        if name == "diverB":
+            return self._side_b.diver(m)
+        if name == "normB":
+            return self._side_b.norm()
+        if name == "maxB":
+            return self._side_b.max()
+        if name == "n_early":
+            return float(m)
+        tree = self._tree
+        assert tree is not None
+        if name == "depth":
+            return float(tree.max_depth)
+        if name == "breadth":
+            return float(tree.max_breadth)
+        if name == "sviral":
+            return float(tree.sviral(m))
+        raise ValueError(
+            f"unknown feature {name!r}; valid: {EXTENDED_FEATURES}"
+        )  # pragma: no cover - names validated at construction
 
 
 def extract_features(
@@ -56,6 +439,11 @@ def extract_features(
     feature_set: Sequence[str] = PAPER_FEATURES,
 ) -> np.ndarray:
     """Feature vector of one cascade's early adopters.
+
+    Implemented as a replay of :class:`IncrementalFeatures` — the batch
+    and streaming paths are literally the same code, which is what makes
+    the serving tracker's features bit-identical to this function on
+    every prefix.  An empty prefix returns the all-zero vector.
 
     Parameters
     ----------
@@ -72,44 +460,10 @@ def extract_features(
     -------
     numpy.ndarray of shape (len(feature_set),)
     """
-    nodes = early.nodes
-    A = model.A[nodes] if nodes.size else np.zeros((0, model.n_topics))
-    B = model.B[nodes] if nodes.size else np.zeros((0, model.n_topics))
-    sumA = A.sum(axis=0)
-    sumB = B.sum(axis=0)
-
-    _tree_cache: dict = {}
-
-    def _parents():
-        if "p" not in _tree_cache:
-            from repro.cascades.trees import map_infector_tree
-
-            _tree_cache["p"] = map_infector_tree(model, early)
-        return _tree_cache["p"]
-
-    def _tree_stat(fn):
-        from repro.cascades import trees
-
-        return float(getattr(trees, fn)(_parents()))
-
-    values = {
-        "diverA": lambda: _diver(A),
-        "normA": lambda: float(np.linalg.norm(sumA)),
-        "maxA": lambda: float(sumA.max()) if sumA.size else 0.0,
-        "diverB": lambda: _diver(B),
-        "normB": lambda: float(np.linalg.norm(sumB)),
-        "maxB": lambda: float(sumB.max()) if sumB.size else 0.0,
-        "n_early": lambda: float(nodes.size),
-        "depth": lambda: _tree_stat("tree_depth"),
-        "breadth": lambda: _tree_stat("max_breadth"),
-        "sviral": lambda: _tree_stat("structural_virality"),
-    }
-    out = np.empty(len(feature_set), dtype=np.float64)
-    for i, name in enumerate(feature_set):
-        if name not in values:
-            raise ValueError(f"unknown feature {name!r}; valid: {EXTENDED_FEATURES}")
-        out[i] = values[name]()
-    return out
+    inc = IncrementalFeatures(model, feature_set)
+    for v, t in zip(early.nodes, early.times):
+        inc.update(int(v), float(t))
+    return inc.features()
 
 
 class FeatureExtractor:

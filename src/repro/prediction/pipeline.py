@@ -118,11 +118,75 @@ class ViralityPredictor:
         self._svm.fit((X - self._mu) / self._sd, y)
         return self
 
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margins on raw (unstandardized) features.
+
+        Positive means "predicted to exceed the size threshold"; the
+        magnitude is the standardized-SVM margin, which the serving
+        layer reports as the virality *score*.
+        """
+        if self._mu is None:
+            raise RuntimeError("predictor is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return self._svm.decision_function((X - self._mu) / self._sd)
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self._mu is None:
             raise RuntimeError("predictor is not fitted")
         X = np.asarray(X, dtype=np.float64)
         return self._svm.predict((X - self._mu) / self._sd)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (what `repro serve --predictor` consumes)
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "ViralityPredictor":
+        """Independent copy (fitted state included) — snapshot safety."""
+        clone = ViralityPredictor(
+            threshold=self.threshold,
+            lam=self._svm.lam,
+            n_epochs=self._svm.n_epochs,
+        )
+        if self._svm.w is not None:
+            clone._svm.w = self._svm.w.copy()
+            clone._svm.b = self._svm.b
+        if self._mu is not None and self._sd is not None:
+            clone._mu = self._mu.copy()
+            clone._sd = self._sd.copy()
+        return clone
+
+    def save(self, path) -> None:
+        """Serialize the fitted predictor to an ``.npz`` archive."""
+        if self._mu is None or self._sd is None or self._svm.w is None:
+            raise RuntimeError("cannot save an unfitted predictor")
+        np.savez_compressed(
+            path,
+            w=self._svm.w,
+            b=np.float64(self._svm.b),
+            mu=self._mu,
+            sd=self._sd,
+            threshold=np.int64(self.threshold),
+            lam=np.float64(self._svm.lam),
+        )
+
+    @classmethod
+    def load(cls, path) -> "ViralityPredictor":
+        """Load a predictor written by :meth:`save`."""
+        with np.load(path) as data:
+            required = ("w", "b", "mu", "sd", "threshold")
+            if any(key not in data for key in required):
+                raise ValueError(
+                    f"{path}: not a predictor archive (need {', '.join(required)})"
+                )
+            pred = cls(
+                threshold=int(data["threshold"]),
+                lam=float(data["lam"]) if "lam" in data else 1e-3,
+            )
+            pred._svm.w = data["w"].copy()
+            pred._svm.b = float(data["b"])
+            pred._mu = data["mu"].copy()
+            pred._sd = data["sd"].copy()
+        return pred
 
 
 @dataclass

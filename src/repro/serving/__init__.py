@@ -1,0 +1,53 @@
+"""Real-time virality scoring service (DESIGN.md §12).
+
+The paper's point is *early* prediction of emergent news events; this
+package is the layer that actually serves those predictions as cascade
+adoption events arrive:
+
+* :mod:`repro.serving.tracker` — per-cascade incremental feature store
+  (O(mK) per event instead of an O(m²K) recompute, LRU + TTL bounded);
+* :mod:`repro.serving.registry` — versioned, atomically hot-swappable
+  model snapshots, loadable from ``.npz`` archives, hierarchical-fit
+  checkpoints, or a live online estimator;
+* :mod:`repro.serving.batching` — micro-batching queue with explicit
+  backpressure and per-request latency accounting;
+* :mod:`repro.serving.service` — the synchronous, thread-safe scoring
+  core tying the three together;
+* :mod:`repro.serving.client` — in-process synchronous client;
+* :mod:`repro.serving.server` — asyncio newline-JSON front end
+  (TCP or stdio), wired into the CLI as ``repro serve``.
+"""
+
+from repro.serving.batching import (
+    BatchPolicy,
+    LatencyBreakdown,
+    PendingQueue,
+    QueueFullError,
+    ScoreRequest,
+    ScoreResult,
+)
+from repro.serving.client import ScoringClient
+from repro.serving.registry import ModelRegistry, ModelSnapshot
+from repro.serving.server import ScoringServer, build_service, serve_stdio
+from repro.serving.service import ScoringService, ServiceStats
+from repro.serving.tracker import CascadeTracker, FeatureStore, StoreConfig
+
+__all__ = [
+    "BatchPolicy",
+    "CascadeTracker",
+    "FeatureStore",
+    "LatencyBreakdown",
+    "ModelRegistry",
+    "ModelSnapshot",
+    "PendingQueue",
+    "QueueFullError",
+    "ScoreRequest",
+    "ScoreResult",
+    "ScoringClient",
+    "ScoringServer",
+    "ScoringService",
+    "ServiceStats",
+    "StoreConfig",
+    "build_service",
+    "serve_stdio",
+]

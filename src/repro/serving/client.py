@@ -1,0 +1,60 @@
+"""In-process synchronous client for :class:`ScoringService`.
+
+The client is the embed-in-your-pipeline interface: no sockets, no
+event loop — just direct calls into the (thread-safe) service.  It is
+what the examples and benchmarks drive, and the reference for what the
+wire protocol in :mod:`repro.serving.server` must express.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.batching import ScoreResult
+from repro.serving.service import ScoringService
+
+__all__ = ["ScoringClient"]
+
+
+class ScoringClient:
+    """Synchronous façade over a :class:`ScoringService`.
+
+    Safe to share between threads (the service serializes internally).
+    """
+
+    def __init__(self, service: ScoringService) -> None:
+        self.service = service
+
+    def ingest(self, cascade_id: str, node: int, t: float) -> bool:
+        """Report one adoption event; ``False`` for duplicate adopters."""
+        return self.service.ingest(cascade_id, node, t)
+
+    def ingest_many(self, events: Sequence[Tuple[str, int, float]]) -> int:
+        """Report a burst of ``(cascade_id, node, t)`` events; returns
+        how many were new (non-duplicate)."""
+        return sum(
+            1 for cid, node, t in events if self.service.ingest(cid, node, t)
+        )
+
+    def score(self, cascade_id: str, include_features: bool = False) -> ScoreResult:
+        """Score one cascade now (batch-of-one; pays the full call cost)."""
+        return self.service.score(cascade_id, include_features=include_features)
+
+    def score_many(
+        self, cascade_ids: Sequence[str], include_features: bool = False
+    ) -> List[ScoreResult]:
+        """Score a group of cascades through the micro-batched path.
+
+        All requests are submitted first, then flushed together — one
+        snapshot read and one vectorized SVM evaluation per
+        ``max_batch`` requests instead of one per cascade.
+        """
+        requests = self.service.submit_many(
+            cascade_ids, include_features=include_features
+        )
+        while any(r.result is None for r in requests):
+            self.service.flush()
+        return [r.result for r in requests if r.result is not None]
+
+    def stats(self) -> Dict[str, object]:
+        return self.service.stats()

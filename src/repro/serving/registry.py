@@ -1,0 +1,205 @@
+"""Versioned, atomically hot-swappable model snapshots.
+
+Training and serving run side by side: the hierarchical trainer (or the
+streaming estimator) produces new embeddings while the scorer is under
+load.  The registry is the hand-off point.  Its contract:
+
+* **Snapshots are immutable.**  ``publish`` deep-copies the embedding
+  matrices and marks them read-only; a snapshot can never change after
+  a reader has seen it.
+* **Swaps are atomic.**  The current snapshot is a single attribute
+  whose replacement is one reference store (atomic under the GIL and
+  the asyncio loop alike).  A reader grabs the snapshot *once* per
+  batch and computes everything against it — there is no window in
+  which half-updated ``A``/``B`` (or an ``A`` from one version and a
+  ``B`` from another) can be observed.  The swap-storm test in
+  ``tests/unit/serving/test_registry.py`` hammers exactly this.
+* **Versions are monotone.**  Every publish gets the next integer
+  version; score responses echo the version they were computed under,
+  so downstream consumers can attribute every score to one model.
+
+Snapshots can be published from an in-memory :class:`EmbeddingModel`,
+from an ``.npz`` archive written by :meth:`EmbeddingModel.save`, from a
+hierarchical-fit checkpoint (:mod:`repro.parallel.checkpoint` — either
+the checkpoint directory or the archive file itself), or from a live
+:class:`~repro.embedding.online.OnlineEmbeddingInference`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.online import OnlineEmbeddingInference
+from repro.prediction.pipeline import ViralityPredictor
+
+__all__ = ["ModelSnapshot", "ModelRegistry", "model_fingerprint"]
+
+
+def model_fingerprint(model: EmbeddingModel) -> str:
+    """Content digest of an embedding model (shape + both planes)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(model.n_nodes).tobytes())
+    h.update(np.int64(model.n_topics).tobytes())
+    h.update(np.ascontiguousarray(model.A).tobytes())
+    h.update(np.ascontiguousarray(model.B).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One immutable published model version.
+
+    Attributes
+    ----------
+    version:
+        Monotone publish counter (1-based).
+    model:
+        Read-only embedding matrices (deep-copied at publish time).
+    predictor:
+        Optional fitted :class:`ViralityPredictor` (deep-copied); when
+        absent the scorer returns features without a decision margin.
+    source:
+        Human-readable provenance ("inline", "npz:...", "checkpoint:...",
+        "online:t=...").
+    fingerprint:
+        :func:`model_fingerprint` of the embedding content.
+    """
+
+    version: int
+    model: EmbeddingModel
+    predictor: Optional[ViralityPredictor]
+    source: str
+    fingerprint: str
+
+
+class ModelRegistry:
+    """Owns the sequence of published snapshots; readers see one at a time.
+
+    Thread-safe: publishes serialize on an internal lock, reads are a
+    single attribute load and take no lock at all.
+    """
+
+    #: bounded provenance trail (version, source, fingerprint)
+    HISTORY_LIMIT = 32
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current: Optional[ModelSnapshot] = None
+        self._n_published = 0
+        self._history: List[Tuple[int, str, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def current(self) -> ModelSnapshot:
+        """The latest published snapshot (atomic, lock-free).
+
+        Raises
+        ------
+        LookupError
+            If nothing has been published yet.
+        """
+        snap = self._current  # single reference read: atomic under the GIL
+        if snap is None:
+            raise LookupError("no model published to the registry yet")
+        return snap
+
+    @property
+    def n_published(self) -> int:
+        return self._n_published
+
+    def history(self) -> List[Tuple[int, str, str]]:
+        """Recent ``(version, source, fingerprint)`` rows, oldest first."""
+        with self._lock:
+            return list(self._history)
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+
+    def publish(
+        self,
+        model: EmbeddingModel,
+        predictor: Optional[ViralityPredictor] = None,
+        source: str = "inline",
+    ) -> ModelSnapshot:
+        """Deep-copy *model* (and *predictor*), freeze, and make current."""
+        A = model.A.copy()
+        B = model.B.copy()
+        A.setflags(write=False)
+        B.setflags(write=False)
+        frozen = EmbeddingModel(A, B)
+        fingerprint = model_fingerprint(frozen)
+        pred = predictor.copy() if predictor is not None else None
+        with self._lock:
+            self._n_published += 1
+            snap = ModelSnapshot(
+                version=self._n_published,
+                model=frozen,
+                predictor=pred,
+                source=source,
+                fingerprint=fingerprint,
+            )
+            self._history.append((snap.version, snap.source, snap.fingerprint))
+            del self._history[: -self.HISTORY_LIMIT]
+            self._current = snap  # the atomic swap
+        return snap
+
+    def publish_online(
+        self,
+        online: OnlineEmbeddingInference,
+        predictor: Optional[ViralityPredictor] = None,
+    ) -> ModelSnapshot:
+        """Snapshot a live streaming estimator's current model.
+
+        The estimator keeps mutating its matrices afterwards; the copy
+        taken here is what readers score against until the next publish.
+        """
+        return self.publish(
+            online.model, predictor=predictor, source=f"online:t={online.t}"
+        )
+
+    def publish_path(
+        self,
+        path: Union[str, Path],
+        predictor: Optional[ViralityPredictor] = None,
+    ) -> ModelSnapshot:
+        """Publish from a filesystem artifact.
+
+        Accepts an ``.npz`` embedding archive (``EmbeddingModel.save``),
+        a hierarchical-fit checkpoint *directory*
+        (:class:`~repro.parallel.checkpoint.CheckpointManager`), or the
+        checkpoint ``.npz`` file itself — this is what lets a training
+        run's periodic checkpoints feed a live scorer.
+        """
+        p = Path(path)
+        if p.is_dir():
+            from repro.parallel.checkpoint import CheckpointManager
+
+            ck = CheckpointManager(p).load()
+            if ck is None:
+                raise FileNotFoundError(f"{p}: no checkpoint in directory")
+            model = EmbeddingModel(ck.A, ck.B)
+            source = f"checkpoint:{p}"
+        elif p.is_file():
+            with np.load(p) as data:
+                if "A" not in data or "B" not in data:
+                    raise ValueError(
+                        f"{p}: not an embedding or checkpoint archive (need A, B)"
+                    )
+                if "meta" in data:  # checkpoint archive (has the JSON blob)
+                    source = f"checkpoint:{p}"
+                else:
+                    source = f"npz:{p}"
+                model = EmbeddingModel(data["A"].copy(), data["B"].copy())
+        else:
+            raise FileNotFoundError(f"no such model artifact: {p}")
+        return self.publish(model, predictor=predictor, source=source)

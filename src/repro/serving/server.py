@@ -1,0 +1,345 @@
+"""Asyncio newline-JSON front end for the scoring service.
+
+One request per line, one JSON object per response.  Operations:
+
+``{"op": "event", "cascade": "c1", "node": 3, "t": 0.25}``
+    Fold an adoption event in.  Responds ``{"ok": true, "applied": ...}``.
+``{"op": "score", "cascade": "c1"}``
+    Queue a score request; the response arrives once the micro-batcher
+    flushes (batch full or ``max_delay`` elapsed).  Add
+    ``"features": true`` to embed the feature vector.
+``{"op": "flush"}``
+    Force an immediate flush (mostly for tests and drains).
+``{"op": "swap", "path": "model.npz"}``
+    Hot-swap the model from a filesystem artifact (embedding ``.npz``
+    or training checkpoint).  The currently published predictor is
+    carried forward — artifacts hold embeddings only.
+``{"op": "stats"}`` / ``{"op": "ping"}``
+    Service state / liveness.
+
+Every request may carry an ``"id"`` which is echoed in the response, so
+clients can pipeline requests and match answers out of order (score
+responses are inherently deferred behind the batcher).
+
+The server never blocks the event loop: scoring requests resolve via
+``on_done`` callbacks marshalled onto the loop, a background flusher
+task enforces ``max_delay``, and the stdio front end reads stdin
+through the default executor.  (The REP008 lint rule polices exactly
+this property.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import IO, Any, Dict, Optional
+
+import numpy as np
+
+from repro.prediction.features import PAPER_FEATURES
+from repro.serving.batching import BatchPolicy, ScoreResult
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import ScoringService
+from repro.serving.tracker import StoreConfig
+
+__all__ = ["ScoringServer", "build_service", "result_to_dict", "serve_stdio"]
+
+#: sweep TTL-stale cascades this often (seconds) while a server runs
+_SWEEP_INTERVAL = 1.0
+
+
+def build_service(
+    model_path: str,
+    predictor_path: Optional[str] = None,
+    feature_set: Any = PAPER_FEATURES,
+    max_batch: int = 64,
+    max_delay: float = 0.005,
+    max_pending: int = 1024,
+    overflow: str = "reject",
+    capacity: int = 100_000,
+    ttl: Optional[float] = None,
+) -> ScoringService:
+    """Assemble a ready-to-serve :class:`ScoringService` from artifacts.
+
+    This is the one factory the CLI, the examples, and the server tests
+    share: registry + initial publish + policy + store config.
+    """
+    from repro.prediction.pipeline import ViralityPredictor
+
+    predictor = (
+        ViralityPredictor.load(predictor_path) if predictor_path is not None else None
+    )
+    registry = ModelRegistry()
+    registry.publish_path(model_path, predictor=predictor)
+    return ScoringService(
+        registry,
+        feature_set=feature_set,
+        store_config=StoreConfig(capacity=capacity, ttl=ttl),
+        policy=BatchPolicy(
+            max_batch=max_batch,
+            max_delay=max_delay,
+            max_pending=max_pending,
+            overflow=overflow,
+        ),
+    )
+
+
+def result_to_dict(result: ScoreResult) -> Dict[str, Any]:
+    """JSON-friendly view of a :class:`ScoreResult`."""
+    out: Dict[str, Any] = {
+        "ok": result.ok,
+        "status": result.status,
+        "cascade": result.cascade_id,
+        "n_early": result.n_early,
+        "model_version": result.model_version,
+    }
+    if result.score is not None:
+        out["score"] = result.score
+    if result.label is not None:
+        out["label"] = result.label
+    if result.features is not None:
+        out["features"] = np.asarray(result.features).tolist()
+    if result.latency is not None:
+        out["latency_ms"] = {
+            "queued": result.latency.queued_s * 1e3,
+            "compute": result.latency.compute_s * 1e3,
+            "total": result.latency.total_s * 1e3,
+            "batch_size": result.latency.batch_size,
+        }
+    return out
+
+
+class ScoringServer:
+    """Newline-JSON server over asyncio streams (TCP or stdio)."""
+
+    def __init__(self, service: ScoringService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.Server] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._sweeper: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the TCP listener and start the background flusher."""
+        self._start_background()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in (self._flusher, self._sweeper):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._flusher = None
+        self._sweeper = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def _start_background(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._flusher = asyncio.create_task(self._flush_loop())
+        if self.service.store.config.ttl is not None:
+            self._sweeper = asyncio.create_task(self._sweep_loop())
+
+    # ------------------------------------------------------------------ #
+    # Background tasks
+    # ------------------------------------------------------------------ #
+
+    async def _flush_loop(self) -> None:
+        """Enforce ``max_delay``: flush whenever requests come due.
+
+        Wakes early (via ``_wake``) when a submit fills the batch, so a
+        full batch never waits out the delay timer.
+        """
+        assert self._wake is not None
+        delay = max(self.service.policy.max_delay, 1e-4)
+        while True:
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+            while self.service.due():
+                self.service.flush()
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(_SWEEP_INTERVAL)
+            self.service.sweep()
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Each line is dispatched as its own task so a score request
+        # awaiting the batcher never blocks the read loop — that is
+        # what lets one connection pipeline a whole batch.  A lock
+        # keeps concurrent responses from interleaving on the wire.
+        write_lock = asyncio.Lock()
+        in_flight: set = set()
+
+        async def respond(raw: bytes) -> None:
+            response = await self._dispatch_line(raw)
+            if response is not None:
+                async with write_lock:
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                task = asyncio.create_task(respond(stripped))
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+            if in_flight:
+                await asyncio.gather(*in_flight, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch_line(self, raw: bytes) -> Optional[Dict[str, Any]]:
+        try:
+            message = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"bad json: {exc.msg}"}
+        if not isinstance(message, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        return await self.dispatch(message)
+
+    async def dispatch(self, message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Handle one decoded request; returns the response object."""
+        req_id = message.get("id")
+        op = message.get("op")
+        try:
+            if op == "event":
+                applied = self.service.ingest(
+                    str(message["cascade"]),
+                    int(message["node"]),
+                    float(message["t"]),
+                )
+                response: Dict[str, Any] = {"ok": True, "applied": applied}
+            elif op == "score":
+                response = await self._score(message)
+            elif op == "flush":
+                results = self.service.flush()
+                response = {"ok": True, "flushed": len(results)}
+            elif op == "swap":
+                snap = self.service.swap_path(str(message["path"]))
+                response = {
+                    "ok": True,
+                    "model_version": snap.version,
+                    "source": snap.source,
+                    "fingerprint": snap.fingerprint,
+                }
+            elif op == "stats":
+                response = {"ok": True, "stats": self.service.stats()}
+            elif op == "ping":
+                response = {"ok": True, "pong": True}
+            else:
+                response = {"ok": False, "error": f"unknown op: {op!r}"}
+        except (KeyError, TypeError, ValueError) as exc:
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        except (LookupError, RuntimeError, FileNotFoundError) as exc:
+            response = {"ok": False, "error": str(exc)}
+        if req_id is not None:
+            response["id"] = req_id
+        return response
+
+    async def _score(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit to the micro-batcher; await the batched completion."""
+        assert self._loop is not None and self._wake is not None
+        loop = self._loop
+        future: "asyncio.Future[ScoreResult]" = loop.create_future()
+
+        def on_done(result: ScoreResult) -> None:
+            loop.call_soon_threadsafe(
+                lambda: future.done() or future.set_result(result)
+            )
+
+        self.service.submit(
+            str(message["cascade"]),
+            include_features=bool(message.get("features", False)),
+            on_done=on_done,
+        )
+        if self.service.pending() >= self.service.policy.max_batch:
+            self._wake.set()  # full batch: flush now, don't wait out the timer
+        result = await future
+        return result_to_dict(result)
+
+
+async def serve_stdio(
+    service: ScoringService,
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+) -> None:
+    """Drive the same protocol over stdin/stdout (one JSON per line).
+
+    Stdin is read through the default executor so the loop — and with
+    it the flusher that enforces ``max_delay`` — keeps running between
+    lines.
+    """
+    fin = stdin if stdin is not None else sys.stdin
+    fout = stdout if stdout is not None else sys.stdout
+    server = ScoringServer(service)
+    server._start_background()
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    in_flight: set = set()
+
+    async def respond(raw: bytes) -> None:
+        response = await server._dispatch_line(raw)
+        if response is not None:
+            async with write_lock:
+                fout.write(json.dumps(response) + "\n")
+                fout.flush()
+
+    try:
+        while True:
+            line = await loop.run_in_executor(None, fin.readline)
+            if not line:
+                break
+            stripped = line.strip()
+            if not stripped:
+                continue
+            task = asyncio.create_task(respond(stripped.encode()))
+            in_flight.add(task)
+            task.add_done_callback(in_flight.discard)
+        if in_flight:
+            await asyncio.gather(*in_flight, return_exceptions=True)
+    finally:
+        await server.stop()

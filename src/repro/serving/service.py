@@ -1,0 +1,276 @@
+"""The synchronous scoring core: trackers + registry + micro-batching.
+
+:class:`ScoringService` is the piece every front end shares (the
+in-process :class:`~repro.serving.client.ScoringClient`, the asyncio
+server, the benchmarks).  It is thread-safe — one re-entrant lock
+serializes ingest/flush/sweep — and clock-agnostic: all timing uses the
+injected monotonic clock, so tests can drive time deterministically.
+
+The flush path is where the batching win lives:
+
+1. read the registry snapshot **once** (atomic; the whole batch is
+   scored under exactly one model version — no torn reads);
+2. gather each request's cached feature vector from its tracker
+   (trackers cache the vector until the next event or model swap, so a
+   cascade scored repeatedly between events costs a dict lookup);
+3. stack into one ``(n, d)`` matrix and make a single vectorized
+   :meth:`ViralityPredictor.decision_function` call.
+
+Per-request latency is split into queued time (submit → flush start)
+and the batch's shared compute time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.prediction.features import PAPER_FEATURES
+from repro.serving.batching import (
+    BatchPolicy,
+    LatencyBreakdown,
+    PendingQueue,
+    ScoreRequest,
+    ScoreResult,
+)
+from repro.serving.registry import ModelRegistry, ModelSnapshot
+from repro.serving.tracker import FeatureStore, StoreConfig
+
+__all__ = ["ScoringService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters the service exposes via :meth:`ScoringService.stats`."""
+
+    ingested: int = 0
+    scored: int = 0
+    batches: int = 0
+    unknown: int = 0
+
+
+class ScoringService:
+    """Event-driven virality scorer with micro-batched evaluation."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        feature_set: Sequence[str] = PAPER_FEATURES,
+        store_config: Optional[StoreConfig] = None,
+        policy: Optional[BatchPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self.store = FeatureStore(feature_set, config=store_config, clock=clock)
+        self.queue = PendingQueue(self.policy)
+        self.stats_counters = ServiceStats()
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, cascade_id: str, node: int, t: float) -> bool:
+        """Fold one adoption event into the cascade's tracker.
+
+        Returns ``True`` when the event changed state (``False`` for
+        duplicate adopters).  The cascade is admitted on first sight.
+        """
+        with self._lock:
+            snapshot = self.registry.current()
+            applied = self.store.ingest(cascade_id, node, t, snapshot)
+            if applied:
+                self.stats_counters.ingested += 1
+            return applied
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        cascade_id: str,
+        include_features: bool = False,
+        on_done: Optional[Callable[[ScoreResult], None]] = None,
+    ) -> ScoreRequest:
+        """Queue a score request; it completes at the next flush.
+
+        Raises
+        ------
+        QueueFullError
+            Under ``overflow="reject"`` when the queue is at capacity.
+        """
+        with self._lock:
+            self._next_request_id += 1
+            request = ScoreRequest(
+                cascade_id=cascade_id,
+                request_id=self._next_request_id,
+                enqueued_at=self._clock(),
+                include_features=include_features,
+                on_done=on_done,
+            )
+            self.queue.submit(request)
+            return request
+
+    def submit_many(
+        self, cascade_ids: Sequence[str], include_features: bool = False
+    ) -> List[ScoreRequest]:
+        """Queue a burst of score requests under one lock acquisition.
+
+        Burst arrivals (a poll cycle, a replayed stream segment) pay one
+        lock round-trip and one clock read instead of one per request —
+        this is what the in-process client's ``score_many`` rides.
+        """
+        with self._lock:
+            now = self._clock()
+            rid = self._next_request_id
+            requests = [
+                ScoreRequest(
+                    cascade_id=cid,
+                    request_id=rid + i,
+                    enqueued_at=now,
+                    include_features=include_features,
+                )
+                for i, cid in enumerate(cascade_ids, start=1)
+            ]
+            self._next_request_id = rid + len(requests)
+            self.queue.submit_many(requests)
+            return requests
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self.queue)
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """True when the queue warrants a flush (full batch or aged head)."""
+        with self._lock:
+            return self.queue.due(now if now is not None else self._clock())
+
+    def flush(self) -> List[ScoreResult]:
+        """Score up to ``max_batch`` queued requests in one evaluation."""
+        with self._lock:
+            start = self._clock()
+            batch = self.queue.drain(self.policy.max_batch)
+            if not batch:
+                return []
+            snapshot = self.registry.current()  # one snapshot per batch
+            touch = self.store.touch
+
+            trackers = [touch(r.cascade_id, snapshot) for r in batch]
+            vectors = [t.features(snapshot) if t is not None else None for t in trackers]
+            live = [v for v in vectors if v is not None]
+
+            scores: List[Optional[float]] = []
+            labels: List[Optional[int]] = []
+            if live and snapshot.predictor is not None:
+                margins = snapshot.predictor.decision_function(np.stack(live))
+                scores = margins.tolist()
+                labels = np.where(margins >= 0.0, 1, -1).tolist()
+
+            compute_s = self._clock() - start
+            batch_size = len(batch)
+            version = snapshot.version
+            results: List[ScoreResult] = []
+            n_unknown = 0
+            j = 0  # running index into the live-request score arrays
+            for request, tracker, vec in zip(batch, trackers, vectors):
+                latency = LatencyBreakdown(
+                    queued_s=max(start - request.enqueued_at, 0.0),
+                    compute_s=compute_s,
+                    batch_size=batch_size,
+                )
+                if vec is None:
+                    n_unknown += 1
+                    result = ScoreResult(
+                        cascade_id=request.cascade_id,
+                        request_id=request.request_id,
+                        status="unknown_cascade",
+                        model_version=version,
+                        latency=latency,
+                    )
+                else:
+                    score = label = None
+                    if scores:
+                        score, label = scores[j], labels[j]
+                        j += 1
+                    result = ScoreResult(
+                        cascade_id=request.cascade_id,
+                        request_id=request.request_id,
+                        status="ok",
+                        score=score,
+                        label=label,
+                        n_early=tracker.n_events,
+                        model_version=version,
+                        features=vec if request.include_features else None,
+                        latency=latency,
+                    )
+                results.append(result)
+                request.finish(result)
+            self.stats_counters.unknown += n_unknown
+            self.stats_counters.scored += batch_size - n_unknown
+            self.stats_counters.batches += 1
+            return results
+
+    def score(self, cascade_id: str, include_features: bool = False) -> ScoreResult:
+        """Synchronous one-shot score: submit, then flush until done.
+
+        This is the unbatched baseline path — every call pays the full
+        snapshot + gather + predict cost for a batch of (at least) one.
+        """
+        with self._lock:
+            request = self.submit(cascade_id, include_features=include_features)
+            while request.result is None:
+                self.flush()
+            return request.result
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def sweep(self) -> int:
+        """Expire TTL-stale cascades; returns how many were dropped."""
+        with self._lock:
+            return self.store.sweep()
+
+    def swap_path(self, path: Union[str, "object"]) -> ModelSnapshot:
+        """Hot-swap the model from a filesystem artifact (see registry).
+
+        Model artifacts (npz archives, checkpoints) carry embeddings
+        only, so the currently published predictor is carried forward —
+        swapping in refreshed embeddings must not silently stop scoring.
+        """
+        try:
+            predictor = self.registry.current().predictor
+        except LookupError:
+            predictor = None
+        return self.registry.publish_path(path, predictor=predictor)  # type: ignore[arg-type]
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-friendly dict of service/store/queue state."""
+        with self._lock:
+            try:
+                version = self.registry.current().version
+            except LookupError:
+                version = 0
+            return {
+                "model_version": version,
+                "tracked_cascades": len(self.store),
+                "pending": len(self.queue),
+                "ingested": self.stats_counters.ingested,
+                "scored": self.stats_counters.scored,
+                "batches": self.stats_counters.batches,
+                "unknown": self.stats_counters.unknown,
+                "duplicates": self.store.stats.duplicates,
+                "evictions": self.store.stats.evictions,
+                "expirations": self.store.stats.expirations,
+                "rebuilds": self.store.stats.rebuilds,
+                "shed": self.queue.shed,
+                "rejected": self.queue.rejected,
+            }

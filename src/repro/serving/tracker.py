@@ -1,0 +1,247 @@
+"""Per-cascade incremental feature store: CascadeTracker + FeatureStore.
+
+Each tracked cascade owns an
+:class:`~repro.prediction.features.IncrementalFeatures` engine, which
+folds adoption events in at O(mK) per event (O(m·depth) extra for the
+tree features) and — because the batch :func:`extract_features` *is*
+that engine replayed — stays bit-identical to a batch extraction over
+the same observed prefix at every point in the stream.
+
+The store bounds memory two ways:
+
+* **LRU capacity** — when more than ``capacity`` cascades are tracked,
+  the least recently *touched* (event or score) cascade is evicted.
+* **TTL expiry** — :meth:`FeatureStore.sweep` drops cascades whose last
+  *event* is older than ``ttl`` seconds of service clock (monotonic; the
+  serving layer never reads the wall clock).
+
+Eviction discards the cascade's observed history.  If events for an
+evicted id arrive later (re-admission), tracking restarts from scratch:
+the features then describe the events observed *since re-admission* —
+the well-defined semantics under bounded memory, and exactly what the
+parity property test pins down.
+
+Model hot-swaps are lazy: each tracker remembers the snapshot version
+its state was computed under and rebuilds (replays its event log) the
+first time it is touched under a newer snapshot.  Dormant cascades
+therefore never pay for swaps they don't observe.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.prediction.features import PAPER_FEATURES, IncrementalFeatures
+from repro.serving.registry import ModelSnapshot
+
+__all__ = ["StoreConfig", "StoreStats", "CascadeTracker", "FeatureStore"]
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Memory policy of the feature store.
+
+    Attributes
+    ----------
+    capacity:
+        Max cascades tracked simultaneously (LRU eviction beyond it).
+    ttl:
+        Seconds of event inactivity after which :meth:`FeatureStore.sweep`
+        expires a cascade; ``None`` disables expiry.
+    """
+
+    capacity: int = 100_000
+    ttl: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+
+
+@dataclass
+class StoreStats:
+    """Counters the store accumulates over its lifetime."""
+
+    events: int = 0
+    duplicates: int = 0
+    admissions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    rebuilds: int = 0
+
+
+class CascadeTracker:
+    """One tracked cascade: incremental engine + snapshot bookkeeping."""
+
+    __slots__ = (
+        "cascade_id",
+        "engine",
+        "model_version",
+        "last_event_at",
+        "_cached",
+    )
+
+    def __init__(
+        self,
+        cascade_id: str,
+        engine: IncrementalFeatures,
+        model_version: int,
+        now: float,
+    ) -> None:
+        self.cascade_id = cascade_id
+        self.engine = engine
+        self.model_version = model_version
+        self.last_event_at = now
+        self._cached: Optional[np.ndarray] = None
+
+    @property
+    def n_events(self) -> int:
+        return self.engine.n_events
+
+    def _sync_model(self, snapshot: ModelSnapshot) -> bool:
+        """Rebuild under *snapshot* if the tracker predates it."""
+        if self.model_version == snapshot.version:
+            return False
+        self.engine.rebind(snapshot.model)
+        self.model_version = snapshot.version
+        self._cached = None
+        return True
+
+    def update(self, snapshot: ModelSnapshot, node: int, t: float, now: float) -> bool:
+        """Fold one adoption event in; ``False`` for duplicate adopters."""
+        self._sync_model(snapshot)
+        applied = self.engine.update(node, t)
+        if applied:
+            self._cached = None
+            self.last_event_at = now
+        return applied
+
+    def features(self, snapshot: ModelSnapshot) -> np.ndarray:
+        """Current feature vector under *snapshot* (cached, read-only)."""
+        self._sync_model(snapshot)
+        if self._cached is None:
+            vec = self.engine.features()
+            vec.setflags(write=False)
+            self._cached = vec
+        return self._cached
+
+
+class FeatureStore:
+    """LRU/TTL-bounded mapping ``cascade_id -> CascadeTracker``.
+
+    Not thread-safe on its own — the owning
+    :class:`~repro.serving.service.ScoringService` serializes access.
+    """
+
+    def __init__(
+        self,
+        feature_set: Sequence[str] = PAPER_FEATURES,
+        config: Optional[StoreConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.feature_set = tuple(feature_set)
+        self.config = config if config is not None else StoreConfig()
+        self._clock = clock
+        self._trackers: "OrderedDict[str, CascadeTracker]" = OrderedDict()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._trackers)
+
+    def __contains__(self, cascade_id: str) -> bool:
+        return cascade_id in self._trackers
+
+    def cascade_ids(self) -> List[str]:
+        """Tracked ids, least recently touched first."""
+        return list(self._trackers)
+
+    def get(self, cascade_id: str) -> Optional[CascadeTracker]:
+        """Peek a tracker without touching LRU order."""
+        return self._trackers.get(cascade_id)
+
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, cascade_id: str, node: int, t: float, snapshot: ModelSnapshot) -> bool:
+        """Fold one adoption event in, admitting the cascade if needed.
+
+        Returns ``True`` when the event changed state (``False`` for a
+        duplicate adopter — at-least-once delivery is expected).
+        """
+        now = self._clock()
+        tracker = self._trackers.get(cascade_id)
+        if tracker is None:
+            engine = IncrementalFeatures(snapshot.model, self.feature_set)
+            tracker = CascadeTracker(cascade_id, engine, snapshot.version, now)
+            self._trackers[cascade_id] = tracker
+            self.stats.admissions += 1
+        else:
+            self._trackers.move_to_end(cascade_id)
+        rebuilt_before = tracker.model_version != snapshot.version
+        applied = tracker.update(snapshot, node, t, now)
+        if rebuilt_before:
+            self.stats.rebuilds += 1
+        if applied:
+            self.stats.events += 1
+        else:
+            self.stats.duplicates += 1
+        while len(self._trackers) > self.config.capacity:
+            self._trackers.popitem(last=False)
+            self.stats.evictions += 1
+        return applied
+
+    def touch(self, cascade_id: str, snapshot: ModelSnapshot) -> Optional[CascadeTracker]:
+        """Tracker for scoring: LRU touch + rebuild accounting, one lookup.
+
+        This is the flush hot path — the caller reads the cached feature
+        vector and event count off the returned tracker directly.
+        """
+        tracker = self._trackers.get(cascade_id)
+        if tracker is None:
+            return None
+        self._trackers.move_to_end(cascade_id)
+        if tracker.model_version != snapshot.version:
+            self.stats.rebuilds += 1
+        return tracker
+
+    def features(self, cascade_id: str, snapshot: ModelSnapshot) -> Optional[np.ndarray]:
+        """Feature vector of a tracked cascade, or ``None`` if unknown.
+
+        Touches LRU order (scoring a cascade marks it as live).
+        """
+        tracker = self.touch(cascade_id, snapshot)
+        if tracker is None:
+            return None
+        return tracker.features(snapshot)
+
+    def sweep(self, now: Optional[float] = None) -> int:
+        """Expire cascades whose last event is older than the TTL."""
+        ttl = self.config.ttl
+        if ttl is None:
+            return 0
+        if now is None:
+            now = self._clock()
+        expired = [
+            cid
+            for cid, tracker in self._trackers.items()
+            if now - tracker.last_event_at > ttl
+        ]
+        for cid in expired:
+            del self._trackers[cid]
+        self.stats.expirations += len(expired)
+        return len(expired)
+
+    def drop(self, cascade_id: str) -> bool:
+        """Explicitly forget one cascade (client-driven retirement)."""
+        if cascade_id in self._trackers:
+            del self._trackers[cascade_id]
+            return True
+        return False

@@ -1,0 +1,134 @@
+"""Property-based tests for the serving layer.
+
+The load-bearing property: a :class:`CascadeTracker` fed events one at a
+time is **bit-identical** to batch :func:`extract_features` over the
+observed prefix — after *every* event, for random adoption orders
+(including out-of-order timestamps and duplicate adopters), across both
+feature sets, and through LRU eviction / re-admission.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascades.types import Cascade
+from repro.embedding.model import EmbeddingModel
+from repro.prediction.features import (
+    EXTENDED_FEATURES,
+    PAPER_FEATURES,
+    IncrementalFeatures,
+    extract_features,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.tracker import FeatureStore, StoreConfig
+
+N = 10
+K = 3
+
+
+@st.composite
+def model_strategy(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return EmbeddingModel(rng.uniform(0, 2, (N, K)), rng.uniform(0, 2, (N, K)))
+
+
+@st.composite
+def event_stream(draw, min_size=0, max_size=N):
+    """Adoption events in *arrival* order: distinct nodes, arbitrary
+    (possibly non-monotone) finite timestamps."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    nodes = draw(st.permutations(list(range(N))).map(lambda p: list(p[:size])))
+    times = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return list(zip(nodes, times))
+
+
+class TestStreamedBatchParity:
+    @given(model_strategy(), event_stream(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_after_every_event(self, model, events, extended):
+        feature_set = EXTENDED_FEATURES if extended else PAPER_FEATURES
+        inc = IncrementalFeatures(model, feature_set)
+        seen = []
+        for node, t in events:
+            assert inc.update(node, t)
+            seen.append((node, t))
+            batch = extract_features(
+                model,
+                Cascade([n for n, _ in seen], [tt for _, tt in seen]),
+                feature_set,
+            )
+            streamed = inc.features()
+            assert np.array_equal(streamed, batch), (seen, streamed, batch)
+
+    @given(model_strategy(), event_stream(min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_adopters_do_not_change_state(self, model, events):
+        inc = IncrementalFeatures(model, EXTENDED_FEATURES)
+        for node, t in events:
+            inc.update(node, t)
+        before = inc.features()
+        node0, _ = events[0]
+        assert not inc.update(node0, 2.0)  # at-least-once redelivery
+        assert np.array_equal(inc.features(), before)
+
+    @given(model_strategy(), event_stream(min_size=2))
+    @settings(max_examples=40, deadline=None)
+    def test_rebind_replays_identically(self, model, events):
+        inc = IncrementalFeatures(model, EXTENDED_FEATURES)
+        for node, t in events:
+            inc.update(node, t)
+        before = inc.features()
+        inc.rebind(model)  # same model: a rebuild must change nothing
+        assert np.array_equal(inc.features(), before)
+
+
+class TestStoreParityUnderEviction:
+    @given(
+        model_strategy(),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.integers(min_value=0, max_value=N - 1),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_store_features_match_observed_prefix(self, model, events, capacity):
+        """Under LRU pressure the tracked state is exactly the events
+        observed since (re-)admission — bit-identical to a batch
+        extraction over that suffix, after every single event."""
+        reg = ModelRegistry()
+        snap = reg.publish(model)
+        store = FeatureStore(config=StoreConfig(capacity=capacity))
+        observed = {}  # cid -> [(node, t)] since last (re-)admission
+        for cid, node, t in events:
+            if cid not in store:
+                observed[cid] = []  # fresh or re-admitted: history gone
+            applied = store.ingest(cid, node, t, snap)
+            dup = node in {n for n, _ in observed[cid]}
+            assert applied != dup
+            if applied:
+                observed[cid].append((node, t))
+            # eviction may have dropped other cascades; prune our view
+            observed = {c: ev for c, ev in observed.items() if c in store}
+            assert cid in store  # the cascade just touched is never evicted
+            vec = store.features(cid, snap)
+            batch = extract_features(
+                model,
+                Cascade(
+                    [n for n, _ in observed[cid]],
+                    [tt for _, tt in observed[cid]],
+                ),
+            )
+            assert np.array_equal(vec, batch)

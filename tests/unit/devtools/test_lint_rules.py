@@ -1,4 +1,4 @@
-"""Per-rule good/bad fixtures for the REP001–REP007 lint rules.
+"""Per-rule good/bad fixtures for the REP001–REP008 lint rules.
 
 Each rule gets a bad snippet (must fire, with the right rule id) and a
 good snippet (must stay silent), exercised through ``lint_source`` so the
@@ -30,7 +30,7 @@ class TestRuleTable:
         assert ids == sorted(ids)
         assert set(ids) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007",
+            "REP007", "REP008",
         }
 
     def test_rule_table_schema(self):
@@ -320,6 +320,101 @@ class TestREP007UfuncAtScatter:
         src = (
             "import numpy as np\n"
             "np.add.at(acc, idx, w)  # repro: noqa[REP007] oracle scatter\n"
+        )
+        violations, n_suppressed = run_lint(src)
+        assert violations == []
+        assert n_suppressed == 1
+
+
+class TestREP008BlockingCallInAsync:
+    def test_time_sleep_in_async_flagged(self):
+        bad = """
+        import time
+        async def handler():
+            time.sleep(0.1)
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP008"]
+
+    def test_subprocess_and_socket_flagged(self):
+        bad = """
+        import socket
+        import subprocess
+        async def handler():
+            subprocess.run(["ls"])
+            socket.create_connection(("localhost", 80))
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP008", "REP008"]
+
+    def test_non_awaited_wait_flagged(self):
+        bad = """
+        async def handler(ev):
+            ev.wait()
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP008"]
+
+    def test_wait_under_await_expression_allowed(self):
+        good = """
+        import asyncio
+        async def handler(ev):
+            await asyncio.wait_for(ev.wait(), timeout=0.5)
+            await asyncio.sleep(0.1)
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_asyncio_wait_not_flagged(self):
+        good = """
+        import asyncio
+        async def handler(tasks):
+            done, pending = await asyncio.wait(tasks)
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_sync_function_not_flagged(self):
+        good = """
+        import time
+        def retry_backoff():
+            time.sleep(0.1)
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_nested_sync_def_is_executor_target(self):
+        good = """
+        import time
+        async def handler(loop):
+            def blocking_io():
+                time.sleep(1.0)
+            await loop.run_in_executor(None, blocking_io)
+        """
+        violations, _ = run_lint(good)
+        assert violations == []
+
+    def test_nested_async_def_still_checked(self):
+        bad = """
+        import time
+        async def outer():
+            async def inner():
+                time.sleep(0.1)
+            await inner()
+        """
+        violations, _ = run_lint(bad)
+        assert rule_ids(violations) == ["REP008"]
+
+    def test_bench_modules_sanctioned(self):
+        bad = "import time\nasync def drive():\n    time.sleep(0.5)\n"
+        violations, _ = run_lint(bad, path="src/repro/bench/async_driver.py")
+        assert violations == []
+
+    def test_noqa_suppression(self):
+        src = (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(0.1)  # repro: noqa[REP008] simulated stall\n"
         )
         violations, n_suppressed = run_lint(src)
         assert violations == []

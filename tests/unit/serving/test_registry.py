@@ -1,0 +1,166 @@
+"""Unit tests for the hot-swappable model registry.
+
+The swap-storm test is the acceptance gate for the "no torn read"
+contract: concurrent publishers hammer the registry while reader
+threads verify every snapshot they grab is internally consistent.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.online import OnlineEmbeddingInference
+from repro.prediction.pipeline import PredictionDataset, ViralityPredictor
+from repro.serving.registry import ModelRegistry, model_fingerprint
+
+
+def make_model(seed, n=20, k=3):
+    rng = np.random.default_rng(seed)
+    return EmbeddingModel(rng.uniform(0, 1, (n, k)), rng.uniform(0, 1, (n, k)))
+
+
+class TestPublish:
+    def test_empty_registry_raises(self):
+        with pytest.raises(LookupError):
+            ModelRegistry().current()
+
+    def test_versions_monotone(self):
+        reg = ModelRegistry()
+        snaps = [reg.publish(make_model(i)) for i in range(5)]
+        assert [s.version for s in snaps] == [1, 2, 3, 4, 5]
+        assert reg.current() is snaps[-1]
+        assert reg.n_published == 5
+
+    def test_snapshot_is_deep_copy_and_frozen(self):
+        reg = ModelRegistry()
+        model = make_model(0)
+        snap = reg.publish(model)
+        model.A[:] = 0.0  # mutate the source after publish
+        assert not np.all(snap.model.A == 0.0)
+        with pytest.raises(ValueError):
+            snap.model.A[0, 0] = 1.0
+
+    def test_fingerprint_tracks_content(self):
+        m1, m2 = make_model(0), make_model(1)
+        assert model_fingerprint(m1) == model_fingerprint(m1)
+        assert model_fingerprint(m1) != model_fingerprint(m2)
+
+    def test_history_bounded(self):
+        reg = ModelRegistry()
+        for i in range(ModelRegistry.HISTORY_LIMIT + 10):
+            reg.publish(make_model(i))
+        hist = reg.history()
+        assert len(hist) == ModelRegistry.HISTORY_LIMIT
+        assert hist[-1][0] == reg.current().version
+
+    def test_predictor_deep_copied(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 3))
+        sizes = np.where(X[:, 0] > 0, 20, 2).astype(np.int64)
+        ds = PredictionDataset(X=X, final_sizes=sizes, feature_names=("a", "b", "c"))
+        pred = ViralityPredictor(threshold=10, seed=0).fit(ds)
+        snap = ModelRegistry().publish(make_model(0), predictor=pred)
+        before = snap.predictor.decision_function(X[:5]).copy()
+        pred._svm.w[:] = 0.0  # mutate the source predictor
+        assert np.array_equal(snap.predictor.decision_function(X[:5]), before)
+
+
+class TestPublishPath:
+    def test_npz_roundtrip(self, tmp_path):
+        model = make_model(0)
+        p = tmp_path / "model.npz"
+        model.save(p)
+        snap = ModelRegistry().publish_path(p)
+        assert np.array_equal(snap.model.A, model.A)
+        assert snap.source.startswith("npz:")
+
+    def test_checkpoint_directory(self, tmp_path):
+        from repro.parallel.checkpoint import CheckpointManager
+
+        model = make_model(1)
+        mgr = CheckpointManager(tmp_path / "ck")
+        mgr.save(2, model.A, model.B, digest="d")
+        snap = ModelRegistry().publish_path(tmp_path / "ck")
+        assert np.array_equal(snap.model.A, model.A)
+        assert np.array_equal(snap.model.B, model.B)
+        assert snap.source.startswith("checkpoint:")
+
+    def test_checkpoint_file(self, tmp_path):
+        from repro.parallel.checkpoint import CheckpointManager
+
+        model = make_model(2)
+        mgr = CheckpointManager(tmp_path / "ck")
+        mgr.save(0, model.A, model.B, digest="d")
+        (archive,) = list((tmp_path / "ck").glob("*.npz"))
+        snap = ModelRegistry().publish_path(archive)
+        assert np.array_equal(snap.model.B, model.B)
+        assert snap.source.startswith("checkpoint:")
+
+    def test_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry().publish_path(tmp_path / "nope.npz")
+
+    def test_wrong_archive(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        np.savez(p, x=np.arange(3))
+        with pytest.raises(ValueError, match="need A, B"):
+            ModelRegistry().publish_path(p)
+
+
+class TestPublishOnline:
+    def test_snapshot_of_live_estimator(self):
+        online = OnlineEmbeddingInference(20, 3, seed=0)
+        reg = ModelRegistry()
+        snap = reg.publish_online(online)
+        before = snap.model.A.copy()
+        online.model.A[:] += 1.0  # estimator keeps training
+        assert np.array_equal(snap.model.A, before)
+        assert snap.source == "online:t=0"
+
+
+class TestSwapStorm:
+    def test_readers_never_see_torn_snapshots(self):
+        """Publishers storm the registry; readers assert every snapshot
+        they grab is internally consistent (content matches its own
+        fingerprint — a torn A/B pair or half-applied swap would not)."""
+        # Pre-verify fingerprints so readers do pure comparisons.
+        models = [make_model(seed) for seed in range(8)]
+        expected = {model_fingerprint(m): m for m in models}
+        reg = ModelRegistry()
+        reg.publish(models[0])
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            last_version = 0
+            while not stop.is_set():
+                snap = reg.current()
+                if snap.version < last_version:
+                    failures.append("version went backwards")
+                    return
+                last_version = snap.version
+                ref = expected.get(snap.fingerprint)
+                if ref is None or not (
+                    np.array_equal(snap.model.A, ref.A)
+                    and np.array_equal(snap.model.B, ref.B)
+                ):
+                    failures.append(f"torn snapshot at v{snap.version}")
+                    return
+
+        def publisher(offset):
+            for i in range(50):
+                reg.publish(models[(offset + i) % len(models)])
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        publishers = [threading.Thread(target=publisher, args=(o,)) for o in range(3)]
+        for t in readers + publishers:
+            t.start()
+        for t in publishers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert failures == []
+        assert reg.n_published == 1 + 3 * 50

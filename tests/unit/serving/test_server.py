@@ -1,0 +1,215 @@
+"""End-to-end tests for the newline-JSON asyncio front end."""
+
+import asyncio
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.embedding.model import EmbeddingModel
+from repro.serving.batching import BatchPolicy
+from repro.serving.registry import ModelRegistry
+from repro.serving.server import ScoringServer, build_service, serve_stdio
+from repro.serving.service import ScoringService
+
+
+def make_model(seed, n=30, k=3):
+    rng = np.random.default_rng(seed)
+    return EmbeddingModel(rng.uniform(0, 1, (n, k)), rng.uniform(0, 1, (n, k)))
+
+
+def make_service(max_batch=4, max_delay=0.002):
+    reg = ModelRegistry()
+    reg.publish(make_model(0))
+    return ScoringService(
+        reg, policy=BatchPolicy(max_batch=max_batch, max_delay=max_delay)
+    )
+
+
+async def run_session(service, requests):
+    """Start a server, send *requests*, return one response per request."""
+    server = ScoringServer(service)
+    await server.start()
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        for obj in requests:
+            writer.write(json.dumps(obj).encode() + b"\n")
+        await writer.drain()
+        responses = []
+        for _ in requests:
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            responses.append(json.loads(line))
+        writer.close()
+        await writer.wait_closed()
+        return responses
+    finally:
+        await server.stop()
+
+
+class TestTCPServer:
+    def test_ping_and_event(self):
+        service = make_service()
+        responses = asyncio.run(
+            run_session(
+                service,
+                [
+                    {"op": "ping", "id": 1},
+                    {"op": "event", "cascade": "c", "node": 3, "t": 0.0},
+                    {"op": "event", "cascade": "c", "node": 3, "t": 0.5},
+                ],
+            )
+        )
+        assert responses[0] == {"ok": True, "pong": True, "id": 1}
+        assert responses[1]["applied"] is True
+        assert responses[2]["applied"] is False  # duplicate adopter
+
+    def test_pipelined_scores_coalesce_into_one_batch(self):
+        service = make_service(max_batch=4, max_delay=0.5)
+        requests = [{"op": "event", "cascade": "c", "node": 3, "t": 0.0}]
+        requests += [{"op": "score", "cascade": "c", "id": i} for i in range(4)]
+        responses = asyncio.run(run_session(service, requests))
+        scores = [r for r in responses if "status" in r]
+        assert len(scores) == 4
+        # a full batch flushes on the wake signal, not the 500ms timer,
+        # and all four land in the same evaluation
+        assert all(r["latency_ms"]["batch_size"] == 4 for r in scores)
+        assert sorted(r["id"] for r in scores) == [0, 1, 2, 3]
+
+    def test_partial_batch_flushes_on_delay(self):
+        service = make_service(max_batch=64, max_delay=0.005)
+        responses = asyncio.run(
+            run_session(
+                service,
+                [
+                    {"op": "event", "cascade": "c", "node": 3, "t": 0.0},
+                    {"op": "score", "cascade": "c", "id": 7},
+                ],
+            )
+        )
+        score = next(r for r in responses if "status" in r)
+        assert score["status"] == "ok" and score["id"] == 7
+        assert score["latency_ms"]["batch_size"] == 1
+
+    def test_unknown_cascade_and_bad_requests(self):
+        service = make_service()
+        responses = asyncio.run(
+            run_session(
+                service,
+                [
+                    {"op": "score", "cascade": "ghost", "id": 1},
+                    {"op": "warp", "id": 2},
+                    {"op": "event", "cascade": "c"},  # missing node/t
+                ],
+            )
+        )
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id[1]["status"] == "unknown_cascade"
+        assert by_id[2]["ok"] is False and "unknown op" in by_id[2]["error"]
+        bad = next(r for r in responses if r.get("id") is None)
+        assert bad["ok"] is False
+
+    def test_malformed_json_reported(self):
+        async def scenario():
+            service = make_service()
+            server = ScoringServer(service)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                resp = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+                writer.close()
+                await writer.wait_closed()
+                return resp
+            finally:
+                await server.stop()
+
+        resp = asyncio.run(scenario())
+        assert resp["ok"] is False and "bad json" in resp["error"]
+
+    def test_swap_and_stats_ops(self, tmp_path):
+        model2 = make_model(1)
+        p = tmp_path / "next.npz"
+        model2.save(p)
+        service = make_service()
+        responses = asyncio.run(
+            run_session(
+                service,
+                [
+                    {"op": "event", "cascade": "c", "node": 3, "t": 0.0},
+                    {"op": "swap", "path": str(p), "id": 1},
+                    {"op": "score", "cascade": "c", "id": 2},
+                    {"op": "stats", "id": 3},
+                ],
+            )
+        )
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id[1]["ok"] is True and by_id[1]["model_version"] == 2
+        assert by_id[2]["model_version"] == 2  # scored under the new model
+        assert by_id[3]["stats"]["model_version"] == 2
+
+    def test_score_with_features(self):
+        service = make_service()
+        responses = asyncio.run(
+            run_session(
+                service,
+                [
+                    {"op": "event", "cascade": "c", "node": 3, "t": 0.0},
+                    {"op": "score", "cascade": "c", "features": True, "id": 1},
+                ],
+            )
+        )
+        score = next(r for r in responses if r.get("id") == 1)
+        assert len(score["features"]) == 3  # the paper feature set
+
+
+class TestStdioServer:
+    def test_stdio_roundtrip(self):
+        service = make_service()
+        lines = [
+            {"op": "event", "cascade": "c", "node": 3, "t": 0.0},
+            {"op": "score", "cascade": "c", "id": 1},
+            {"op": "stats", "id": 2},
+        ]
+        fin = io.StringIO("".join(json.dumps(o) + "\n" for o in lines))
+        fout = io.StringIO()
+        asyncio.run(serve_stdio(service, stdin=fin, stdout=fout))
+        responses = [json.loads(x) for x in fout.getvalue().splitlines()]
+        assert len(responses) == 3
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id[1]["status"] == "ok"
+        # stats may have run before the deferred score flushed; the
+        # ingest, though, is synchronous and must already be counted
+        assert by_id[2]["stats"]["ingested"] == 1
+
+
+class TestBuildService:
+    def test_from_artifacts(self, tmp_path):
+        model = make_model(0)
+        mp = tmp_path / "model.npz"
+        model.save(mp)
+        service = build_service(
+            str(mp), max_batch=16, max_delay=0.01, capacity=100, ttl=60.0
+        )
+        assert service.policy.max_batch == 16
+        assert service.store.config.ttl == pytest.approx(60.0)
+        assert service.registry.current().predictor is None
+
+    def test_with_predictor(self, tmp_path):
+        from repro.prediction.pipeline import PredictionDataset, ViralityPredictor
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+        sizes = np.where(X[:, 0] > 0, 30, 3).astype(np.int64)
+        ds = PredictionDataset(X=X, final_sizes=sizes, feature_names=tuple("xyz"))
+        pred = ViralityPredictor(threshold=10, seed=0).fit(ds)
+        mp, pp = tmp_path / "model.npz", tmp_path / "svm.npz"
+        make_model(0).save(mp)
+        pred.save(pp)
+        service = build_service(str(mp), predictor_path=str(pp))
+        service.ingest("c", 3, 0.0)
+        result = service.score("c")
+        assert result.ok and result.score is not None

@@ -1,0 +1,184 @@
+"""Unit tests for the per-cascade incremental feature store."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.types import Cascade
+from repro.embedding.model import EmbeddingModel
+from repro.prediction.features import EXTENDED_FEATURES, extract_features
+from repro.serving.registry import ModelRegistry
+from repro.serving.tracker import FeatureStore, StoreConfig
+
+
+@pytest.fixture
+def registry():
+    rng = np.random.default_rng(0)
+    reg = ModelRegistry()
+    reg.publish(EmbeddingModel(rng.uniform(0, 1, (40, 4)), rng.uniform(0, 1, (40, 4))))
+    return reg
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestStoreConfig:
+    def test_defaults_valid(self):
+        StoreConfig()
+
+    @pytest.mark.parametrize("kwargs", [{"capacity": 0}, {"ttl": 0.0}, {"ttl": -1.0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StoreConfig(**kwargs)
+
+
+class TestIngestAndFeatures:
+    def test_features_match_batch_extraction(self, registry):
+        store = FeatureStore()
+        snap = registry.current()
+        events = [(3, 0.0), (7, 0.2), (12, 0.5), (1, 0.9)]
+        for node, t in events:
+            assert store.ingest("c", node, t, snap)
+        vec = store.features("c", snap)
+        batch = extract_features(
+            snap.model,
+            Cascade([n for n, _ in events], [t for _, t in events]),
+        )
+        assert np.array_equal(vec, batch)
+
+    def test_unknown_cascade_returns_none(self, registry):
+        store = FeatureStore()
+        assert store.features("nope", registry.current()) is None
+
+    def test_duplicate_adopter_ignored(self, registry):
+        store = FeatureStore()
+        snap = registry.current()
+        assert store.ingest("c", 3, 0.0, snap)
+        assert not store.ingest("c", 3, 0.7, snap)
+        assert store.stats.duplicates == 1
+        assert store.get("c").n_events == 1
+
+    def test_cached_vector_invalidated_on_update(self, registry):
+        store = FeatureStore()
+        snap = registry.current()
+        store.ingest("c", 3, 0.0, snap)
+        v1 = store.features("c", snap)
+        assert store.features("c", snap) is v1  # cached object reused
+        store.ingest("c", 7, 0.2, snap)
+        v2 = store.features("c", snap)
+        assert v2 is not v1
+        assert not np.array_equal(v1, v2)
+
+    def test_feature_vector_read_only(self, registry):
+        store = FeatureStore()
+        snap = registry.current()
+        store.ingest("c", 3, 0.0, snap)
+        vec = store.features("c", snap)
+        with pytest.raises(ValueError):
+            vec[0] = 99.0
+
+
+class TestLRUEviction:
+    def test_capacity_bound_evicts_lru(self, registry):
+        store = FeatureStore(config=StoreConfig(capacity=3))
+        snap = registry.current()
+        for i, cid in enumerate(["a", "b", "c"]):
+            store.ingest(cid, i, 0.1 * i, snap)
+        store.features("a", snap)  # touch "a": "b" becomes LRU
+        store.ingest("d", 9, 1.0, snap)
+        assert "b" not in store
+        assert all(cid in store for cid in ("a", "c", "d"))
+        assert store.stats.evictions == 1
+
+    def test_readmission_starts_fresh(self, registry):
+        store = FeatureStore(config=StoreConfig(capacity=1))
+        snap = registry.current()
+        store.ingest("a", 3, 0.0, snap)
+        store.ingest("a", 7, 0.1, snap)
+        store.ingest("b", 1, 0.2, snap)  # evicts "a"
+        assert "a" not in store
+        store.ingest("a", 5, 1.0, snap)  # re-admitted
+        tracker = store.get("a")
+        assert tracker.n_events == 1  # prior history is gone
+        vec = store.features("a", snap)
+        batch = extract_features(snap.model, Cascade([5], [1.0]))
+        assert np.array_equal(vec, batch)
+
+
+class TestTTLExpiry:
+    def test_sweep_expires_idle_cascades(self, registry):
+        clock = FakeClock()
+        store = FeatureStore(config=StoreConfig(ttl=10.0), clock=clock)
+        snap = registry.current()
+        store.ingest("old", 1, 0.0, snap)
+        clock.now = 8.0
+        store.ingest("young", 2, 0.1, snap)
+        clock.now = 15.0
+        assert store.sweep() == 1
+        assert "old" not in store and "young" in store
+        assert store.stats.expirations == 1
+
+    def test_sweep_without_ttl_is_noop(self, registry):
+        store = FeatureStore()
+        store.ingest("c", 1, 0.0, registry.current())
+        assert store.sweep() == 0
+        assert "c" in store
+
+    def test_event_refreshes_ttl(self, registry):
+        clock = FakeClock()
+        store = FeatureStore(config=StoreConfig(ttl=10.0), clock=clock)
+        snap = registry.current()
+        store.ingest("c", 1, 0.0, snap)
+        clock.now = 9.0
+        store.ingest("c", 2, 0.5, snap)  # refreshes last_event_at
+        clock.now = 15.0
+        assert store.sweep() == 0
+        assert "c" in store
+
+
+class TestModelSwap:
+    def test_lazy_rebuild_on_new_version(self, registry):
+        store = FeatureStore()
+        snap1 = registry.current()
+        store.ingest("c", 3, 0.0, snap1)
+        store.ingest("c", 7, 0.2, snap1)
+        rng = np.random.default_rng(9)
+        snap2 = registry.publish(
+            EmbeddingModel(rng.uniform(0, 1, (40, 4)), rng.uniform(0, 1, (40, 4)))
+        )
+        vec = store.features("c", snap2)
+        assert store.get("c").model_version == snap2.version
+        batch = extract_features(snap2.model, Cascade([3, 7], [0.0, 0.2]))
+        assert np.array_equal(vec, batch)
+        assert store.stats.rebuilds == 1
+
+    def test_extended_features_survive_swap(self, registry):
+        store = FeatureStore(feature_set=EXTENDED_FEATURES)
+        snap1 = registry.current()
+        for node, t in [(3, 0.0), (7, 0.2), (12, 0.5)]:
+            store.ingest("c", node, t, snap1)
+        rng = np.random.default_rng(10)
+        snap2 = registry.publish(
+            EmbeddingModel(rng.uniform(0, 1, (40, 4)), rng.uniform(0, 1, (40, 4)))
+        )
+        store.ingest("c", 1, 0.9, snap2)  # swap applied mid-stream
+        vec = store.features("c", snap2)
+        batch = extract_features(
+            snap2.model,
+            Cascade([3, 7, 12, 1], [0.0, 0.2, 0.5, 0.9]),
+            EXTENDED_FEATURES,
+        )
+        assert np.array_equal(vec, batch)
+
+
+class TestDrop:
+    def test_drop_forgets(self, registry):
+        store = FeatureStore()
+        store.ingest("c", 1, 0.0, registry.current())
+        assert store.drop("c")
+        assert "c" not in store
+        assert not store.drop("c")

@@ -128,6 +128,57 @@ class TestInferPredict:
         assert "speedup" in out and "merge tree" in out
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.command == "serve"
+        assert args.max_batch == 64
+        assert args.max_delay == pytest.approx(0.005)
+        assert args.overflow == "reject"
+        assert args.ttl is None
+        assert not args.stdio
+
+    def test_serve_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "--model", "m.npz", "--predictor", "p.npz",
+                "--features", "extended", "--stdio", "--max-batch", "16",
+                "--max-delay", "0.02", "--max-pending", "256",
+                "--overflow", "shed_oldest", "--capacity", "500", "--ttl", "30",
+            ]
+        )
+        assert args.features == "extended"
+        assert args.stdio and args.max_batch == 16
+        assert args.overflow == "shed_oldest"
+        assert args.ttl == pytest.approx(30.0)
+
+    def test_serve_stdio_end_to_end(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        from repro.cli import main
+
+        m = EmbeddingModel.random(10, 2, seed=1)
+        mp = tmp_path / "m.npz"
+        m.save(mp)
+        lines = [
+            {"op": "event", "cascade": "c", "node": 1, "t": 0.0},
+            {"op": "score", "cascade": "c", "id": 1},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(json.dumps(o) + "\n" for o in lines))
+        )
+        rc = main(["serve", "--model", str(mp), "--stdio", "--max-delay", "0.001"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        responses = [json.loads(x) for x in out.splitlines()]
+        assert any(r.get("id") == 1 and r["status"] == "ok" for r in responses)
+
+
 class TestModelPersistence:
     def test_save_load_roundtrip(self, tmp_path):
         m = EmbeddingModel.random(7, 3, seed=5)

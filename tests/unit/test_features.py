@@ -47,6 +47,33 @@ class TestPaperFeatures:
         f = extract_features(model, Cascade([], []), PAPER_FEATURES)
         assert np.all(f == 0)
 
+    def test_empty_prefix_extended_all_zero(self, model):
+        f = extract_features(model, Cascade([], []), EXTENDED_FEATURES)
+        assert f.shape == (len(EXTENDED_FEATURES),)
+        assert f.dtype == np.float64
+        assert np.all(f == 0)
+
+    def test_singleton_prefix_paper_features(self, model):
+        """m=1: pairwise diversities are 0 by convention, aggregates are
+        the single adopter's own row."""
+        f = extract_features(model, Cascade([2], [0.0]), PAPER_FEATURES)
+        named = dict(zip(PAPER_FEATURES, f))
+        assert named["diverA"] == 0.0
+        assert named["normA"] == pytest.approx(np.linalg.norm(model.A[2]))
+        assert named["maxA"] == pytest.approx(model.A[2].max())
+
+    def test_singleton_prefix_extended_features(self, model):
+        f = extract_features(model, Cascade([2], [0.0]), EXTENDED_FEATURES)
+        named = dict(zip(EXTENDED_FEATURES, f))
+        # pairwise / structural quantities are identically zero at m=1
+        assert named["diverA"] == 0.0
+        assert named["diverB"] == 0.0
+        assert named["sviral"] == 0.0
+        assert named["depth"] == 0.0  # the root sits at depth 0
+        assert named["breadth"] == 1.0  # one node at depth 0
+        assert named["normB"] == pytest.approx(np.linalg.norm(model.B[2]))
+        assert named["maxB"] == pytest.approx(model.B[2].max())
+
     def test_feature_order_matches_request(self, model):
         early = Cascade([0, 1], [0.0, 0.1])
         f1 = extract_features(model, early, ["normA", "maxA"])

@@ -66,6 +66,25 @@ class TestPartialFit:
         online.partial_fit([])
         assert online.model == before
 
+    def test_empty_batch_is_transparent(self, stream):
+        """partial_fit([]) leaves the estimator bit-identical to not
+        having called it: no counter advance, no RNG draws — the next
+        real batch produces exactly the same model either way."""
+        batch = list(stream)[:10]
+        plain = OnlineEmbeddingInference(60, 3, seed=11)
+        ticked = OnlineEmbeddingInference(60, 3, seed=11)
+        for _ in range(5):
+            ticked.partial_fit([])  # idle stream ticks
+        assert ticked.t == 0
+        assert (
+            ticked._rng.bit_generator.state == plain._rng.bit_generator.state
+        )
+        plain.partial_fit(batch)
+        ticked.partial_fit(batch)
+        assert ticked.t == plain.t
+        assert np.array_equal(ticked.model.A, plain.model.A)
+        assert np.array_equal(ticked.model.B, plain.model.B)
+
     def test_singleton_cascades_skipped(self):
         online = OnlineEmbeddingInference(4, 2, seed=7)
         before = online.model.copy()
