@@ -50,7 +50,8 @@ bench-dispatch:
 bench-kernel:
 	$(PYTHON) -m pytest -x -q benchmarks/test_perf_kernel.py
 
-## scoring-service benchmark (micro-batched vs one-at-a-time, ingest rate,
-## latency percentiles); writes BENCH_serving.json
+## scoring-service benchmark (micro-batched vs one-at-a-time scoring,
+## burst vs scalar ingest, flush allocation audit, latency percentiles);
+## writes BENCH_serving.json
 bench-serving:
 	$(PYTHON) -m pytest -x -q benchmarks/test_perf_serving.py

@@ -61,15 +61,20 @@ def main() -> None:
 
     print("\n=== 3. Stream each held-out cascade's early adopters, then score")
     # The service sees exactly what an online monitor would: the events
-    # inside the early window, one at a time, in arrival order.
+    # inside the early window, in arrival order.  Each cascade's prefix
+    # is already struct-of-arrays (node column + time column), so it
+    # goes down the columnar burst path — one vectorized fold per
+    # cascade, no per-event tuple boxing.
     cascade_ids = []
     for i, cascade in enumerate(exp.test):
         cid = f"event-{i}"
         cascade_ids.append(cid)
         cutoff = cascade.times[0] + exp.early_fraction * exp.window
         prefix = cascade.prefix_by_time(cutoff)
-        client.ingest_many(
-            [(cid, int(node), float(t)) for node, t in zip(prefix.nodes, prefix.times)]
+        client.ingest_columns(
+            [cid] * len(prefix.nodes),
+            np.asarray(prefix.nodes),
+            np.asarray(prefix.times),
         )
     results = client.score_many(cascade_ids)
     stats = service.stats()

@@ -23,11 +23,31 @@ is the *left fold in adoption order* (not numpy's pairwise ``sum``), and
 matrix).  Both are mathematically the quantities of Eq. 17–19; only the
 float rounding path is pinned down so that two implementations can agree
 bit-for-bit.
+
+Batched folding
+---------------
+:meth:`IncrementalFeatures.update_many` folds a *burst* of events for
+one cascade in a handful of vectorized calls instead of one python
+round-trip per event — the kernel the serving layer's
+``FeatureStore.ingest_many`` drives.  Bit-identity with the scalar path
+holds because every primitive is chosen to be *block-stable*:
+
+* history dot products go through :func:`_hist_dots` (numpy's einsum
+  core, whose per-element contraction over ``k`` is identical whether
+  the output is a vector or a block — unlike BLAS, whose gemv and gemm
+  kernels round differently);
+* squared row norms go through :func:`_row_sq_norms`, the batched twin
+  of :func:`_row_sq_norm` (same einsum core);
+* the running ``sum`` is folded with a row-prepended ``np.cumsum``,
+  which numpy evaluates as a strict sequential scan — exactly the
+  per-event left fold;
+* ``diver*``'s running max commutes with batching (max is exact).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import threading
+from typing import AbstractSet, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -61,6 +81,57 @@ EXTENDED_FEATURES: Tuple[str, ...] = (
 #: initial per-cascade buffer capacity (doubled on demand)
 _INIT_CAPACITY = 8
 
+#: max events folded per vectorized append; larger bursts run as
+#: sequential sub-folds (bit-identical — see ``_append_many``).  128
+#: keeps a ~100-event serving burst in a single fold (halving the
+#: fixed per-fold cost vs 64) while the pair-distance temporaries
+#: (``history × chunk`` doubles) still fit comfortably in L2.
+_FOLD_CHUNK = 128
+
+#: shared 0..chunk index ramp (read-only; sliced per fold)
+_CHUNK_ARANGE = np.arange(_FOLD_CHUNK)
+
+#: largest pair-matrix scratch retained between folds (in doubles);
+#: pathological history×chunk shapes beyond this fall back to fresh
+#: temporaries rather than pinning tens of megabytes per thread
+_PAIR_SCRATCH_MAX = 1 << 20
+
+
+class _FoldScratch(threading.local):
+    """Reusable per-thread buffers for the vectorized fold temporaries.
+
+    One fold fully writes and fully consumes its temporaries before
+    returning, so every engine on a thread can share one set — the
+    serving store tracks thousands of cascades and per-engine scratch
+    would multiply, while per-fold ``np.empty`` calls put two
+    ``history × chunk`` mallocs on the hot path.  Thread-locality keeps
+    concurrent services from racing on the buffers.
+    """
+
+    def __init__(self) -> None:
+        self.pair = np.empty(0)
+        self.fold = np.empty((0, 0))
+
+    def pair_views(self, end: int, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Two ``(end, j)`` work matrices (dot block, distance block)."""
+        need = 2 * end * j
+        if self.pair.shape[0] < need:
+            self.pair = np.empty(need)
+        half = end * j
+        return (
+            self.pair[:half].reshape(end, j),
+            self.pair[half:need].reshape(end, j),
+        )
+
+    def fold_view(self, j: int, n_topics: int) -> np.ndarray:
+        """A ``(j + 1, n_topics)`` matrix for the cumsum scan."""
+        if self.fold.shape[0] < j + 1 or self.fold.shape[1] != n_topics:
+            self.fold = np.empty((max(j + 1, _FOLD_CHUNK + 1), n_topics))
+        return self.fold[: j + 1]
+
+
+_scratch = _FoldScratch()
+
 
 def _row_sq_norm(v: np.ndarray) -> float:
     """Squared Euclidean norm of one embedding row, the canonical way.
@@ -69,6 +140,40 @@ def _row_sq_norm(v: np.ndarray) -> float:
     this single call so the bits can never diverge.
     """
     return float(np.einsum("k,k->", v, v))
+
+
+def _row_sq_norms(
+    rows: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Squared norms of many rows at once, bit-identical per row to
+    :func:`_row_sq_norm` (same einsum sum-of-products core, contraction
+    over the same axis — the outer dimension only changes the stride
+    walk, not the per-element arithmetic).  ``out`` only redirects where
+    the identical results land."""
+    if out is not None:
+        return np.einsum("ik,ik->i", rows, rows, out=out)
+    return np.einsum("ik,ik->i", rows, rows)
+
+
+def _hist_dots(
+    history: np.ndarray,
+    new_rows: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Dot products of every history row against every new row.
+
+    ``(c, K) × (j, K) → (c, j)`` — THE canonical contraction of the
+    ``diver*`` update.  Evaluated through numpy's einsum core rather
+    than BLAS: einsum contracts over ``k`` with the same inner loop for
+    any output shape, so one block call over ``j`` new rows produces
+    bit-for-bit the columns a per-event vector call would (BLAS does
+    not give that guarantee — its gemv and gemm micro-kernels accumulate
+    in different orders).  ``out`` (a preallocated ``(c, j)`` buffer)
+    only changes where the bits land, never what they are.
+    """
+    if out is not None:
+        return np.einsum("ck,jk->cj", history, new_rows, out=out)
+    return np.einsum("ck,jk->cj", history, new_rows)
 
 
 class _SideState:
@@ -80,7 +185,14 @@ class _SideState:
     ``norm*``/``max*`` are.
     """
 
-    __slots__ = ("need_diver", "need_sum", "V", "sq", "d2max", "vec_sum")
+    __slots__ = (
+        "need_diver",
+        "need_sum",
+        "V",
+        "sq",
+        "d2max",
+        "vec_sum",
+    )
 
     def __init__(self, n_topics: int, need_diver: bool, need_sum: bool) -> None:
         self.need_diver = need_diver
@@ -105,24 +217,85 @@ class _SideState:
             sq[: self.sq.shape[0]] = self.sq
             self.sq = sq
 
+    def reset(self) -> None:
+        """Forget all folded state but keep the grown buffers (the slot
+        pool in the serving store recycles side states across cascade
+        incarnations; re-admission must not re-allocate)."""
+        self.d2max = float("-inf")
+        if self.vec_sum is not None:
+            self.vec_sum.fill(0.0)
+
     def append(self, i: int, row: np.ndarray) -> None:
         """Fold adopter *i*'s embedding row into the running state.
 
         The ``diver`` update is the O(mK) step: squared distances of the
-        new adopter against every previous one via one mat-vec, folded
-        into the running max (max is order-independent, so the running
-        fold equals the batch max bit-for-bit).
+        new adopter against every previous one via one :func:`_hist_dots`
+        call, folded into the running max (max is order-independent, so
+        the running fold equals the batch max bit-for-bit).
         """
         if self.V is not None and self.sq is not None:
             self.V[i] = row
             sq_new = _row_sq_norm(self.V[i])
             self.sq[i] = sq_new
             if i >= 1:
-                d2 = self.sq[:i] + sq_new - 2.0 * (self.V[:i] @ self.V[i])
+                dots = _hist_dots(self.V[:i], self.V[i : i + 1])[:, 0]
+                d2 = self.sq[:i] + sq_new - 2.0 * dots
                 self.d2max = max(self.d2max, float(d2.max()))
         if self.vec_sum is not None:
             # left fold in adoption order — the canonical summation
             self.vec_sum = self.vec_sum + row
+
+    def append_many(self, i0: int, rows: np.ndarray) -> None:
+        """Fold ``j`` adopters (positions ``i0 .. i0+j-1``) in a handful
+        of vectorized calls, bit-identical to ``j`` :meth:`append` calls.
+
+        * ``diver``: one :func:`_hist_dots` block over history + new
+          rows; each column restricted to that adopter's strict
+          predecessors (a pair ``(p, c)`` is valid iff ``p < i0 + c``),
+          then one exact max fold.
+        * ``sum``: the left fold is evaluated as a row-prepended
+          ``np.cumsum`` — a strict sequential scan, so the final row
+          carries exactly ``((sum + r0) + r1) + …``.
+        """
+        j = rows.shape[0]
+        if j == 0:
+            return
+        if self.V is not None and self.sq is not None:
+            end = i0 + j
+            self.V[i0:end] = rows
+            new_rows = self.V[i0:end]
+            sq_new = _row_sq_norms(new_rows, out=self.sq[i0:end])
+            if end >= 2:
+                # work matrices from the shared scratch when they fit —
+                # the two ``history × chunk`` temporaries are the only
+                # mallocs left on this path
+                if 2 * end * j <= _PAIR_SCRATCH_MAX:
+                    dots, d2 = _scratch.pair_views(end, j)
+                else:
+                    dots, d2 = None, np.empty((end, j))
+                dots = _hist_dots(self.V[:end], new_rows, out=dots)
+                # (sq_p + sq_c) - 2·dot, grouped exactly as the scalar
+                # append writes it, evaluated entirely in-place
+                np.add(self.sq[:end, None], sq_new[None, :], out=d2)
+                np.multiply(dots, 2.0, out=dots)
+                np.subtract(d2, dots, out=d2)
+                # A pair (p, c) is valid iff p strictly precedes c.  The
+                # invalid region below the diagonal holds only *mirrors*
+                # of valid entries — (p, c) with p > i0+c reappears as
+                # the valid (i0+c, p-i0), and the mirrored dot/sum are
+                # bitwise equal because float multiply-and-add commute
+                # exactly.  So after striking the self-pair diagonal,
+                # one contiguous full-matrix max equals the masked max
+                # bit-for-bit, with no mask materialization.
+                cols = _CHUNK_ARANGE[:j]
+                d2[i0 + cols, cols] = float("-inf")
+                self.d2max = max(self.d2max, float(d2.max()))
+        if self.vec_sum is not None:
+            fold = _scratch.fold_view(j, rows.shape[1])
+            fold[0] = self.vec_sum
+            fold[1:] = rows
+            np.cumsum(fold, axis=0, out=fold)  # strict sequential scan
+            self.vec_sum = fold[j].copy()
 
     # -- feature reads ------------------------------------------------- #
 
@@ -182,6 +355,14 @@ class _TreeState:
         depths = np.empty(capacity, dtype=np.int64)
         depths[: self.depths.shape[0]] = self.depths
         self.depths = depths
+
+    def reset(self) -> None:
+        """Forget the forest but keep the grown parent/depth buffers."""
+        self.depth_counts.clear()
+        self.max_depth = 0
+        self.max_breadth = 0
+        self.anc_sets.clear()
+        self.sv_total = 0.0
 
     def append(
         self,
@@ -271,22 +452,42 @@ class IncrementalFeatures:
         self._need_b = ("diverB" in fs, bool(fs & {"normB", "maxB"}))
         self._need_tree = bool(fs & {"depth", "breadth", "sviral"})
         self._need_sviral = "sviral" in fs
-        #: arrival-order event log; the source of truth for rebuilds
-        self._events: List[Tuple[int, float]] = []
+        #: arrival-order event log; the source of truth for rebuilds.
+        #: Two parallel lists, not a list of tuples: burst appends are
+        #: then two C-level ``extend`` calls with no tuple boxing.
+        self._event_nodes: List[int] = []
+        self._event_times: List[float] = []
         self._node_set: Set[int] = set()
         self._init_derived()
 
     # ------------------------------------------------------------------ #
 
     def _init_derived(self) -> None:
+        """(Re-)zero the derived state, recycling grown buffers.
+
+        Buffers are only reallocated when absent or when the embedding
+        dimension changed; otherwise the existing capacity is kept so
+        rebuilds and slot reuse in the serving store allocate nothing.
+        Every retained buffer is fully rewritten before it is read, so
+        stale data cannot leak between incarnations.
+        """
         K = self.model.n_topics
         self._m = 0
-        self._capacity = _INIT_CAPACITY
-        self._nodes = np.empty(_INIT_CAPACITY, dtype=np.int64)
-        self._times = np.empty(_INIT_CAPACITY, dtype=np.float64)
-        self._side_a = _SideState(K, *self._need_a)
-        self._side_b = _SideState(K, *self._need_b)
-        self._tree = _TreeState(self._need_sviral) if self._need_tree else None
+        if getattr(self, "_buf_topics", None) == K:
+            self._side_a.reset()
+            self._side_b.reset()
+            if self._tree is not None:
+                self._tree.reset()
+        else:
+            self._capacity = _INIT_CAPACITY
+            self._nodes = np.empty(_INIT_CAPACITY, dtype=np.int64)
+            self._times = np.empty(_INIT_CAPACITY, dtype=np.float64)
+            self._side_a = _SideState(K, *self._need_a)
+            self._side_b = _SideState(K, *self._need_b)
+            self._tree = (
+                _TreeState(self._need_sviral) if self._need_tree else None
+            )
+            self._buf_topics = K
 
     def _ensure_capacity(self, n: int) -> None:
         if n <= self._capacity:
@@ -320,10 +521,9 @@ class IncrementalFeatures:
 
     def observed(self) -> Cascade:
         """The observed prefix as a :class:`Cascade` (stable time order)."""
-        if not self._events:
+        if not self._event_nodes:
             return Cascade([], [])
-        nodes, times = zip(*self._events)
-        return Cascade(list(nodes), list(times))
+        return Cascade(list(self._event_nodes), list(self._event_times))
 
     # ------------------------------------------------------------------ #
 
@@ -345,13 +545,155 @@ class IncrementalFeatures:
             )
         if node in self._node_set:
             return False
-        self._events.append((node, t))
+        self._event_nodes.append(node)
+        self._event_times.append(t)
         self._node_set.add(node)
         if self._m and t < float(self._times[self._m - 1]):
             self._rebuild()
         else:
             self._append(node, t)
         return True
+
+    def update_many(
+        self,
+        nodes: Sequence[int],
+        times: Sequence[float],
+        validate: bool = True,
+        assume_sorted: bool = False,
+    ) -> int:
+        """Fold a burst of adoption events in; returns how many applied.
+
+        The batched twin of :meth:`update`: duplicates are dropped in
+        arrival order (against prior state *and* within the burst), the
+        surviving events take the vectorized append path when they are
+        time-ordered, and any out-of-order arrival falls back to one
+        rebuild over the stable time-sorted log — so the resulting state
+        is bit-identical to feeding the same events through
+        :meth:`update` one at a time.
+
+        Unlike the scalar path, the whole burst is validated before any
+        state changes (an invalid node or non-finite time raises with
+        the engine untouched).  A caller that has already validated the
+        burst — the serving store checks a whole multi-cascade burst
+        atomically before queueing per-cascade folds — passes
+        ``validate=False`` to skip the redundant reductions.
+
+        ``assume_sorted=True`` is a trusted promise that *times* is
+        non-decreasing within the burst (the store checks its whole
+        multi-cascade burst once; every gathered subsequence of a
+        sorted firehose inherits the ordering).  Only the intra-burst
+        scan is skipped — the boundary against the cascade's last
+        folded event is still checked, so a sorted burst arriving
+        before earlier state still takes the rebuild path correctly.
+        """
+        n = len(nodes)
+        if n != len(times):
+            raise ValueError("nodes and times must have the same length")
+        if n == 0:
+            return 0
+        node_arr = np.asarray(nodes, dtype=np.int64)
+        time_arr = np.asarray(times, dtype=np.float64)
+        if validate:
+            if not np.all(np.isfinite(time_arr)):
+                raise ValueError("adoption times must be finite")
+            if node_arr.size and (
+                int(node_arr.min()) < 0
+                or int(node_arr.max()) >= self.model.n_nodes
+            ):
+                raise ValueError(
+                    f"burst contains nodes outside the model universe of "
+                    f"{self.model.n_nodes} nodes"
+                )
+        # -- duplicate filtering, arrival order --------------------------- #
+        # native ints via tolist(): the set probes and the event log
+        # stay off numpy scalar extraction.  One blind set-union detects
+        # the common no-repeat case: n fresh nodes grow the adopter set
+        # by exactly n.  On a repeat the union is repaired from the
+        # event log (the adopter set is always exactly its node set).
+        seen = self._node_set
+        node_list = node_arr.tolist()
+        before = len(seen)
+        seen.update(node_list)
+        if len(seen) - before == n:
+            j = n  # no repeats anywhere — keep the whole burst
+        else:
+            # rare path: drop repeats in arrival order (against prior
+            # state and within the burst)
+            seen.clear()
+            seen.update(self._event_nodes)
+            keep: List[int] = []
+            for i, node in enumerate(node_list):
+                if node in seen:
+                    continue
+                seen.add(node)
+                keep.append(i)
+            if not keep:
+                return 0
+            j = len(keep)
+            if j != n:
+                node_arr = node_arr[keep]
+                time_arr = time_arr[keep]
+                node_list = [node_list[i] for i in keep]
+        self._event_nodes.extend(node_list)
+        self._event_times.extend(time_arr.tolist())
+        in_order = (
+            assume_sorted or bool((time_arr[1:] >= time_arr[:-1]).all())
+        ) and (
+            self._m == 0 or float(time_arr[0]) >= float(self._times[self._m - 1])
+        )
+        if not in_order:
+            self._rebuild()  # state := fold over the stable-sorted log
+            return j
+        self._append_many(node_arr, time_arr)
+        return j
+
+    def _append_many(self, nodes: np.ndarray, times: np.ndarray) -> None:
+        """Vectorized in-order append of ``j`` pre-filtered events."""
+        j = nodes.shape[0]
+        if j > _FOLD_CHUNK:
+            # Split a large burst into sequential sub-folds.  Bit-safe:
+            # each chunk is itself a full in-order burst, and every fold
+            # (running max, cumulative sum, MAP-parent recurrence)
+            # accumulates left-to-right in the same order either way.
+            # This bounds the pairwise-distance temporaries and skips
+            # most of the invalid upper triangle one giant fold would
+            # compute and mask away.
+            for c0 in range(0, j, _FOLD_CHUNK):
+                self._append_many(
+                    nodes[c0 : c0 + _FOLD_CHUNK],
+                    times[c0 : c0 + _FOLD_CHUNK],
+                )
+            return
+        i0 = self._m
+        end = i0 + j
+        self._ensure_capacity(end)
+        self._nodes[i0:end] = nodes
+        self._times[i0:end] = times
+        self._m = end
+        if self._side_a.need_diver or self._side_a.need_sum:
+            self._side_a.append_many(i0, self.model.A[nodes])
+        if self._side_b.need_diver or self._side_b.need_sum:
+            self._side_b.append_many(i0, self.model.B[nodes])
+        if self._tree is not None:
+            # the MAP-parent recurrence is inherently sequential (each
+            # event's parent search sees every earlier event)
+            for i in range(i0, end):
+                self._tree.append(
+                    self.model, self._nodes[: i + 1], self._times[: i + 1], i
+                )
+
+    def has_node(self, node: int) -> bool:
+        """True when *node* already adopted in the observed prefix."""
+        return int(node) in self._node_set
+
+    @property
+    def adopters(self) -> AbstractSet[int]:
+        """Live view of the adopter set (do not mutate).
+
+        Exists so burst ingest can duplicate-check with a set probe per
+        event instead of a method call; the view tracks every update.
+        """
+        return self._node_set
 
     def rebind(self, model: EmbeddingModel) -> None:
         """Swap the embedding model and replay the event log under it."""
@@ -362,16 +704,30 @@ class IncrementalFeatures:
         self.model = model
         self._rebuild()
 
-    def _rebuild(self) -> None:
-        events = self._events
+    def reset(self, model: Optional[EmbeddingModel] = None) -> None:
+        """Forget the observed prefix (optionally swapping the model),
+        recycling the grown buffers — the serving store's slot-reuse
+        primitive: re-admitting a cascade after eviction must not
+        re-allocate its engine."""
+        if model is not None:
+            self.model = model
+        self._event_nodes.clear()
+        self._event_times.clear()
+        self._node_set.clear()
         self._init_derived()
-        if not events:
+
+    def _rebuild(self) -> None:
+        if not self._event_nodes:
+            self._init_derived()
             return
-        nodes = np.asarray([n for n, _ in events], dtype=np.int64)
-        times = np.asarray([t for _, t in events], dtype=np.float64)
+        nodes = np.asarray(self._event_nodes, dtype=np.int64)
+        times = np.asarray(self._event_times, dtype=np.float64)
+        self._init_derived()
         order = np.argsort(times, kind="stable")  # Cascade's ordering
-        for i in order:
-            self._append(int(nodes[i]), float(times[i]))
+        # the sorted log is in-order by construction: replay it as one
+        # batched fold (bit-identical to scalar appends by the
+        # update_many parity invariant)
+        self._append_many(nodes[order], times[order])
 
     def _append(self, node: int, t: float) -> None:
         i = self._m
@@ -397,13 +753,22 @@ class IncrementalFeatures:
         is identically 0 for an empty prefix, stated here explicitly
         rather than left to downstream arithmetic.
         """
-        out = np.zeros(len(self.feature_set), dtype=np.float64)
+        out = np.empty(len(self.feature_set), dtype=np.float64)
+        self.features_into(out)
+        return out
+
+    def features_into(self, out: np.ndarray) -> None:
+        """Write the current feature vector into *out* (no allocation).
+
+        This is what lets the serving store's flush path refresh a row
+        of its pooled feature-cache matrix in place.
+        """
         m = self._m
         if m == 0:
-            return out
+            out[: len(self.feature_set)] = 0.0
+            return
         for idx, name in enumerate(self.feature_set):
             out[idx] = self._value(name, m)
-        return out
 
     def _value(self, name: str, m: int) -> float:
         if name == "diverA":

@@ -130,11 +130,18 @@ class LinearSVM:
     # ------------------------------------------------------------------ #
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Signed margins ``X @ w + b``."""
+        """Signed margins ``X @ w + b``.
+
+        Computed with einsum rather than BLAS gemv: einsum's reduction
+        order per row is independent of the batch's row count, so a
+        cascade's margin is bit-identical whether it is scored alone or
+        inside any batch — the serving tier's single-vs-batched parity
+        rests on this.
+        """
         if self.w is None:
             raise RuntimeError("model is not fitted")
         X = np.asarray(X, dtype=np.float64)
-        return X @ self.w + self.b
+        return np.einsum("ik,k->i", X, self.w) + self.b
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """±1 labels (0 margin counts as +1)."""

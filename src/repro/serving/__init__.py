@@ -4,8 +4,11 @@ The paper's point is *early* prediction of emergent news events; this
 package is the layer that actually serves those predictions as cascade
 adoption events arrive:
 
-* :mod:`repro.serving.tracker` — per-cascade incremental feature store
-  (O(mK) per event instead of an O(m²K) recompute, LRU + TTL bounded);
+* :mod:`repro.serving.tracker` — struct-of-arrays incremental feature
+  store (O(mK) per event instead of an O(m²K) recompute, vectorized
+  burst folding, LRU + TTL bounded with an O(expired) lazy-heap sweep);
+* :mod:`repro.serving.workspace` — persistent buffer pool so the
+  steady-state flush/score hot path allocates nothing;
 * :mod:`repro.serving.registry` — versioned, atomically hot-swappable
   model snapshots, loadable from ``.npz`` archives, hierarchical-fit
   checkpoints, or a live online estimator;
@@ -30,7 +33,8 @@ from repro.serving.client import ScoringClient
 from repro.serving.registry import ModelRegistry, ModelSnapshot
 from repro.serving.server import ScoringServer, build_service, serve_stdio
 from repro.serving.service import ScoringService, ServiceStats
-from repro.serving.tracker import CascadeTracker, FeatureStore, StoreConfig
+from repro.serving.tracker import CascadeTracker, FeatureStore, StoreConfig, StoreStats
+from repro.serving.workspace import ScoringWorkspace
 
 __all__ = [
     "BatchPolicy",
@@ -46,8 +50,10 @@ __all__ = [
     "ScoringClient",
     "ScoringServer",
     "ScoringService",
+    "ScoringWorkspace",
     "ServiceStats",
     "StoreConfig",
+    "StoreStats",
     "build_service",
     "serve_stdio",
 ]

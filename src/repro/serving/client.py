@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.serving.batching import ScoreResult
 from repro.serving.service import ScoringService
 
@@ -31,10 +33,24 @@ class ScoringClient:
 
     def ingest_many(self, events: Sequence[Tuple[str, int, float]]) -> int:
         """Report a burst of ``(cascade_id, node, t)`` events; returns
-        how many were new (non-duplicate)."""
-        return sum(
-            1 for cid, node, t in events if self.service.ingest(cid, node, t)
-        )
+        how many were new (non-duplicate).
+
+        Rides the vectorized batch-fold path: one lock round-trip and
+        one snapshot for the whole burst, and each touched cascade folds
+        its share of the burst in one vectorized update.
+        """
+        return self.service.ingest_many(events)
+
+    def ingest_columns(
+        self,
+        cascade_ids: Sequence[str],
+        nodes: np.ndarray,
+        times: np.ndarray,
+    ) -> int:
+        """Columnar :meth:`ingest_many` — three parallel columns, no
+        per-event tuple boxing; the fastest way to hand over a burst a
+        producer already holds struct-of-arrays."""
+        return self.service.ingest_columns(cascade_ids, nodes, times)
 
     def score(self, cascade_id: str, include_features: bool = False) -> ScoreResult:
         """Score one cascade now (batch-of-one; pays the full call cost)."""

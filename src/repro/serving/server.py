@@ -4,6 +4,10 @@ One request per line, one JSON object per response.  Operations:
 
 ``{"op": "event", "cascade": "c1", "node": 3, "t": 0.25}``
     Fold an adoption event in.  Responds ``{"ok": true, "applied": ...}``.
+``{"op": "events", "events": [["c1", 3, 0.25], ["c2", 7, 0.3], ...]}``
+    Fold a burst of adoption events in one call — one lock round-trip
+    and one vectorized fold per touched cascade (the firehose path).
+    Responds ``{"ok": true, "applied": <non-duplicates>}``.
 ``{"op": "score", "cascade": "c1"}``
     Queue a score request; the response arrives once the micro-batcher
     flushes (batch full or ``max_delay`` elapsed).  Add
@@ -253,6 +257,13 @@ class ScoringServer:
                     float(message["t"]),
                 )
                 response: Dict[str, Any] = {"ok": True, "applied": applied}
+            elif op == "events":
+                burst = [
+                    (str(cascade), int(node), float(t))
+                    for cascade, node, t in message["events"]
+                ]
+                count = self.service.ingest_many(burst)
+                response = {"ok": True, "applied": count, "count": len(burst)}
             elif op == "score":
                 response = await self._score(message)
             elif op == "flush":

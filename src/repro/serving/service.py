@@ -10,11 +10,18 @@ The flush path is where the batching win lives:
 
 1. read the registry snapshot **once** (atomic; the whole batch is
    scored under exactly one model version — no torn reads);
-2. gather each request's cached feature vector from its tracker
-   (trackers cache the vector until the next event or model swap, so a
-   cascade scored repeatedly between events costs a dict lookup);
-3. stack into one ``(n, d)`` matrix and make a single vectorized
+2. resolve the batch through :meth:`FeatureStore.gather_batch`: each
+   live cascade's pooled feature-cache row is refreshed only if an
+   event or model swap invalidated it, then the whole ``(n, d)`` batch
+   matrix is gathered with one fancy-index;
+3. make a single vectorized
    :meth:`ViralityPredictor.decision_function` call.
+
+Every numpy intermediate lives in the service's persistent
+:class:`~repro.serving.workspace.ScoringWorkspace`, so a steady-state
+flush allocates no heap buffers.  The single-request :meth:`score` path
+rides the exact same submit → flush machinery — one-off scores and
+batched scores are bit-identical by construction.
 
 Per-request latency is split into queued time (submit → flush start)
 and the batch's shared compute time.
@@ -25,7 +32,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,6 +46,7 @@ from repro.serving.batching import (
 )
 from repro.serving.registry import ModelRegistry, ModelSnapshot
 from repro.serving.tracker import FeatureStore, StoreConfig
+from repro.serving.workspace import ScoringWorkspace
 
 __all__ = ["ScoringService", "ServiceStats"]
 
@@ -72,6 +80,8 @@ class ScoringService:
         self.queue = PendingQueue(self.policy)
         self.stats_counters = ServiceStats()
         self._next_request_id = 0
+        # one workspace per service, used only under the lock
+        self._ws = ScoringWorkspace()
 
     # ------------------------------------------------------------------ #
     # Ingest
@@ -88,6 +98,41 @@ class ScoringService:
             applied = self.store.ingest(cascade_id, node, t, snapshot)
             if applied:
                 self.stats_counters.ingested += 1
+            return applied
+
+    def ingest_many(self, events: Sequence[Tuple[str, int, float]]) -> int:
+        """Fold a burst of ``(cascade_id, node, t)`` adoption events in.
+
+        One lock round-trip, one registry snapshot, one clock reading —
+        and each touched cascade folds its share of the burst as a
+        single vectorized update (see :meth:`FeatureStore.ingest_many`).
+        Returns how many events applied (non-duplicates); the result
+        state is identical to calling :meth:`ingest` per event.
+        """
+        with self._lock:
+            snapshot = self.registry.current()
+            applied = self.store.ingest_many(events, snapshot)
+            self.stats_counters.ingested += applied
+            return applied
+
+    def ingest_columns(
+        self,
+        cascade_ids: Sequence[str],
+        nodes: np.ndarray,
+        times: np.ndarray,
+    ) -> int:
+        """Columnar :meth:`ingest_many`: three parallel columns instead
+        of a row-wise tuple list.
+
+        The natural entry point when the upstream consumer already
+        holds struct-of-arrays batches (log shards, Arrow record
+        batches): no per-event tuple boxing on either side of the call.
+        Semantics are identical to :meth:`ingest_many`.
+        """
+        with self._lock:
+            snapshot = self.registry.current()
+            applied = self.store.ingest_columns(cascade_ids, nodes, times, snapshot)
+            self.stats_counters.ingested += applied
             return applied
 
     # ------------------------------------------------------------------ #
@@ -154,23 +199,29 @@ class ScoringService:
             return self.queue.due(now if now is not None else self._clock())
 
     def flush(self) -> List[ScoreResult]:
-        """Score up to ``max_batch`` queued requests in one evaluation."""
+        """Score up to ``max_batch`` queued requests in one evaluation.
+
+        The hot path is allocation-free in steady state: the drain list,
+        slot-resolution vectors, and the gathered ``(n, d)`` feature
+        matrix all live in the service's persistent workspace.
+        """
         with self._lock:
             start = self._clock()
-            batch = self.queue.drain(self.policy.max_batch)
+            ws = self._ws
+            batch = ws.batch
+            batch.clear()
+            self.queue.drain_into(self.policy.max_batch, batch)
             if not batch:
                 return []
             snapshot = self.registry.current()  # one snapshot per batch
-            touch = self.store.touch
+            x, row_of, n_events = self.store.gather_batch(
+                [r.cascade_id for r in batch], snapshot, ws
+            )
 
-            trackers = [touch(r.cascade_id, snapshot) for r in batch]
-            vectors = [t.features(snapshot) if t is not None else None for t in trackers]
-            live = [v for v in vectors if v is not None]
-
-            scores: List[Optional[float]] = []
-            labels: List[Optional[int]] = []
-            if live and snapshot.predictor is not None:
-                margins = snapshot.predictor.decision_function(np.stack(live))
+            scores: List[float] = []
+            labels: List[int] = []
+            if x.shape[0] and snapshot.predictor is not None:
+                margins = snapshot.predictor.decision_function(x)
                 scores = margins.tolist()
                 labels = np.where(margins >= 0.0, 1, -1).tolist()
 
@@ -179,14 +230,14 @@ class ScoringService:
             version = snapshot.version
             results: List[ScoreResult] = []
             n_unknown = 0
-            j = 0  # running index into the live-request score arrays
-            for request, tracker, vec in zip(batch, trackers, vectors):
+            for i, request in enumerate(batch):
                 latency = LatencyBreakdown(
                     queued_s=max(start - request.enqueued_at, 0.0),
                     compute_s=compute_s,
                     batch_size=batch_size,
                 )
-                if vec is None:
+                row = int(row_of[i])
+                if row < 0:
                     n_unknown += 1
                     result = ScoreResult(
                         cascade_id=request.cascade_id,
@@ -196,23 +247,25 @@ class ScoringService:
                         latency=latency,
                     )
                 else:
-                    score = label = None
-                    if scores:
-                        score, label = scores[j], labels[j]
-                        j += 1
+                    features: Optional[np.ndarray] = None
+                    if request.include_features:
+                        # the gathered row is a workspace view; copy out
+                        features = x[row].copy()
+                        features.setflags(write=False)
                     result = ScoreResult(
                         cascade_id=request.cascade_id,
                         request_id=request.request_id,
                         status="ok",
-                        score=score,
-                        label=label,
-                        n_early=tracker.n_events,
+                        score=scores[row] if scores else None,
+                        label=labels[row] if labels else None,
+                        n_early=int(n_events[i]),
                         model_version=version,
-                        features=vec if request.include_features else None,
+                        features=features,
                         latency=latency,
                     )
                 results.append(result)
                 request.finish(result)
+            batch.clear()  # drop request refs so finished work can be GC'd
             self.stats_counters.unknown += n_unknown
             self.stats_counters.scored += batch_size - n_unknown
             self.stats_counters.batches += 1
@@ -222,7 +275,10 @@ class ScoringService:
         """Synchronous one-shot score: submit, then flush until done.
 
         This is the unbatched baseline path — every call pays the full
-        snapshot + gather + predict cost for a batch of (at least) one.
+        snapshot + predict cost for a batch of (at least) one — but it
+        rides the exact same workspace/gather machinery as a batched
+        flush, so it allocates nothing in steady state and is
+        bit-identical to scoring the same cascade inside a batch.
         """
         with self._lock:
             request = self.submit(cascade_id, include_features=include_features)

@@ -5,6 +5,13 @@ time is **bit-identical** to batch :func:`extract_features` over the
 observed prefix — after *every* event, for random adoption orders
 (including out-of-order timestamps and duplicate adopters), across both
 feature sets, and through LRU eviction / re-admission.
+
+The batched-ingest twin carries the same invariant: folding events
+through :meth:`IncrementalFeatures.update_many` /
+:meth:`FeatureStore.ingest_many` in arbitrary burst sizes — interleaved
+across cascades, through mid-burst LRU eviction, re-admission, and
+model hot-swap replay — produces bit-identical features, identical LRU
+order, and identical stats to the one-at-a-time path.
 """
 
 import numpy as np
@@ -132,3 +139,106 @@ class TestStoreParityUnderEviction:
                 ),
             )
             assert np.array_equal(vec, batch)
+
+
+class TestBatchedIngestParity:
+    """`update_many` / `ingest_many` ≡ one-at-a-time ≡ batch extraction."""
+
+    @given(
+        model_strategy(),
+        event_stream(),
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=20),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_update_many_bit_identical_at_every_burst_boundary(
+        self, model, events, lengths, extended
+    ):
+        feature_set = EXTENDED_FEATURES if extended else PAPER_FEATURES
+        inc = IncrementalFeatures(model, feature_set)
+        seen = []
+        i = b = 0
+        while i < len(events):
+            burst = events[i : i + lengths[b % len(lengths)]]
+            i += len(burst)
+            b += 1
+            applied = inc.update_many(
+                [n for n, _ in burst], [t for _, t in burst]
+            )
+            assert applied == len(burst)  # nodes are distinct by construction
+            seen.extend(burst)
+            batch = extract_features(
+                model,
+                Cascade([n for n, _ in seen], [tt for _, tt in seen]),
+                feature_set,
+            )
+            assert np.array_equal(inc.features(), batch)
+
+    @given(
+        model_strategy(),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.integers(min_value=0, max_value=N - 1),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=36,
+        ),
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=12),
+        st.lists(st.booleans(), min_size=12, max_size=12),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ingest_many_matches_sequential_store(
+        self, model, events, lengths, swaps, capacity, seed, extended
+    ):
+        """Interleaved bursts ≡ sequential ≡ batch: same features (bit
+        for bit, against `extract_features` over the events observed
+        since (re-)admission), same LRU order, same stats — through
+        mid-burst eviction, re-admission, and hot-swap replay."""
+        feature_set = EXTENDED_FEATURES if extended else PAPER_FEATURES
+        reg = ModelRegistry()
+        snap = reg.publish(model)
+        cfg = StoreConfig(capacity=capacity)
+        seq = FeatureStore(feature_set, config=cfg)
+        bat = FeatureStore(feature_set, config=cfg)
+        rng = np.random.default_rng(seed)
+        observed = {}  # cid -> [(node, t)] since last (re-)admission
+        i = b = 0
+        while i < len(events):
+            if swaps[b % len(swaps)]:  # hot-swap between bursts
+                snap = reg.publish(
+                    EmbeddingModel(
+                        rng.uniform(0, 2, (N, K)), rng.uniform(0, 2, (N, K))
+                    )
+                )
+            burst = events[i : i + lengths[b % len(lengths)]]
+            i += len(burst)
+            b += 1
+            applied_seq = 0
+            for cid, node, t in burst:
+                if cid not in seq:
+                    observed[cid] = []
+                if seq.ingest(cid, node, t, snap):
+                    observed[cid].append((node, t))
+                    applied_seq += 1
+                observed = {c: ev for c, ev in observed.items() if c in seq}
+            assert bat.ingest_many(burst, snap) == applied_seq
+            assert bat.cascade_ids() == seq.cascade_ids()
+            for cid in bat.cascade_ids():  # LRU-order touch, same on both
+                vec = bat.features(cid, snap)
+                assert vec is not None
+                batch = extract_features(
+                    snap.model,
+                    Cascade(
+                        [n for n, _ in observed[cid]],
+                        [tt for _, tt in observed[cid]],
+                    ),
+                    feature_set,
+                )
+                assert np.array_equal(vec, batch)
+                assert np.array_equal(vec, seq.features(cid, snap))
+        assert vars(bat.stats) == vars(seq.stats)

@@ -64,6 +64,46 @@ class TestTCPServer:
         assert responses[1]["applied"] is True
         assert responses[2]["applied"] is False  # duplicate adopter
 
+    def test_events_burst_op(self):
+        service = make_service()
+        responses = asyncio.run(
+            run_session(
+                service,
+                [
+                    {
+                        "op": "events",
+                        "events": [["a", 3, 0.0], ["b", 7, 0.1], ["a", 3, 0.2]],
+                        "id": 1,
+                    },
+                    {"op": "stats", "id": 2},
+                ],
+            )
+        )
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[1] == {"ok": True, "applied": 2, "count": 3, "id": 1}
+        assert by_id[2]["stats"]["ingested"] == 2
+        assert by_id[2]["stats"]["tracked_cascades"] == 2
+
+    def test_events_burst_invalid_is_atomic(self):
+        """A bad event anywhere in the burst rejects the whole burst."""
+        service = make_service()
+        responses = asyncio.run(
+            run_session(
+                service,
+                [
+                    {
+                        "op": "events",
+                        "events": [["a", 3, 0.0], ["b", 999, 0.1]],
+                        "id": 1,
+                    },
+                    {"op": "stats", "id": 2},
+                ],
+            )
+        )
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[1]["ok"] is False and "error" in by_id[1]
+        assert by_id[2]["stats"]["tracked_cascades"] == 0
+
     def test_pipelined_scores_coalesce_into_one_batch(self):
         service = make_service(max_batch=4, max_delay=0.5)
         requests = [{"op": "event", "cascade": "c", "node": 3, "t": 0.0}]

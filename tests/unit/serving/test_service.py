@@ -145,6 +145,77 @@ class TestIngestScore:
         assert result.model_version == 2 and result.score is not None
 
 
+class TestIngestMany:
+    def test_burst_matches_scalar_ingest(self, service):
+        events = [("a", 3, 0.0), ("b", 7, 0.1), ("a", 12, 0.2), ("a", 3, 0.3)]
+        assert service.ingest_many(events) == 3  # one duplicate
+        assert service.stats()["ingested"] == 3
+        twin = ScoringService(service.registry)
+        for cid, node, t in events:
+            twin.ingest(cid, node, t)
+        snap = service.registry.current()
+        for cid in ("a", "b"):
+            assert np.array_equal(
+                service.store.features(cid, snap), twin.store.features(cid, snap)
+            )
+
+    def test_empty_burst(self, service):
+        assert service.ingest_many([]) == 0
+        assert service.stats()["ingested"] == 0
+
+    def test_burst_then_score(self, service):
+        events = [("c", 3, 0.0), ("c", 7, 0.2), ("c", 12, 0.5)]
+        service.ingest_many(events)
+        result = service.score("c")
+        assert result.ok and result.n_early == 3
+        snap = service.registry.current()
+        X = extract_features(
+            snap.model,
+            Cascade([n for _, n, _ in events], [t for _, _, t in events]),
+            PAPER_FEATURES,
+        )[None, :]
+        assert result.score == float(snap.predictor.decision_function(X)[0])
+
+
+class TestScoreFlushBitIdentity:
+    def test_single_score_bit_identical_to_batched_flush(self, service):
+        """The one-shot path and the micro-batched path share the same
+        workspace/gather/predict code — same score, bit for bit."""
+        for i, cid in enumerate(("a", "b", "c", "d")):
+            service.ingest_many([(cid, (3 * i + j) % 30, 0.1 * j) for j in range(4)])
+        singles = {cid: service.score(cid).score for cid in ("a", "b", "c", "d")}
+        service.submit_many(["a", "b", "c", "d"])
+        batched = service.flush()
+        assert [r.latency.batch_size for r in batched] == [4] * 4
+        for r in batched:
+            assert r.score == singles[r.cascade_id]
+
+    def test_include_features_copy_is_stable(self, service):
+        """Features handed out of a flush must be detached from the
+        workspace: a later flush cannot mutate them."""
+        service.ingest("a", 3, 0.0)
+        service.ingest("b", 7, 0.5)
+        r1 = service.score("a", include_features=True)
+        kept = r1.features.copy()
+        service.score("b", include_features=True)  # reuses the workspace
+        assert np.array_equal(r1.features, kept)
+        with pytest.raises(ValueError):
+            r1.features[0] = 99.0
+
+
+class TestWorkspaceReuse:
+    def test_flush_reuses_pooled_buffers(self, service):
+        for i, cid in enumerate(("a", "b", "c")):
+            service.ingest(cid, i, 0.0)
+        service.submit_many(["a", "b", "c"])
+        service.flush()
+        before = {k: id(v) for k, v in service._ws._mats.items()}
+        service.submit_many(["a", "b", "c"])
+        service.flush()
+        after = {k: id(v) for k, v in service._ws._mats.items()}
+        assert after == before  # same pooled arrays, no reallocation
+
+
 class TestSwapDuringScoring:
     def test_swap_storm_with_concurrent_scoring(self):
         """Every score produced while publishers storm the registry must

@@ -9,6 +9,7 @@ from repro.prediction.features import (
     EXTENDED_FEATURES,
     PAPER_FEATURES,
     FeatureExtractor,
+    IncrementalFeatures,
     extract_features,
 )
 
@@ -126,3 +127,64 @@ class TestFeatureExtractor:
             for j in range(8)
         )
         assert f[0] == pytest.approx(brute)
+
+
+class TestUpdateMany:
+    """Batched folding: `update_many` must be bit-identical to `update`."""
+
+    def test_empty_burst(self, model):
+        inc = IncrementalFeatures(model, EXTENDED_FEATURES)
+        assert inc.update_many([], []) == 0
+        assert inc.n_events == 0
+        assert np.all(inc.features() == 0)
+
+    def test_single_event_burst(self, model):
+        inc = IncrementalFeatures(model, EXTENDED_FEATURES)
+        assert inc.update_many([2], [0.5]) == 1
+        batch = extract_features(model, Cascade([2], [0.5]), EXTENDED_FEATURES)
+        assert np.array_equal(inc.features(), batch)
+
+    def test_burst_bit_identical_to_scalar_updates(self, model):
+        one = IncrementalFeatures(model, EXTENDED_FEATURES)
+        many = IncrementalFeatures(model, EXTENDED_FEATURES)
+        nodes, times = [0, 2, 1, 3], [0.0, 0.1, 0.4, 0.9]
+        for n, t in zip(nodes, times):
+            one.update(n, t)
+        assert many.update_many(nodes, times) == 4
+        assert np.array_equal(one.features(), many.features())
+
+    def test_burst_with_duplicates_and_out_of_order_times(self, model):
+        inc = IncrementalFeatures(model, EXTENDED_FEATURES)
+        inc.update(1, 0.8)
+        # duplicate vs prior state, duplicate within burst, time reversal
+        assert inc.update_many([0, 1, 2, 0], [0.5, 0.9, 0.1, 0.2]) == 2
+        batch = extract_features(
+            model, Cascade([1, 0, 2], [0.8, 0.5, 0.1]), EXTENDED_FEATURES
+        )
+        assert np.array_equal(inc.features(), batch)
+
+    def test_length_mismatch_raises(self, model):
+        inc = IncrementalFeatures(model, PAPER_FEATURES)
+        with pytest.raises(ValueError, match="same length"):
+            inc.update_many([1, 2], [0.0])
+
+    def test_burst_validated_atomically(self, model):
+        inc = IncrementalFeatures(model, PAPER_FEATURES)
+        inc.update(0, 0.0)
+        with pytest.raises(ValueError, match="outside the model universe"):
+            inc.update_many([1, 99], [0.1, 0.2])
+        with pytest.raises(ValueError, match="finite"):
+            inc.update_many([1, 2], [0.1, float("inf")])
+        assert inc.n_events == 1  # engine untouched by the failed bursts
+
+    def test_reset_recycles_for_fresh_stream(self, model):
+        inc = IncrementalFeatures(model, EXTENDED_FEATURES)
+        inc.update_many([0, 1, 2], [0.0, 0.1, 0.2])
+        inc.reset()
+        assert inc.n_events == 0
+        assert np.all(inc.features() == 0)
+        inc.update_many([3, 1], [0.5, 0.7])
+        batch = extract_features(
+            model, Cascade([3, 1], [0.5, 0.7]), EXTENDED_FEATURES
+        )
+        assert np.array_equal(inc.features(), batch)
