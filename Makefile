@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # wedging the suite.
 export REPRO_TEST_TIMEOUT ?= 600
 
-.PHONY: check fast test bench bench-dispatch bench-kernel bench-serving lint typecheck
+.PHONY: check fast test bench bench-dispatch bench-kernel bench-serving chaos lint typecheck
 
 ## tier-1 gate: lint, then typecheck, then the full test suite (what CI runs)
 check: lint typecheck
@@ -40,6 +40,15 @@ test: check
 ## regenerate every figure bench (CI scale; REPRO_BENCH_SCALE=paper for full)
 bench:
 	$(PYTHON) -m pytest -x -q benchmarks
+
+## chaos suite: crash-kill / torn-write / slow-disk / task-death injection
+## against the journal, recovery, and the supervised server — run with the
+## runtime sanitizer armed so dispatch-side invariants are checked too
+chaos:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q \
+		tests/unit/serving/test_durability.py \
+		tests/unit/serving/test_server.py \
+		tests/property/test_prop_durability.py
 
 ## arena-vs-legacy dispatch benchmark; writes BENCH_parallel.json
 bench-dispatch:

@@ -120,8 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve", help="real-time scoring service (newline-JSON over TCP or stdio)"
     )
-    p.add_argument("--model", required=True,
-                   help="embedding .npz, checkpoint dir, or checkpoint .npz")
+    p.add_argument("--model", default=None,
+                   help="embedding .npz, checkpoint dir, or checkpoint .npz "
+                   "(required unless --recover)")
     p.add_argument("--predictor", default=None,
                    help=".npz written by ViralityPredictor.save (scores need it)")
     p.add_argument("--features", choices=("paper", "extended"), default="paper")
@@ -142,6 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max cascades tracked before LRU eviction")
     p.add_argument("--ttl", type=float, default=None,
                    help="expire cascades idle this many seconds (default: never)")
+    p.add_argument("--journal-dir", default=None,
+                   help="write-ahead journal directory (enables durability)")
+    p.add_argument("--fsync", choices=("always", "interval", "off"),
+                   default="interval",
+                   help="journal fsync policy (default: interval)")
+    p.add_argument("--fsync-interval", type=float, default=0.05,
+                   help="seconds between fsyncs under --fsync interval")
+    p.add_argument("--recover", action="store_true",
+                   help="rebuild state from --journal-dir before serving "
+                   "(--model/--predictor not needed; the journal holds them)")
+    p.add_argument("--read-timeout", type=float, default=None,
+                   help="close a TCP connection idle this many seconds")
 
     return parser
 
@@ -332,33 +345,87 @@ def _cmd_serve(args) -> int:
     import asyncio
 
     from repro.prediction.features import EXTENDED_FEATURES, PAPER_FEATURES
+    from repro.serving.batching import BatchPolicy
+    from repro.serving.durability import JournalConfig, recover_service
     from repro.serving.server import ScoringServer, build_service, serve_stdio
+    from repro.serving.tracker import StoreConfig
 
-    service = build_service(
-        args.model,
-        predictor_path=args.predictor,
-        feature_set=EXTENDED_FEATURES if args.features == "extended" else PAPER_FEATURES,
+    feature_set = (
+        EXTENDED_FEATURES if args.features == "extended" else PAPER_FEATURES
+    )
+    policy = BatchPolicy(
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         max_pending=args.max_pending,
         overflow=args.overflow,
-        capacity=args.capacity,
-        ttl=args.ttl,
     )
+    if args.recover:
+        if args.journal_dir is None:
+            print("--recover requires --journal-dir", file=sys.stderr)
+            return 2
+        service, report = recover_service(
+            JournalConfig(
+                directory=args.journal_dir,
+                fsync=args.fsync,
+                fsync_interval=args.fsync_interval,
+            ),
+            feature_set=feature_set,
+            store_config=StoreConfig(capacity=args.capacity, ttl=args.ttl),
+            policy=policy,
+        )
+        print(
+            f"recovered {report.snapshot_cascades} cascades from snapshot "
+            f"(+{report.events_replayed} events, {report.swaps_replayed} swaps "
+            f"replayed from {report.segments_replayed} segments) in "
+            f"{report.elapsed_s:.2f}s"
+            + ("; torn tail repaired" if report.torn_tail_repaired else ""),
+            file=sys.stderr,
+        )
+    else:
+        if args.model is None:
+            print("--model is required (or use --recover)", file=sys.stderr)
+            return 2
+        service = build_service(
+            args.model,
+            predictor_path=args.predictor,
+            feature_set=feature_set,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            max_pending=args.max_pending,
+            overflow=args.overflow,
+            capacity=args.capacity,
+            ttl=args.ttl,
+            journal_dir=args.journal_dir,
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+        )
     snap = service.registry.current()
     scorer = "with fitted predictor" if snap.predictor is not None else "features only"
+    durable = (
+        f"journal {args.journal_dir} (fsync={args.fsync})"
+        if args.journal_dir
+        else "no journal"
+    )
     print(
         f"serving model v{snap.version} ({snap.source}; {scorer}); "
         f"batch<= {args.max_batch}, delay {args.max_delay * 1e3:.1f} ms, "
-        f"queue {args.max_pending} ({args.overflow})",
+        f"queue {args.max_pending} ({args.overflow}); {durable}",
         file=sys.stderr,
     )
 
     async def _run_tcp() -> None:
-        server = ScoringServer(service, host=args.host, port=args.port)
+        server = ScoringServer(
+            service,
+            host=args.host,
+            port=args.port,
+            read_timeout=args.read_timeout,
+        )
         await server.start()
         print(f"listening on {args.host}:{server.port}", file=sys.stderr)
-        await server.serve_forever()
+        # run() returns after a SIGTERM-triggered graceful drain: the
+        # pending batch flushes, the journal seals, and we exit 0.
+        await server.run()
+        print("drained; journal sealed", file=sys.stderr)
 
     try:
         asyncio.run(serve_stdio(service) if args.stdio else _run_tcp())

@@ -154,15 +154,26 @@ class Rule:
     description: str = ""
     allowed_in: Tuple[str, ...] = ()
 
-    def applies_to(self, posix_path: str) -> bool:
+    @staticmethod
+    def path_matches(posix_path: str, patterns: Tuple[str, ...]) -> bool:
+        """Does *posix_path* match any pattern of the allow-list grammar?
+
+        An entry ending in ``.py`` is matched as a path suffix, an entry
+        ending in ``/`` as a directory component.  Shared by the
+        allow-list (``allowed_in``: rule is sanctioned *there*) and its
+        inverse (REP009's ``durable_in``: rule applies *only* there).
+        """
         probe = "/" + posix_path.lstrip("/")
-        for pattern in self.allowed_in:
+        for pattern in patterns:
             if pattern.endswith("/"):
                 if f"/{pattern}".replace("//", "/") in probe + "/":
-                    return False
+                    return True
             elif probe.endswith("/" + pattern.lstrip("/")):
-                return False
-        return True
+                return True
+        return False
+
+    def applies_to(self, posix_path: str) -> bool:
+        return not self.path_matches(posix_path, self.allowed_in)
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         raise NotImplementedError

@@ -1,4 +1,4 @@
-"""Project-specific lint rules (REP001–REP008).
+"""Project-specific lint rules (REP001–REP009).
 
 Each rule encodes one invariant the reproduction's correctness story
 depends on (see DESIGN.md §10 for the full rationale):
@@ -52,6 +52,16 @@ REP008    Blocking calls inside ``async def`` bodies (``time.sleep``,
           ``asyncio.wait_for``).  Calls under an ``await`` expression
           (e.g. ``await asyncio.wait_for(ev.wait(), ...)``) are the
           sanctioned idiom and are not flagged.
+REP009    ``os.replace``/``os.rename``/``shutil.move`` in a
+          durability-intent module (checkpointing, the serving journal)
+          whose enclosing function never calls ``fsync``.  The
+          atomic-publish idiom is write → flush → **fsync** → rename:
+          renaming an unsynced file can atomically install garbage
+          after a power cut (the filesystem may journal the rename
+          before the data blocks land).  Unlike the other rules this
+          one applies *only* inside the modules listed in
+          ``durable_in`` — the inverse of the allow-list grammar, same
+          pattern syntax.
 ========  ==============================================================
 """
 
@@ -581,6 +591,106 @@ class BlockingCallInAsyncRule(Rule):
         return frozenset(out)
 
 
+#: rename-class calls that atomically install a file at its final path
+_DURABLE_RENAMES = frozenset({"os.replace", "os.rename", "shutil.move"})
+
+
+class UnsyncedDurableWriteRule(Rule):
+    """REP009: rename-install without a paired fsync in durable modules."""
+
+    id = "REP009"
+    name = "unsynced-durable-write"
+    description = (
+        "os.replace/os.rename/shutil.move in a durability-intent module "
+        "without an fsync call in the same function; the atomic-publish "
+        "idiom is write -> flush -> fsync -> rename — renaming an "
+        "unsynced file can install garbage after a power cut"
+    )
+    #: Modules declaring durability intent — the rule applies ONLY here
+    #: (the *inverse* of ``allowed_in``, same pattern grammar: ``.py``
+    #: entries match as path suffixes, ``dir/`` entries as components).
+    durable_in = (
+        "repro/parallel/checkpoint.py",
+        "repro/serving/durability.py",
+    )
+
+    def applies_to(self, posix_path: str) -> bool:
+        return self.path_matches(posix_path, self.durable_in)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for own_nodes in self._scopes(ctx.tree):
+            renames: List[Tuple[ast.Call, str]] = []
+            has_fsync = False
+            for node in own_nodes:
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = ctx.resolve(node.func)
+                if resolved in _DURABLE_RENAMES:
+                    assert resolved is not None
+                    renames.append((node, resolved))
+                elif self._is_fsync_call(node, resolved):
+                    has_fsync = True
+            if not has_fsync:
+                for call, resolved in renames:
+                    yield self.violation(
+                        ctx,
+                        call,
+                        f"{resolved}(...) without an fsync in the same "
+                        "function; fsync the file (and, for crash-ordering, "
+                        "the directory) before renaming it into place",
+                    )
+
+    @staticmethod
+    def _is_fsync_call(node: ast.Call, resolved: "str | None") -> bool:
+        """``os.fsync(...)`` or any helper whose name names fsync.
+
+        The helper clause keeps factored-out sync code (``_fsync_dir``,
+        ``self._maybe_fsync``) recognized without an interprocedural
+        analysis; a helper *named* fsync that doesn't sync is a worse
+        bug than a lint gap.
+        """
+        if resolved == "os.fsync":
+            return True
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        return "fsync" in name
+
+    @staticmethod
+    def _scopes(tree: ast.AST) -> Iterator[List[ast.AST]]:
+        """Yield each scope's *own* nodes (module body, then each def).
+
+        Nested defs start their own scope: an ``os.replace`` in a
+        closure must find its fsync in that closure, not in the outer
+        function — pairing across scope boundaries proves nothing about
+        execution order.
+        """
+        scope_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+        def own(root_body: List[ast.AST]) -> List[ast.AST]:
+            out: List[ast.AST] = []
+            stack = [n for n in root_body if not isinstance(n, scope_types)]
+            while stack:
+                node = stack.pop()
+                out.append(node)
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, scope_types):
+                        continue
+                    stack.append(child)
+            return out
+
+        assert isinstance(tree, ast.Module)
+        yield own(tree.body)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield own(node.body)
+            elif isinstance(node, ast.Lambda):
+                yield own([node.body])
+
+
 DEFAULT_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -590,17 +700,25 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     UfuncAtRule(),
     BlockingCallInAsyncRule(),
+    UnsyncedDurableWriteRule(),
 )
 
 
 def rule_table() -> List[Dict[str, str]]:
     """Rule metadata for ``--list-rules`` and the docs."""
-    return [
-        {
-            "id": r.id,
-            "name": r.name,
-            "description": r.description,
-            "allowed_in": ", ".join(r.allowed_in) or "(applies everywhere)",
-        }
-        for r in DEFAULT_RULES
-    ]
+    rows = []
+    for r in DEFAULT_RULES:
+        durable_in = getattr(r, "durable_in", ())
+        if durable_in:
+            scope = "only in: " + ", ".join(durable_in)
+        else:
+            scope = ", ".join(r.allowed_in) or "(applies everywhere)"
+        rows.append(
+            {
+                "id": r.id,
+                "name": r.name,
+                "description": r.description,
+                "allowed_in": scope,
+            }
+        )
+    return rows

@@ -18,7 +18,14 @@ adoption events arrive:
   core tying the three together;
 * :mod:`repro.serving.client` — in-process synchronous client;
 * :mod:`repro.serving.server` — asyncio newline-JSON front end
-  (TCP or stdio), wired into the CLI as ``repro serve``.
+  (TCP or stdio) with bounded reads, per-connection timeouts, and
+  supervised background tasks; wired into the CLI as ``repro serve``;
+* :mod:`repro.serving.durability` — segmented, checksummed write-ahead
+  event journal with fsync policy, rotation, snapshot compaction, and
+  bit-identical crash recovery (``repro serve --journal-dir``);
+* :mod:`repro.serving.health` — lifecycle state machine
+  (starting→recovering→serving→draining), degraded-mode reasons, and
+  the structured fault trail behind the ``health`` protocol op.
 """
 
 from repro.serving.batching import (
@@ -30,7 +37,20 @@ from repro.serving.batching import (
     ScoreResult,
 )
 from repro.serving.client import ScoringClient
-from repro.serving.registry import ModelRegistry, ModelSnapshot
+from repro.serving.durability import (
+    EventJournal,
+    JournalConfig,
+    JournalCorruptError,
+    JournalError,
+    RecoveryReport,
+    recover_service,
+)
+from repro.serving.health import FaultRecord, HealthMonitor
+from repro.serving.registry import (
+    ModelRegistry,
+    ModelSnapshot,
+    SnapshotLoadError,
+)
 from repro.serving.server import ScoringServer, build_service, serve_stdio
 from repro.serving.service import ScoringService, ServiceStats
 from repro.serving.tracker import CascadeTracker, FeatureStore, StoreConfig, StoreStats
@@ -39,12 +59,19 @@ from repro.serving.workspace import ScoringWorkspace
 __all__ = [
     "BatchPolicy",
     "CascadeTracker",
+    "EventJournal",
+    "FaultRecord",
     "FeatureStore",
+    "HealthMonitor",
+    "JournalConfig",
+    "JournalCorruptError",
+    "JournalError",
     "LatencyBreakdown",
     "ModelRegistry",
     "ModelSnapshot",
     "PendingQueue",
     "QueueFullError",
+    "RecoveryReport",
     "ScoreRequest",
     "ScoreResult",
     "ScoringClient",
@@ -52,8 +79,10 @@ __all__ = [
     "ScoringService",
     "ScoringWorkspace",
     "ServiceStats",
+    "SnapshotLoadError",
     "StoreConfig",
     "StoreStats",
     "build_service",
+    "recover_service",
     "serve_stdio",
 ]

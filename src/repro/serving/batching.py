@@ -127,7 +127,9 @@ class ScoreResult:
     * ``"unknown_cascade"`` — the cascade is not tracked (never seen,
       evicted, or expired);
     * ``"shed"`` — dropped unscored by ``overflow="shed_oldest"``;
-    * ``"rejected"`` — refused at submit by ``overflow="reject"``.
+    * ``"rejected"`` — refused at submit by ``overflow="reject"``;
+    * ``"aborted"`` — the service shut down before this request's batch
+      flushed (hard stop; a graceful drain flushes instead of aborting).
     """
 
     cascade_id: str
@@ -227,4 +229,22 @@ class PendingQueue:
         pop = self._pending.popleft
         for _ in range(n):
             out.append(pop())
+        return n
+
+    def fail_all(self, status: str) -> int:
+        """Complete every queued request with *status*, emptying the queue.
+
+        Shutdown path: a hard stop must not leave waiters hanging on
+        requests that will never flush.  Returns how many were failed.
+        """
+        n = len(self._pending)
+        while self._pending:
+            victim = self._pending.popleft()
+            victim.finish(
+                ScoreResult(
+                    cascade_id=victim.cascade_id,
+                    request_id=victim.request_id,
+                    status=status,
+                )
+            )
         return n

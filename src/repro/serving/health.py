@@ -1,0 +1,194 @@
+"""Server lifecycle state machine + structured fault accounting.
+
+One :class:`HealthMonitor` per service instance answers two questions a
+supervisor (or a load balancer's readiness probe) keeps asking:
+
+* **Where in its lifecycle is the process?**  The phase progression is
+  ``starting -> recovering -> serving -> draining -> stopped`` (the
+  ``recovering`` leg only appears when a journal is replayed).  Phases
+  are facts about what the process is *doing*; they only move forward.
+* **Is it healthy while serving?**  ``degraded`` is not a phase but a
+  *condition* — a set of named, retractable reasons layered on top of
+  ``serving``.  Journal I/O failures add ``"journal"`` (durability
+  suspended, scoring continues); a publish failure with no fresh model
+  inside the staleness bound adds ``"model_stale"``; a background task
+  that exhausted its watchdog restart budget adds ``"task:<name>"``.
+  When the last reason clears, the service is simply ``serving`` again.
+
+The wire view (the ``health`` line-protocol op and
+:meth:`ScoringService.stats`) reports::
+
+    state    = phase, except "degraded" when serving with reasons
+    ready    = state in {serving, degraded}   # can score requests
+    healthy  = state == serving               # no active fault
+
+so an orchestrator can distinguish "restart it" (not ready) from "page
+someone but leave it up" (degraded).
+
+Faults are recorded as bounded structured records (monotonic timestamp,
+kind, detail) rather than log lines, mirroring the supervisor's
+fault-event trail in :mod:`repro.parallel.supervision` — tests and
+operators read the same data the state machine acts on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["FaultRecord", "HealthMonitor"]
+
+#: lifecycle phases, in forward order
+_PHASES = ("starting", "recovering", "serving", "draining", "stopped")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One structured fault event.
+
+    ``at`` is service-clock time (monotonic, not wall-clock), ``kind``
+    is a stable machine-readable tag (``"journal_io"``,
+    ``"publish_failed"``, ``"task_restart"``, ``"task_dead"``,
+    ``"torn_tail"``), ``detail`` is for humans.
+    """
+
+    at: float
+    kind: str
+    detail: str
+
+
+class HealthMonitor:
+    """Lifecycle phase + degraded-reason set + bounded fault trail.
+
+    Not locked internally: every mutator is called under the owning
+    service's lock or from the single-threaded asyncio loop; reads
+    compose plain attribute loads (consistent enough for a health
+    probe, which is advisory by nature).
+    """
+
+    #: bounded fault history (oldest dropped first)
+    FAULT_LIMIT = 64
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self.phase = "starting"
+        self.phase_since = clock()
+        #: active degraded reasons -> human detail
+        self._reasons: Dict[str, str] = {}
+        self._faults: List[FaultRecord] = []
+        self.faults_total = 0
+        #: service-clock time of the last successful publish (None before
+        #: the first); used for the model-staleness bound
+        self.last_publish_ok: Optional[float] = None
+        self.publish_failures = 0
+        #: seconds a failed publish may pin the last-good model before the
+        #: condition surfaces as degraded; None disables the bound
+        self.max_publish_staleness: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Phase transitions
+    # ------------------------------------------------------------------ #
+
+    def _advance(self, phase: str) -> None:
+        if _PHASES.index(phase) < _PHASES.index(self.phase):
+            raise RuntimeError(
+                f"lifecycle cannot move backwards: {self.phase} -> {phase}"
+            )
+        if phase != self.phase:
+            self.phase = phase
+            self.phase_since = self._clock()
+
+    def begin_recovery(self) -> None:
+        self._advance("recovering")
+
+    def begin_serving(self) -> None:
+        self._advance("serving")
+
+    def begin_draining(self) -> None:
+        self._advance("draining")
+
+    def stopped(self) -> None:
+        self._advance("stopped")
+
+    # ------------------------------------------------------------------ #
+    # Degraded reasons
+    # ------------------------------------------------------------------ #
+
+    def degrade(self, reason: str, detail: str) -> None:
+        """Raise a named degraded condition (idempotent per reason)."""
+        self._reasons[reason] = detail
+
+    def clear(self, reason: str) -> None:
+        """Retract a degraded condition; unknown reasons are a no-op."""
+        self._reasons.pop(reason, None)
+
+    def record_fault(self, kind: str, detail: str) -> None:
+        """Append to the bounded structured fault trail."""
+        self.faults_total += 1
+        self._faults.append(FaultRecord(at=self._clock(), kind=kind, detail=detail))
+        del self._faults[: -self.FAULT_LIMIT]
+
+    def publish_succeeded(self) -> None:
+        self.last_publish_ok = self._clock()
+        self.clear("model_stale")
+
+    def publish_failed(self, detail: str) -> None:
+        """A publish attempt failed; the last-good snapshot stays pinned.
+
+        The condition only surfaces as degraded once the pinned model is
+        older than ``max_publish_staleness`` (checked lazily in
+        :meth:`reasons`, so a later successful publish retracts it
+        without any polling).
+        """
+        self.publish_failures += 1
+        self.record_fault("publish_failed", detail)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def reasons(self) -> Dict[str, str]:
+        """Active degraded reasons, including the lazy staleness check."""
+        out = dict(self._reasons)
+        bound = self.max_publish_staleness
+        if (
+            bound is not None
+            and self.publish_failures > 0
+            and self.last_publish_ok is not None
+            and self._clock() - self.last_publish_ok > bound
+        ):
+            out.setdefault(
+                "model_stale",
+                f"no successful publish in {self._clock() - self.last_publish_ok:.1f}s "
+                f"(bound {bound:.1f}s, {self.publish_failures} failures)",
+            )
+        return out
+
+    def state(self) -> str:
+        """``phase``, except ``"degraded"`` while serving with reasons."""
+        if self.phase == "serving" and self.reasons():
+            return "degraded"
+        return self.phase
+
+    def faults(self) -> List[FaultRecord]:
+        return list(self._faults)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly view for the ``health`` op and ``stats()``."""
+        state = self.state()
+        reasons = self.reasons()
+        return {
+            "state": state,
+            "phase": self.phase,
+            "ready": state in ("serving", "degraded"),
+            "healthy": state == "serving",
+            "phase_age_s": max(self._clock() - self.phase_since, 0.0),
+            "degraded_reasons": reasons,
+            "faults_total": self.faults_total,
+            "publish_failures": self.publish_failures,
+            "recent_faults": [
+                {"at": f.at, "kind": f.kind, "detail": f.detail}
+                for f in self._faults[-8:]
+            ],
+        }

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
@@ -39,7 +41,24 @@ from repro.embedding.model import EmbeddingModel
 from repro.embedding.online import OnlineEmbeddingInference
 from repro.prediction.pipeline import ViralityPredictor
 
-__all__ = ["ModelSnapshot", "ModelRegistry", "model_fingerprint"]
+__all__ = [
+    "ModelSnapshot",
+    "ModelRegistry",
+    "SnapshotLoadError",
+    "model_fingerprint",
+]
+
+
+class SnapshotLoadError(RuntimeError):
+    """A filesystem model artifact could not be loaded.
+
+    Raised by :meth:`ModelRegistry.publish_path` for missing, corrupt,
+    or truncated artifacts.  The message always carries the offending
+    path; the original exception (when any) rides ``__cause__``.  The
+    registry's current snapshot is untouched — a scorer mid-serve keeps
+    scoring under the last-good model, and the failure is counted in
+    :attr:`ModelRegistry.load_failures`.
+    """
 
 
 def model_fingerprint(model: EmbeddingModel) -> str:
@@ -94,6 +113,8 @@ class ModelRegistry:
         self._current: Optional[ModelSnapshot] = None
         self._n_published = 0
         self._history: List[Tuple[int, str, str]] = []
+        #: failed publish_path attempts (artifact missing/corrupt/truncated)
+        self.load_failures = 0
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -179,27 +200,59 @@ class ModelRegistry:
         (:class:`~repro.parallel.checkpoint.CheckpointManager`), or the
         checkpoint ``.npz`` file itself — this is what lets a training
         run's periodic checkpoints feed a live scorer.
+
+        Raises
+        ------
+        SnapshotLoadError
+            When the artifact is missing, corrupt, or truncated.  The
+            current snapshot is left untouched (publish happens only
+            after a fully successful load) and the attempt is counted
+            in :attr:`load_failures` — a hot-swap against a half-written
+            artifact must never take a serving scorer down.
         """
         p = Path(path)
-        if p.is_dir():
-            from repro.parallel.checkpoint import CheckpointManager
+        try:
+            if p.is_dir():
+                from repro.parallel.checkpoint import CheckpointManager
 
-            ck = CheckpointManager(p).load()
-            if ck is None:
-                raise FileNotFoundError(f"{p}: no checkpoint in directory")
-            model = EmbeddingModel(ck.A, ck.B)
-            source = f"checkpoint:{p}"
-        elif p.is_file():
-            with np.load(p) as data:
-                if "A" not in data or "B" not in data:
-                    raise ValueError(
-                        f"{p}: not an embedding or checkpoint archive (need A, B)"
-                    )
-                if "meta" in data:  # checkpoint archive (has the JSON blob)
-                    source = f"checkpoint:{p}"
-                else:
-                    source = f"npz:{p}"
-                model = EmbeddingModel(data["A"].copy(), data["B"].copy())
-        else:
-            raise FileNotFoundError(f"no such model artifact: {p}")
+                ck = CheckpointManager(p).load()
+                if ck is None:
+                    raise SnapshotLoadError(f"{p}: no checkpoint in directory")
+                model = EmbeddingModel(ck.A, ck.B)
+                source = f"checkpoint:{p}"
+            elif p.is_file():
+                # np.load surfaces corruption in several shapes: OSError /
+                # BadZipFile for a mangled archive, zlib.error / EOFError
+                # for a truncated member, KeyError/ValueError for missing
+                # or malformed entries.  All collapse to the typed error.
+                with np.load(p) as data:
+                    if "A" not in data or "B" not in data:
+                        raise SnapshotLoadError(
+                            f"{p}: not an embedding or checkpoint archive "
+                            "(need A, B)"
+                        )
+                    if "meta" in data:  # checkpoint archive (has the JSON blob)
+                        source = f"checkpoint:{p}"
+                    else:
+                        source = f"npz:{p}"
+                    model = EmbeddingModel(data["A"].copy(), data["B"].copy())
+            else:
+                raise SnapshotLoadError(f"no such model artifact: {p}")
+        except SnapshotLoadError:
+            with self._lock:
+                self.load_failures += 1
+            raise
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            EOFError,
+            zipfile.BadZipFile,
+            zlib.error,
+        ) as exc:
+            with self._lock:
+                self.load_failures += 1
+            raise SnapshotLoadError(
+                f"{p}: cannot load model artifact: {exc}"
+            ) from exc
         return self.publish(model, predictor=predictor, source=source)

@@ -25,19 +25,45 @@ Every request may carry an ``"id"`` which is echoed in the response, so
 clients can pipeline requests and match answers out of order (score
 responses are inherently deferred behind the batcher).
 
+``{"op": "health"}``
+    Lifecycle/readiness snapshot (see :mod:`repro.serving.health`):
+    ``state`` (``serving``/``degraded``/``draining``/...), ``ready``,
+    ``healthy``, active degraded reasons, recent structured faults.
+
 The server never blocks the event loop: scoring requests resolve via
 ``on_done`` callbacks marshalled onto the loop, a background flusher
 task enforces ``max_delay``, and the stdio front end reads stdin
 through the default executor.  (The REP008 lint rule polices exactly
 this property.)
+
+Robustness (DESIGN.md §14):
+
+* **Bounded lines** — requests are assembled from fixed-size reads
+  through a carry buffer with a hard per-line byte bound; an oversized
+  line yields a structured JSON error and the connection stays alive
+  (``readline`` would raise ``LimitOverrunError`` and, drained naively,
+  drop pipelined bytes after the newline).
+* **Read timeouts** — a connection idle past ``read_timeout`` is closed
+  (a stuck peer cannot pin a connection slot forever).
+* **Supervised background tasks** — the flusher and sweeper run under a
+  restart wrapper: a crashed loop is fault-logged and restarted with
+  exponential backoff; past the restart budget the task is abandoned
+  and the service degrades (``task:<name>``) instead of silently losing
+  its ``max_delay`` guarantee.
+* **Graceful drain** — :meth:`ScoringServer.run` installs a SIGTERM
+  handler that stops accepting, flushes everything pending, seals the
+  journal, and returns (the CLI then exits 0).  A hard
+  :meth:`ScoringServer.stop` fails still-queued requests with
+  ``"aborted"`` so no waiter hangs.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import sys
-from typing import IO, Any, Dict, Optional
+from typing import IO, Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,10 +73,62 @@ from repro.serving.registry import ModelRegistry
 from repro.serving.service import ScoringService
 from repro.serving.tracker import StoreConfig
 
-__all__ = ["ScoringServer", "build_service", "result_to_dict", "serve_stdio"]
+__all__ = [
+    "ScoringServer",
+    "build_service",
+    "result_to_dict",
+    "serve_stdio",
+]
 
 #: sweep TTL-stale cascades this often (seconds) while a server runs
 _SWEEP_INTERVAL = 1.0
+#: socket read granularity for the bounded line assembler
+_READ_CHUNK = 65536
+
+
+class _LineAssembler:
+    """Carry-buffer line splitter with a hard per-line byte bound.
+
+    Feed raw socket chunks in; get ``(ok, line)`` pairs out.  ``ok`` is
+    ``False`` exactly once per oversized line — emitted as soon as the
+    bound is crossed, after which bytes are discarded until the next
+    newline — so the peer gets one structured error and the connection
+    (and anything pipelined behind the bad line) keeps working.
+    """
+
+    __slots__ = ("limit", "_buf", "_discarding")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 2:
+            raise ValueError("line limit must be >= 2 bytes")
+        self.limit = limit
+        self._buf = bytearray()
+        self._discarding = False
+
+    def feed(self, chunk: bytes) -> List[Tuple[bool, bytes]]:
+        out: List[Tuple[bool, bytes]] = []
+        buf = self._buf
+        buf += chunk
+        while True:
+            idx = buf.find(b"\n")
+            if idx < 0:
+                if self._discarding:
+                    buf.clear()
+                elif len(buf) > self.limit:
+                    out.append((False, b""))
+                    self._discarding = True
+                    buf.clear()
+                return out
+            line = bytes(buf[:idx])
+            del buf[: idx + 1]
+            if self._discarding:
+                # tail of an oversized line already reported above
+                self._discarding = False
+                continue
+            if len(line) > self.limit:
+                out.append((False, b""))
+                continue
+            out.append((True, line))
 
 
 def build_service(
@@ -63,11 +141,17 @@ def build_service(
     overflow: str = "reject",
     capacity: int = 100_000,
     ttl: Optional[float] = None,
+    journal_dir: Optional[str] = None,
+    fsync: str = "interval",
+    fsync_interval: float = 0.05,
 ) -> ScoringService:
     """Assemble a ready-to-serve :class:`ScoringService` from artifacts.
 
     This is the one factory the CLI, the examples, and the server tests
-    share: registry + initial publish + policy + store config.
+    share: registry + initial publish + policy + store config.  With
+    *journal_dir* set, a write-ahead journal is attached and the
+    initial publish is journaled — a scorer built this way is
+    recoverable from its first event on (``repro serve --recover``).
     """
     from repro.prediction.pipeline import ViralityPredictor
 
@@ -75,8 +159,7 @@ def build_service(
         ViralityPredictor.load(predictor_path) if predictor_path is not None else None
     )
     registry = ModelRegistry()
-    registry.publish_path(model_path, predictor=predictor)
-    return ScoringService(
+    service = ScoringService(
         registry,
         feature_set=feature_set,
         store_config=StoreConfig(capacity=capacity, ttl=ttl),
@@ -87,6 +170,23 @@ def build_service(
             overflow=overflow,
         ),
     )
+    if journal_dir is not None:
+        from repro.serving.durability import EventJournal, JournalConfig
+
+        service.attach_journal(
+            EventJournal(
+                JournalConfig(
+                    directory=journal_dir,
+                    fsync=fsync,
+                    fsync_interval=fsync_interval,
+                )
+            )
+        )
+    snap = registry.publish_path(model_path, predictor=predictor)
+    service._journal_swap(snap)
+    service.health.publish_succeeded()
+    service.health.begin_serving()
+    return service
 
 
 def result_to_dict(result: ScoreResult) -> Dict[str, Any]:
@@ -115,17 +215,49 @@ def result_to_dict(result: ScoreResult) -> Dict[str, Any]:
 
 
 class ScoringServer:
-    """Newline-JSON server over asyncio streams (TCP or stdio)."""
+    """Newline-JSON server over asyncio streams (TCP or stdio).
 
-    def __init__(self, service: ScoringService, host: str = "127.0.0.1", port: int = 0):
+    Parameters
+    ----------
+    read_timeout:
+        Seconds a connection may sit idle (no bytes) before it is
+        closed; ``None`` disables the timeout.
+    max_line_bytes:
+        Hard bound on one request line; longer lines get a structured
+        error reply and are discarded (connection stays alive).
+    max_task_restarts:
+        How many times a crashed background task (flusher/sweeper) is
+        restarted before it is abandoned and the service degrades.
+    restart_backoff:
+        First restart delay; doubles per consecutive restart.
+    """
+
+    def __init__(
+        self,
+        service: ScoringService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_timeout: Optional[float] = None,
+        max_line_bytes: int = 1 << 20,
+        max_task_restarts: int = 5,
+        restart_backoff: float = 0.05,
+    ):
         self.service = service
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
+        self.max_line_bytes = max_line_bytes
+        self.max_task_restarts = max_task_restarts
+        self.restart_backoff = restart_backoff
         self._server: Optional[asyncio.Server] = None
         self._flusher: Optional[asyncio.Task] = None
         self._sweeper: Optional[asyncio.Task] = None
         self._wake: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping = False
+        self.task_restarts: Dict[str, int] = {}
+        self.timeouts = 0
+        self.oversized = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -139,8 +271,11 @@ class ScoringServer:
         )
         sock = self._server.sockets[0]
         self.port = sock.getsockname()[1]
+        self.service.health.begin_serving()
 
     async def stop(self) -> None:
+        """Hard stop: close the listener, kill tasks, abort the queue."""
+        self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -154,6 +289,27 @@ class ScoringServer:
                     pass
         self._flusher = None
         self._sweeper = None
+        # release any waiter still parked on the batcher
+        self.service.abort_pending()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, flush pending, seal journal."""
+        self._stopping = True
+        self.service.health.begin_draining()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in (self._flusher, self._sweeper):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._flusher = None
+        self._sweeper = None
+        self.service.drain()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -162,22 +318,89 @@ class ScoringServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def run(self) -> None:
+        """Serve until SIGTERM, then drain gracefully and return.
+
+        This is the supervised entry point the CLI uses: on SIGTERM the
+        listener closes, the pending batch flushes, the journal seals,
+        and the method returns normally (the process then exits 0).
+        """
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        try:
+            if self._server is None:
+                await self.start()
+            assert self._server is not None
+            async with self._server:
+                await stop.wait()
+        finally:
+            loop.remove_signal_handler(signal.SIGTERM)
+        await self.drain()
+
     def _start_background(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
-        self._flusher = asyncio.create_task(self._flush_loop())
+        self._stopping = False
+        self._flusher = asyncio.create_task(
+            self._supervised("flusher", self._flush_loop)
+        )
         if self.service.store.config.ttl is not None:
-            self._sweeper = asyncio.create_task(self._sweep_loop())
+            self._sweeper = asyncio.create_task(
+                self._supervised("sweeper", self._sweep_loop)
+            )
 
     # ------------------------------------------------------------------ #
     # Background tasks
     # ------------------------------------------------------------------ #
 
+    async def _supervised(
+        self, name: str, factory: Callable[[], Awaitable[None]]
+    ) -> None:
+        """Watchdog wrapper: restart a dead loop with exponential backoff.
+
+        A background loop has no business returning or raising — either
+        means it is dead and the service is quietly violating its
+        ``max_delay`` (flusher) or TTL (sweeper) contract.  Each death
+        is recorded as a structured fault and the loop restarts after
+        ``restart_backoff * 2^k``; once ``max_task_restarts`` is
+        exhausted the task is abandoned and the service degrades with
+        reason ``task:<name>`` — visible to health probes, instead of a
+        silent stall.  Cancellation (shutdown) passes through.
+        """
+        health = self.service.health
+        attempts = 0
+        while not self._stopping:
+            try:
+                await factory()
+                if self._stopping:
+                    return
+                detail = f"{name} loop returned unexpectedly"
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # supervised boundary: log + restart
+                if self._stopping:
+                    return
+                detail = f"{name} died: {type(exc).__name__}: {exc}"
+            attempts += 1
+            self.task_restarts[name] = attempts
+            if attempts > self.max_task_restarts:
+                health.record_fault("task_dead", detail)
+                health.degrade(
+                    f"task:{name}",
+                    f"abandoned after {self.max_task_restarts} restarts ({detail})",
+                )
+                return
+            health.record_fault("task_restart", f"{detail}; restart #{attempts}")
+            await asyncio.sleep(self.restart_backoff * (2 ** (attempts - 1)))
+
     async def _flush_loop(self) -> None:
         """Enforce ``max_delay``: flush whenever requests come due.
 
         Wakes early (via ``_wake``) when a submit fills the batch, so a
-        full batch never waits out the delay timer.
+        full batch never waits out the delay timer.  Doubles as the
+        journal's heartbeat: each pass gives ``fsync="interval"`` a
+        chance to sync a quiet stream.
         """
         assert self._wake is not None
         delay = max(self.service.policy.max_delay, 1e-4)
@@ -189,6 +412,7 @@ class ScoringServer:
             self._wake.clear()
             while self.service.due():
                 self.service.flush()
+            self.service.journal_tick()
 
     async def _sweep_loop(self) -> None:
         while True:
@@ -206,27 +430,55 @@ class ScoringServer:
         # awaiting the batcher never blocks the read loop — that is
         # what lets one connection pipeline a whole batch.  A lock
         # keeps concurrent responses from interleaving on the wire.
+        # Lines are assembled from fixed-size reads through the bounded
+        # carry buffer (never readline: LimitOverrunError recovery
+        # would drop pipelined bytes sitting behind the long line).
         write_lock = asyncio.Lock()
         in_flight: set = set()
+        assembler = _LineAssembler(self.max_line_bytes)
+
+        async def send(response: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
 
         async def respond(raw: bytes) -> None:
             response = await self._dispatch_line(raw)
             if response is not None:
-                async with write_lock:
-                    writer.write(json.dumps(response).encode() + b"\n")
-                    await writer.drain()
+                await send(response)
 
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                try:
+                    chunk = await asyncio.wait_for(
+                        reader.read(_READ_CHUNK), timeout=self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.timeouts += 1
+                    self.service.health.record_fault(
+                        "read_timeout",
+                        f"connection idle > {self.read_timeout}s; closing",
+                    )
                     break
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                task = asyncio.create_task(respond(stripped))
-                in_flight.add(task)
-                task.add_done_callback(in_flight.discard)
+                if not chunk:
+                    break
+                for ok, line in assembler.feed(chunk):
+                    if not ok:
+                        self.oversized += 1
+                        await send(
+                            {
+                                "ok": False,
+                                "error": "request line exceeds "
+                                f"{self.max_line_bytes} bytes; discarded",
+                            }
+                        )
+                        continue
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    task = asyncio.create_task(respond(stripped))
+                    in_flight.add(task)
+                    task.add_done_callback(in_flight.discard)
             if in_flight:
                 await asyncio.gather(*in_flight, return_exceptions=True)
         finally:
@@ -279,6 +531,9 @@ class ScoringServer:
                 }
             elif op == "stats":
                 response = {"ok": True, "stats": self.service.stats()}
+            elif op == "health":
+                health = self.service.health.snapshot()
+                response = {"ok": True, **health}
             elif op == "ping":
                 response = {"ok": True, "pong": True}
             else:
@@ -328,6 +583,7 @@ async def serve_stdio(
     fout = stdout if stdout is not None else sys.stdout
     server = ScoringServer(service)
     server._start_background()
+    service.health.begin_serving()
     loop = asyncio.get_running_loop()
     write_lock = asyncio.Lock()
     in_flight: set = set()
@@ -353,4 +609,5 @@ async def serve_stdio(
         if in_flight:
             await asyncio.gather(*in_flight, return_exceptions=True)
     finally:
-        await server.stop()
+        # EOF on stdin is the stdio analog of SIGTERM: drain, don't abort
+        await server.drain()

@@ -25,6 +25,15 @@ batched scores are bit-identical by construction.
 
 Per-request latency is split into queued time (submit → flush start)
 and the batch's shared compute time.
+
+Durability is opt-in: with a journal attached
+(:meth:`ScoringService.attach_journal`), every validated ingest burst
+and every model publish is written to the write-ahead log *inside the
+same locked section* that applied it — journal order is apply order by
+construction, which is what makes replay deterministic (DESIGN.md §14).
+Journal I/O failures degrade rather than crash: the service flips to
+shed-and-warn (scoring continues, appends are suspended, the condition
+surfaces in :meth:`stats` and the health snapshot).
 """
 
 from __future__ import annotations
@@ -32,11 +41,13 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.embedding.model import EmbeddingModel
 from repro.prediction.features import PAPER_FEATURES
+from repro.prediction.pipeline import ViralityPredictor
 from repro.serving.batching import (
     BatchPolicy,
     LatencyBreakdown,
@@ -44,9 +55,13 @@ from repro.serving.batching import (
     ScoreRequest,
     ScoreResult,
 )
-from repro.serving.registry import ModelRegistry, ModelSnapshot
+from repro.serving.health import HealthMonitor
+from repro.serving.registry import ModelRegistry, ModelSnapshot, SnapshotLoadError
 from repro.serving.tracker import FeatureStore, StoreConfig
 from repro.serving.workspace import ScoringWorkspace
+
+if TYPE_CHECKING:  # import cycle: durability builds services during recovery
+    from repro.serving.durability import EventJournal
 
 __all__ = ["ScoringService", "ServiceStats"]
 
@@ -59,6 +74,8 @@ class ServiceStats:
     scored: int = 0
     batches: int = 0
     unknown: int = 0
+    journal_faults: int = 0
+    aborted: int = 0
 
 
 class ScoringService:
@@ -79,9 +96,125 @@ class ScoringService:
         self.store = FeatureStore(feature_set, config=store_config, clock=clock)
         self.queue = PendingQueue(self.policy)
         self.stats_counters = ServiceStats()
+        self.health = HealthMonitor(clock=clock)
         self._next_request_id = 0
         # one workspace per service, used only under the lock
         self._ws = ScoringWorkspace()
+        self._journal: Optional["EventJournal"] = None
+        self._journal_suspended = False
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def journal(self) -> Optional["EventJournal"]:
+        return self._journal
+
+    def attach_journal(self, journal: "EventJournal") -> None:
+        """Start journaling every future ingest burst and publish.
+
+        Attach *before* traffic (or right after recovery, which is the
+        same thing): bursts applied while no journal was attached are
+        not durable.
+        """
+        with self._lock:
+            self._journal = journal
+            self._journal_suspended = False
+            self.health.clear("journal")
+
+    def _journal_fault(self, exc: OSError, what: str) -> None:
+        """Journal I/O failed: suspend durability, keep scoring."""
+        self._journal_suspended = True
+        self.stats_counters.journal_faults += 1
+        detail = f"{what}: {exc}"
+        self.health.record_fault("journal_io", detail)
+        self.health.degrade("journal", f"durability suspended ({detail})")
+
+    def _journal_events(
+        self,
+        cascade_ids: Sequence[str],
+        nodes: np.ndarray,
+        times: np.ndarray,
+    ) -> None:
+        """Append one validated burst; called under the lock, post-apply.
+
+        Every *validated* burst is journaled even when zero events
+        applied: a fully-duplicate burst still re-ranks LRU order, and
+        LRU order decides future evictions — replay must reproduce it.
+        Only ``OSError`` is absorbed (into degraded mode); an injected
+        :class:`~repro.serving.durability.InjectedCrash` propagates,
+        exactly like a real process death would.
+        """
+        journal = self._journal
+        if journal is None or self._journal_suspended:
+            return
+        try:
+            journal.append_events(cascade_ids, nodes, times)
+        except OSError as exc:
+            self._journal_fault(exc, "append_events")
+            return
+        if journal.should_snapshot():
+            self.compact()
+
+    def journal_tick(self) -> None:
+        """Opportunistic interval-fsync; driven by the server's flusher."""
+        with self._lock:
+            journal = self._journal
+            if journal is None or self._journal_suspended:
+                return
+            try:
+                journal.tick()
+            except OSError as exc:
+                self._journal_fault(exc, "tick")
+
+    def compact(self) -> bool:
+        """Snapshot the full store state and prune superseded segments.
+
+        Returns ``True`` on success, ``False`` when no journal is
+        attached or durability is suspended.  A failed snapshot write
+        degrades (the journal keeps appending to its segments — losing
+        compaction costs recovery time, not correctness).
+        """
+        from repro.serving.durability import StoreSnapshot
+
+        with self._lock:
+            journal = self._journal
+            if journal is None or self._journal_suspended:
+                return False
+            try:
+                snapshot = self.registry.current()
+            except LookupError:
+                return False
+            cids, offsets, nodes, times = self.store.export_state()
+            try:
+                journal.write_snapshot(
+                    StoreSnapshot(
+                        cascade_ids=cids,
+                        offsets=offsets,
+                        nodes=nodes,
+                        times=times,
+                        source=snapshot.source,
+                        fingerprint=snapshot.fingerprint,
+                        model=snapshot.model,
+                        predictor=snapshot.predictor,
+                    )
+                )
+            except OSError as exc:
+                self._journal_fault(exc, "write_snapshot")
+                return False
+            return True
+
+    def seal_journal(self) -> None:
+        """Flush + fsync + close the journal (idempotent; drain's last step)."""
+        with self._lock:
+            journal = self._journal
+            if journal is None:
+                return
+            try:
+                journal.seal()
+            except OSError as exc:
+                self._journal_fault(exc, "seal")
 
     # ------------------------------------------------------------------ #
     # Ingest
@@ -98,6 +231,11 @@ class ScoringService:
             applied = self.store.ingest(cascade_id, node, t, snapshot)
             if applied:
                 self.stats_counters.ingested += 1
+            self._journal_events(
+                (cascade_id,),
+                np.asarray([node], dtype=np.int64),
+                np.asarray([t], dtype=np.float64),
+            )
             return applied
 
     def ingest_many(self, events: Sequence[Tuple[str, int, float]]) -> int:
@@ -113,6 +251,13 @@ class ScoringService:
             snapshot = self.registry.current()
             applied = self.store.ingest_many(events, snapshot)
             self.stats_counters.ingested += applied
+            if events and self._journal is not None:
+                cid_seq, node_seq, time_seq = zip(*events)
+                self._journal_events(
+                    cid_seq,
+                    np.asarray(node_seq, dtype=np.int64),
+                    np.asarray(time_seq, dtype=np.float64),
+                )
             return applied
 
     def ingest_columns(
@@ -133,6 +278,8 @@ class ScoringService:
             snapshot = self.registry.current()
             applied = self.store.ingest_columns(cascade_ids, nodes, times, snapshot)
             self.stats_counters.ingested += applied
+            if len(cascade_ids):
+                self._journal_events(cascade_ids, nodes, times)
             return applied
 
     # ------------------------------------------------------------------ #
@@ -295,18 +442,91 @@ class ScoringService:
         with self._lock:
             return self.store.sweep()
 
+    def _journal_swap(self, snapshot: ModelSnapshot) -> None:
+        with self._lock:
+            journal = self._journal
+            if journal is None or self._journal_suspended:
+                return
+            try:
+                journal.append_swap(snapshot)
+            except OSError as exc:
+                self._journal_fault(exc, "append_swap")
+
+    def publish(
+        self,
+        model: EmbeddingModel,
+        predictor: Optional[ViralityPredictor] = None,
+        source: str = "inline",
+    ) -> ModelSnapshot:
+        """Publish an in-memory model through the service.
+
+        The journaled twin of ``registry.publish``: the new snapshot is
+        written to the write-ahead log as a self-contained swap record,
+        so recovery replays the hot-swap at the same stream position.
+        """
+        with self._lock:
+            snapshot = self.registry.publish(model, predictor=predictor, source=source)
+            self._journal_swap(snapshot)
+            self.health.publish_succeeded()
+            return snapshot
+
     def swap_path(self, path: Union[str, "object"]) -> ModelSnapshot:
         """Hot-swap the model from a filesystem artifact (see registry).
 
         Model artifacts (npz archives, checkpoints) carry embeddings
         only, so the currently published predictor is carried forward —
         swapping in refreshed embeddings must not silently stop scoring.
+
+        A corrupt/missing artifact raises
+        :class:`~repro.serving.registry.SnapshotLoadError` and pins the
+        last-good snapshot: scoring continues under the old model, the
+        failure is counted, and (once the pinned model exceeds the
+        health monitor's staleness bound) surfaces as degraded.
         """
         try:
             predictor = self.registry.current().predictor
         except LookupError:
             predictor = None
-        return self.registry.publish_path(path, predictor=predictor)  # type: ignore[arg-type]
+        try:
+            snapshot = self.registry.publish_path(path, predictor=predictor)  # type: ignore[arg-type]
+        except SnapshotLoadError as exc:
+            self.health.publish_failed(str(exc))
+            raise
+        self._journal_swap(snapshot)
+        self.health.publish_succeeded()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+
+    def drain(self) -> int:
+        """Graceful shutdown: flush everything pending, seal the journal.
+
+        Returns how many requests were scored during the drain.  After
+        this the service refuses nothing structurally (it has no
+        "closed" latch — the front end stops feeding it), but the
+        journal is sealed, so durability is over.
+        """
+        with self._lock:
+            self.health.begin_draining()
+            drained = 0
+            while len(self.queue):
+                drained += len(self.flush())
+            self.seal_journal()
+            self.health.stopped()
+            return drained
+
+    def abort_pending(self) -> int:
+        """Hard stop: fail every queued request with ``"aborted"``.
+
+        Used by the non-graceful stop path so waiters (asyncio futures
+        in the server) are released instead of hanging forever.
+        """
+        with self._lock:
+            n = self.queue.fail_all("aborted")
+            self.stats_counters.aborted += n
+            return n
 
     def stats(self) -> Dict[str, object]:
         """One JSON-friendly dict of service/store/queue state."""
@@ -315,8 +535,10 @@ class ScoringService:
                 version = self.registry.current().version
             except LookupError:
                 version = 0
-            return {
+            journal = self._journal
+            out: Dict[str, object] = {
                 "model_version": version,
+                "state": self.health.state(),
                 "tracked_cascades": len(self.store),
                 "pending": len(self.queue),
                 "ingested": self.stats_counters.ingested,
@@ -329,4 +551,12 @@ class ScoringService:
                 "rebuilds": self.store.stats.rebuilds,
                 "shed": self.queue.shed,
                 "rejected": self.queue.rejected,
+                "aborted": self.stats_counters.aborted,
+                "journal_faults": self.stats_counters.journal_faults,
+                "load_failures": self.registry.load_failures,
             }
+            if journal is not None:
+                stats = journal.stats_dict()
+                stats["suspended"] = self._journal_suspended
+                out["journal"] = stats
+            return out

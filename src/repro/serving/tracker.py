@@ -760,3 +760,45 @@ class FeatureStore:
         del self._slots[cascade_id]
         self._release(slot)
         return True
+
+    # ------------------------------------------------------------------ #
+    # Durability export
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> Tuple[List[str], np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar dump of every tracked cascade's observed event log.
+
+        Returns ``(cascade_ids, offsets, nodes, times)``: ids in LRU
+        order (least recently touched first), ``offsets`` of length
+        ``len(ids) + 1`` delimiting each cascade's block in the
+        concatenated ``nodes``/``times`` columns.  Events within a block
+        are in the engine's observation order.
+
+        This is the journal-snapshot wire shape
+        (:class:`~repro.serving.durability.StoreSnapshot`): feeding the
+        blocks back through :meth:`ingest_columns` as one burst admits
+        cascades in LRU order and re-ranks each by its last occurrence
+        to that same order — the restored store's eviction queue, event
+        logs, and feature vectors are bit-identical to the original's.
+        """
+        cids: List[str] = []
+        sizes: List[int] = []
+        node_blocks: List[List[int]] = []
+        time_blocks: List[List[float]] = []
+        for cid, slot in self._slots.items():
+            engine = self._engines[slot]
+            assert engine is not None
+            observed = engine.observed()
+            cids.append(cid)
+            sizes.append(len(observed.nodes))
+            node_blocks.append(observed.nodes)
+            time_blocks.append(observed.times)
+        offsets = np.zeros(len(cids) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        total = int(offsets[-1])
+        nodes = np.empty(total, dtype=np.int64)
+        times = np.empty(total, dtype=np.float64)
+        for i, (nb, tb) in enumerate(zip(node_blocks, time_blocks)):
+            nodes[offsets[i] : offsets[i + 1]] = nb
+            times[offsets[i] : offsets[i + 1]] = tb
+        return cids, offsets, nodes, times

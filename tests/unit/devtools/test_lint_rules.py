@@ -1,4 +1,4 @@
-"""Per-rule good/bad fixtures for the REP001–REP008 lint rules.
+"""Per-rule good/bad fixtures for the REP001–REP009 lint rules.
 
 Each rule gets a bad snippet (must fire, with the right rule id) and a
 good snippet (must stay silent), exercised through ``lint_source`` so the
@@ -30,7 +30,7 @@ class TestRuleTable:
         assert ids == sorted(ids)
         assert set(ids) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007", "REP008",
+            "REP007", "REP008", "REP009",
         }
 
     def test_rule_table_schema(self):
@@ -419,6 +419,115 @@ class TestREP008BlockingCallInAsync:
         violations, n_suppressed = run_lint(src)
         assert violations == []
         assert n_suppressed == 1
+
+
+class TestREP009UnsyncedDurableWrite:
+    """REP009 applies *only* in durability-intent modules (the inverse
+    of the allow-list grammar): a rename-install there must pair with an
+    fsync in the same function."""
+
+    DURABLE = "src/repro/serving/durability.py"
+
+    def test_replace_without_fsync_flagged(self):
+        bad = """
+        import os
+        def install(tmp, final):
+            os.replace(tmp, final)
+        """
+        violations, _ = run_lint(bad, path=self.DURABLE)
+        assert rule_ids(violations) == ["REP009"]
+        assert "fsync" in violations[0].message
+
+    def test_rename_and_shutil_move_flagged(self):
+        bad = """
+        import os
+        import shutil
+        def install(tmp, final):
+            os.rename(tmp, final)
+            shutil.move(tmp, final)
+        """
+        violations, _ = run_lint(bad, path="src/repro/parallel/checkpoint.py")
+        assert rule_ids(violations) == ["REP009", "REP009"]
+
+    def test_fsync_in_same_function_pairs(self):
+        good = """
+        import os
+        def install(fh, tmp, final):
+            fh.flush()
+            os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        """
+        violations, _ = run_lint(good, path=self.DURABLE)
+        assert violations == []
+
+    def test_fsync_helper_recognized(self):
+        good = """
+        import os
+        def _fsync_dir(path):
+            fd = os.open(path, os.O_RDONLY)
+            os.fsync(fd)
+        def install(tmp, final):
+            os.replace(tmp, final)
+            _fsync_dir(final)
+        """
+        violations, _ = run_lint(good, path=self.DURABLE)
+        assert violations == []
+
+    def test_closure_scope_does_not_borrow_outer_fsync(self):
+        """A rename inside a nested def must find its fsync *there* —
+        pairing across scope boundaries proves nothing about ordering."""
+        bad = """
+        import os
+        def outer(fh, tmp, final):
+            os.fsync(fh.fileno())
+            def deferred():
+                os.replace(tmp, final)
+            return deferred
+        """
+        violations, _ = run_lint(bad, path=self.DURABLE)
+        assert rule_ids(violations) == ["REP009"]
+
+    def test_module_scope_checked(self):
+        bad = "import os\nos.replace('a', 'b')\n"
+        violations, _ = run_lint(bad, path=self.DURABLE)
+        assert rule_ids(violations) == ["REP009"]
+
+    def test_outside_durable_modules_not_flagged(self):
+        src = """
+        import os
+        def move_artifact(tmp, final):
+            os.replace(tmp, final)
+        """
+        violations, _ = run_lint(src)  # default path: not durability-intent
+        assert violations == []
+        violations, _ = run_lint(src, path="src/repro/devtools/cleanup.py")
+        assert violations == []
+
+    def test_noqa_suppression(self):
+        src = (
+            "import os\n"
+            "def install(tmp, final):\n"
+            "    os.replace(tmp, final)  # repro: noqa[REP009] tmpfs only\n"
+        )
+        violations, n_suppressed = run_lint(src, path=self.DURABLE)
+        assert violations == []
+        assert n_suppressed == 1
+
+    def test_path_matches_grammar(self):
+        from repro.devtools.lint.engine import Rule
+
+        patterns = ("repro/serving/durability.py", "wal/")
+        assert Rule.path_matches("src/repro/serving/durability.py", patterns)
+        assert Rule.path_matches("repro/serving/durability.py", patterns)
+        assert not Rule.path_matches("src/repro/serving/server.py", patterns)
+        assert not Rule.path_matches("src/repro/serving/xdurability.py", patterns)
+        assert Rule.path_matches("src/wal/writer.py", patterns)
+        assert not Rule.path_matches("src/walrus/writer.py", patterns)
+
+    def test_rule_table_shows_inverse_scope(self):
+        (row,) = [r for r in rule_table() if r["id"] == "REP009"]
+        assert row["allowed_in"].startswith("only in:")
+        assert "durability.py" in row["allowed_in"]
 
 
 class TestShippedTreeIsClean:

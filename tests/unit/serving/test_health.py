@@ -1,0 +1,146 @@
+"""Unit tests for the lifecycle state machine and fault accounting."""
+
+import pytest
+
+from repro.serving.health import FaultRecord, HealthMonitor
+
+
+@pytest.fixture
+def clock():
+    return [0.0]
+
+
+@pytest.fixture
+def monitor(clock):
+    return HealthMonitor(clock=lambda: clock[0])
+
+
+class TestPhases:
+    def test_forward_progression(self, monitor):
+        assert monitor.phase == "starting"
+        monitor.begin_recovery()
+        monitor.begin_serving()
+        monitor.begin_draining()
+        monitor.stopped()
+        assert monitor.phase == "stopped"
+
+    def test_recovery_leg_is_optional(self, monitor):
+        monitor.begin_serving()
+        assert monitor.phase == "serving"
+
+    def test_same_phase_is_idempotent(self, monitor, clock):
+        monitor.begin_serving()
+        clock[0] = 5.0
+        monitor.begin_serving()  # no-op: phase_since is not reset
+        assert monitor.phase_since == 0.0
+
+    def test_backwards_raises(self, monitor):
+        monitor.begin_serving()
+        with pytest.raises(RuntimeError, match="backwards"):
+            monitor.begin_recovery()
+
+    def test_phase_age_tracks_clock(self, monitor, clock):
+        clock[0] = 2.0
+        monitor.begin_serving()
+        clock[0] = 7.5
+        assert monitor.snapshot()["phase_age_s"] == pytest.approx(5.5)
+
+
+class TestDegraded:
+    def test_degrade_and_clear(self, monitor):
+        monitor.begin_serving()
+        assert monitor.state() == "serving"
+        monitor.degrade("journal", "durability suspended")
+        assert monitor.state() == "degraded"
+        assert monitor.reasons() == {"journal": "durability suspended"}
+        monitor.clear("journal")
+        assert monitor.state() == "serving"
+        monitor.clear("journal")  # unknown reason: no-op
+
+    def test_degraded_is_not_a_phase(self, monitor):
+        """Reasons raised outside `serving` don't rename the phase."""
+        monitor.degrade("journal", "x")
+        assert monitor.state() == "starting"
+        monitor.begin_serving()
+        assert monitor.state() == "degraded"
+        monitor.begin_draining()
+        assert monitor.state() == "draining"
+
+    def test_ready_and_healthy(self, monitor):
+        snap = monitor.snapshot()
+        assert not snap["ready"] and not snap["healthy"]
+        monitor.begin_serving()
+        snap = monitor.snapshot()
+        assert snap["ready"] and snap["healthy"]
+        monitor.degrade("task:flusher", "restart budget exhausted")
+        snap = monitor.snapshot()
+        assert snap["ready"] and not snap["healthy"]
+
+
+class TestFaults:
+    def test_trail_is_bounded(self, monitor):
+        for i in range(HealthMonitor.FAULT_LIMIT + 20):
+            monitor.record_fault("journal_io", f"fault {i}")
+        faults = monitor.faults()
+        assert len(faults) == HealthMonitor.FAULT_LIMIT
+        assert faults[-1].detail == f"fault {HealthMonitor.FAULT_LIMIT + 19}"
+        assert monitor.faults_total == HealthMonitor.FAULT_LIMIT + 20
+
+    def test_records_are_structured(self, monitor, clock):
+        clock[0] = 3.0
+        monitor.record_fault("torn_tail", "wal-00000001.log @ 88")
+        (fault,) = monitor.faults()
+        assert fault == FaultRecord(at=3.0, kind="torn_tail", detail="wal-00000001.log @ 88")
+
+    def test_snapshot_shows_recent_tail(self, monitor):
+        for i in range(12):
+            monitor.record_fault("k", str(i))
+        recent = monitor.snapshot()["recent_faults"]
+        assert len(recent) == 8
+        assert recent[-1]["detail"] == "11"
+
+
+class TestPublishStaleness:
+    def test_failure_inside_bound_is_quiet(self, monitor, clock):
+        monitor.begin_serving()
+        monitor.max_publish_staleness = 10.0
+        monitor.publish_succeeded()
+        clock[0] = 5.0
+        monitor.publish_failed("corrupt artifact")
+        assert monitor.state() == "serving"
+        assert monitor.publish_failures == 1
+
+    def test_failure_past_bound_degrades(self, monitor, clock):
+        monitor.begin_serving()
+        monitor.max_publish_staleness = 10.0
+        monitor.publish_succeeded()
+        monitor.publish_failed("corrupt artifact")
+        clock[0] = 10.1
+        assert "model_stale" in monitor.reasons()
+        assert monitor.state() == "degraded"
+
+    def test_success_retracts_without_polling(self, monitor, clock):
+        monitor.begin_serving()
+        monitor.max_publish_staleness = 10.0
+        monitor.publish_succeeded()
+        monitor.publish_failed("x")
+        clock[0] = 20.0
+        assert monitor.state() == "degraded"
+        monitor.publish_succeeded()
+        assert monitor.state() == "serving"
+
+    def test_no_bound_no_staleness(self, monitor, clock):
+        monitor.begin_serving()
+        monitor.publish_succeeded()
+        monitor.publish_failed("x")
+        clock[0] = 1e6
+        assert monitor.state() == "serving"
+
+    def test_no_successful_publish_yet(self, monitor, clock):
+        """Staleness measures age of the last *good* model; before any
+        publish there is nothing to be stale relative to."""
+        monitor.begin_serving()
+        monitor.max_publish_staleness = 1.0
+        monitor.publish_failed("x")
+        clock[0] = 100.0
+        assert "model_stale" not in monitor.reasons()

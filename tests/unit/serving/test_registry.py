@@ -13,7 +13,11 @@ import pytest
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.online import OnlineEmbeddingInference
 from repro.prediction.pipeline import PredictionDataset, ViralityPredictor
-from repro.serving.registry import ModelRegistry, model_fingerprint
+from repro.serving.registry import (
+    ModelRegistry,
+    SnapshotLoadError,
+    model_fingerprint,
+)
 
 
 def make_model(seed, n=20, k=3):
@@ -99,14 +103,104 @@ class TestPublishPath:
         assert snap.source.startswith("checkpoint:")
 
     def test_missing_path(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            ModelRegistry().publish_path(tmp_path / "nope.npz")
+        reg = ModelRegistry()
+        with pytest.raises(SnapshotLoadError, match="nope.npz"):
+            reg.publish_path(tmp_path / "nope.npz")
+        assert reg.load_failures == 1
 
     def test_wrong_archive(self, tmp_path):
         p = tmp_path / "junk.npz"
         np.savez(p, x=np.arange(3))
-        with pytest.raises(ValueError, match="need A, B"):
+        with pytest.raises(SnapshotLoadError, match="need A, B"):
             ModelRegistry().publish_path(p)
+
+
+class TestCorruptArtifacts:
+    """A half-written or mangled artifact must never unseat the live model."""
+
+    def _publish_good(self, reg, tmp_path):
+        model = make_model(7)
+        good = tmp_path / "good.npz"
+        model.save(good)
+        return reg.publish_path(good)
+
+    def test_truncated_npz(self, tmp_path):
+        reg = ModelRegistry()
+        live = self._publish_good(reg, tmp_path)
+        p = tmp_path / "model.npz"
+        make_model(8).save(p)
+        blob = p.read_bytes()
+        p.write_bytes(blob[: len(blob) // 2])  # torn mid-write
+        with pytest.raises(SnapshotLoadError, match="model.npz"):
+            reg.publish_path(p)
+        assert reg.current() is live  # last-good snapshot still pinned
+        assert reg.load_failures == 1
+
+    def test_garbage_bytes(self, tmp_path):
+        reg = ModelRegistry()
+        live = self._publish_good(reg, tmp_path)
+        p = tmp_path / "model.npz"
+        p.write_bytes(b"\x00\xffnot a zip archive at all")
+        with pytest.raises(SnapshotLoadError, match="model.npz"):
+            reg.publish_path(p)
+        assert reg.current() is live
+        assert reg.load_failures == 1
+
+    def test_corrupt_member_crc(self, tmp_path):
+        reg = ModelRegistry()
+        self._publish_good(reg, tmp_path)
+        p = tmp_path / "model.npz"
+        make_model(9).save(p)
+        blob = bytearray(p.read_bytes())
+        # flip bytes in the middle of the archive (inside a member's
+        # compressed/stored data), leaving the zip directory intact
+        mid = len(blob) // 2
+        for i in range(mid, mid + 8):
+            blob[i] ^= 0xFF
+        p.write_bytes(bytes(blob))
+        before = reg.current()
+        with pytest.raises(SnapshotLoadError, match="model.npz"):
+            reg.publish_path(p)
+        assert reg.current() is before
+
+    def test_empty_checkpoint_dir(self, tmp_path):
+        reg = ModelRegistry()
+        live = self._publish_good(reg, tmp_path)
+        empty = tmp_path / "ck"
+        empty.mkdir()
+        with pytest.raises(SnapshotLoadError, match="no checkpoint"):
+            reg.publish_path(empty)
+        assert reg.current() is live
+
+    def test_service_swap_path_pins_last_good(self, tmp_path):
+        """The service-level hot swap: failure counts, health degrades
+        after the staleness bound, scoring continues under the old model."""
+        from repro.serving.service import ScoringService
+
+        clock = [0.0]
+        reg = ModelRegistry()
+        service = ScoringService(reg, clock=lambda: clock[0])
+        self._publish_good(reg, tmp_path)
+        service.health.publish_succeeded()
+        service.health.max_publish_staleness = 10.0
+        service.ingest("c1", 1, 0.1)
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"junk")
+        with pytest.raises(SnapshotLoadError):
+            service.swap_path(str(bad))
+        assert service.stats()["load_failures"] == 1
+        # inside the staleness bound: degraded condition not yet raised
+        assert service.health.state() in ("starting", "serving")
+        clock[0] = 11.0
+        assert "model_stale" in service.health.reasons()
+        # scoring still works under the pinned model
+        result = service.score("c1")
+        assert result.status == "ok"
+        # a later successful swap retracts the condition
+        good2 = tmp_path / "good2.npz"
+        make_model(10).save(good2)
+        service.swap_path(str(good2))
+        assert "model_stale" not in service.health.reasons()
 
 
 class TestPublishOnline:

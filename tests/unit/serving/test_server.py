@@ -9,8 +9,14 @@ import pytest
 
 from repro.embedding.model import EmbeddingModel
 from repro.serving.batching import BatchPolicy
+from repro.serving.durability import JournalConfig, recover_service
 from repro.serving.registry import ModelRegistry
-from repro.serving.server import ScoringServer, build_service, serve_stdio
+from repro.serving.server import (
+    ScoringServer,
+    _LineAssembler,
+    build_service,
+    serve_stdio,
+)
 from repro.serving.service import ScoringService
 
 
@@ -206,6 +212,220 @@ class TestTCPServer:
         assert len(score["features"]) == 3  # the paper feature set
 
 
+class TestLineAssembler:
+    def test_reassembles_split_lines(self):
+        asm = _LineAssembler(64)
+        assert asm.feed(b'{"a": 1') == []
+        assert asm.feed(b'}\n{"b"') == [(True, b'{"a": 1}')]
+        assert asm.feed(b": 2}\n") == [(True, b'{"b": 2}')]
+
+    def test_multiple_lines_per_chunk(self):
+        asm = _LineAssembler(64)
+        assert asm.feed(b"x\ny\nz\n") == [(True, b"x"), (True, b"y"), (True, b"z")]
+
+    def test_oversized_reported_once_at_bound_crossing(self):
+        asm = _LineAssembler(8)
+        assert asm.feed(b"A" * 20) == [(False, b"")]  # bound crossed mid-line
+        assert asm.feed(b"B" * 20) == []  # same line: discarded silently
+        # pipelined bytes behind the newline survive
+        assert asm.feed(b"C\nok\n") == [(True, b"ok")]
+
+    def test_oversized_with_newline_in_same_chunk(self):
+        asm = _LineAssembler(8)
+        assert asm.feed(b"A" * 20 + b"\nok\n") == [(False, b""), (True, b"ok")]
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            _LineAssembler(1)
+
+
+class TestRobustness:
+    def test_oversized_line_keeps_connection_alive(self):
+        async def scenario():
+            service = make_service()
+            server = ScoringServer(service, max_line_bytes=256)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                big = json.dumps({"op": "ping", "pad": "x" * 1024}).encode()
+                follow = json.dumps({"op": "ping", "id": 1}).encode()
+                writer.write(big + b"\n" + follow + b"\n")
+                await writer.drain()
+                first = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+                second = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+                writer.close()
+                await writer.wait_closed()
+                return first, second, server.oversized
+            finally:
+                await server.stop()
+
+        error, pong, oversized = asyncio.run(scenario())
+        assert error["ok"] is False and "exceeds 256 bytes" in error["error"]
+        assert pong == {"ok": True, "pong": True, "id": 1}
+        assert oversized == 1
+
+    def test_read_timeout_closes_idle_connection(self):
+        async def scenario():
+            service = make_service()
+            server = ScoringServer(service, read_timeout=0.05)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # active traffic is served...
+                writer.write(json.dumps({"op": "ping"}).encode() + b"\n")
+                await writer.drain()
+                pong = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+                # ...then the idle connection is closed by the server
+                eof = await asyncio.wait_for(reader.readline(), 5.0)
+                writer.close()
+                await writer.wait_closed()
+                return pong, eof, server.timeouts
+            finally:
+                await server.stop()
+
+        pong, eof, timeouts = asyncio.run(scenario())
+        assert pong["ok"] is True
+        assert eof == b""
+        assert timeouts == 1
+
+    def test_watchdog_restarts_crashed_flusher(self):
+        async def scenario():
+            service = make_service(max_delay=0.002)
+            deaths = {"left": 2}
+            orig = service.journal_tick
+
+            def flaky():
+                if deaths["left"]:
+                    deaths["left"] -= 1
+                    raise RuntimeError("injected flusher death")
+                orig()
+
+            service.journal_tick = flaky
+            server = ScoringServer(service, restart_backoff=0.005)
+            await server.start()
+            try:
+                await asyncio.sleep(0.15)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    json.dumps({"op": "event", "cascade": "c", "node": 3, "t": 0.0})
+                    .encode() + b"\n"
+                )
+                writer.write(json.dumps({"op": "score", "cascade": "c"}).encode() + b"\n")
+                await writer.drain()
+                responses = [
+                    json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+                    for _ in range(2)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                return server.task_restarts, service.health, responses
+            finally:
+                await server.stop()
+
+        restarts, health, responses = asyncio.run(scenario())
+        # both injected deaths were fault-logged and restarted...
+        assert restarts["flusher"] == 2
+        assert sum(f.kind == "task_restart" for f in health.faults()) == 2
+        # ...and the recovered flusher still flushes scores
+        assert "task:flusher" not in health.reasons()
+        score = next(r for r in responses if "status" in r)
+        assert score["status"] == "ok"
+
+    def test_watchdog_budget_exhausted_degrades(self):
+        async def scenario():
+            service = make_service(max_delay=0.002)
+
+            def always_dead():
+                raise RuntimeError("dead disk")
+
+            service.journal_tick = always_dead
+            server = ScoringServer(
+                service, max_task_restarts=2, restart_backoff=0.001
+            )
+            await server.start()
+            try:
+                for _ in range(100):
+                    if "task:flusher" in service.health.reasons():
+                        break
+                    await asyncio.sleep(0.01)
+                # the rest of the server still answers
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(json.dumps({"op": "health"}).encode() + b"\n")
+                await writer.drain()
+                health = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+                writer.close()
+                await writer.wait_closed()
+                return service.health, health
+            finally:
+                await server.stop()
+
+        monitor, health_resp = asyncio.run(scenario())
+        assert "task:flusher" in monitor.reasons()
+        assert monitor.state() == "degraded"
+        assert any(f.kind == "task_dead" for f in monitor.faults())
+        assert health_resp["state"] == "degraded"
+        assert health_resp["ready"] is True and health_resp["healthy"] is False
+
+    def test_health_op(self):
+        service = make_service()
+        responses = asyncio.run(run_session(service, [{"op": "health", "id": 1}]))
+        health = responses[0]
+        assert health["ok"] is True
+        assert health["state"] == "serving"
+        assert health["ready"] is True and health["healthy"] is True
+        assert health["degraded_reasons"] == {}
+
+    def test_drain_flushes_and_seals(self, tmp_path):
+        from repro.serving.durability import EventJournal
+
+        async def scenario():
+            # flusher timer far out: only drain can complete the score
+            service = make_service(max_batch=64, max_delay=5.0)
+            service.attach_journal(
+                EventJournal(JournalConfig(directory=tmp_path / "wal"))
+            )
+            server = ScoringServer(service)
+            await server.start()
+            service.ingest("c", 3, 0.0)
+            done = []
+            service.submit("c", on_done=done.append)
+            await server.drain()
+            return service, done
+
+        service, done = asyncio.run(scenario())
+        assert service.health.phase == "stopped"
+        assert service.journal.closed
+        assert done and done[0].status == "ok"
+
+    def test_stop_aborts_pending_requests(self):
+        async def scenario():
+            service = make_service(max_batch=64, max_delay=5.0)
+            server = ScoringServer(service)
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(json.dumps({"op": "score", "cascade": "c", "id": 1}).encode() + b"\n")
+            await writer.drain()
+            while not service.pending():
+                await asyncio.sleep(0.001)
+            await server.stop()
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            writer.close()
+            await writer.wait_closed()
+            return json.loads(line), service.stats()
+
+        response, stats = asyncio.run(scenario())
+        assert response["status"] == "aborted" and response["ok"] is False
+        assert stats["aborted"] == 1
+
+
 class TestStdioServer:
     def test_stdio_roundtrip(self):
         service = make_service()
@@ -224,6 +444,15 @@ class TestStdioServer:
         # stats may have run before the deferred score flushed; the
         # ingest, though, is synchronous and must already be counted
         assert by_id[2]["stats"]["ingested"] == 1
+        # EOF on stdin is the stdio analog of SIGTERM: graceful drain
+        assert service.health.phase == "stopped"
+
+    def test_stdio_eof_drains_empty_stream(self):
+        service = make_service()
+        fout = io.StringIO()
+        asyncio.run(serve_stdio(service, stdin=io.StringIO(""), stdout=fout))
+        assert fout.getvalue() == ""
+        assert service.health.phase == "stopped"
 
 
 class TestBuildService:
@@ -253,3 +482,24 @@ class TestBuildService:
         service.ingest("c", 3, 0.0)
         result = service.score("c")
         assert result.ok and result.score is not None
+
+    def test_with_journal_is_recoverable(self, tmp_path):
+        """A journaled build is recoverable from its first event on —
+        the initial publish itself is a journaled swap record."""
+        mp = tmp_path / "model.npz"
+        make_model(0).save(mp)
+        service = build_service(
+            str(mp), journal_dir=str(tmp_path / "wal"), fsync="off"
+        )
+        assert service.health.phase == "serving"
+        service.ingest("c", 3, 0.0)
+        reference = service.score("c", include_features=True)
+        service.drain()
+        recovered, report = recover_service(
+            JournalConfig(directory=tmp_path / "wal")
+        )
+        assert report.swaps_replayed == 1
+        assert report.events_replayed == 1
+        got = recovered.score("c", include_features=True)
+        assert got.status == "ok"
+        assert np.array_equal(got.features, reference.features)
