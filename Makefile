@@ -6,22 +6,30 @@ export PYTHONPATH := src
 # wedging the suite.
 export REPRO_TEST_TIMEOUT ?= 600
 
-.PHONY: check fast test bench bench-dispatch bench-kernel bench-serving chaos lint typecheck
+.PHONY: check fast test bench bench-dispatch bench-kernel bench-serving chaos lint analyze typecheck
 
-## tier-1 gate: lint, then typecheck, then the full test suite (what CI runs)
-check: lint typecheck
+## tier-1 gate: lint, analyze, typecheck, then the full test suite (what CI runs)
+check: lint analyze typecheck
 	$(PYTHON) -m pytest -x -q
 
-## project-specific correctness lint (REP001–REP007), then ruff when installed.
-## The repro.devtools.lint pass always runs (stdlib-only); ruff is optional —
-## absent ruff prints a skip notice, an installed-but-failing ruff fails the target.
+## project-specific correctness lint (syntactic rules REP001–REP009), then
+## ruff when installed.  The repro.devtools.lint pass always runs (stdlib-only);
+## ruff is optional — absent ruff prints a skip notice, an installed-but-failing
+## ruff fails the target.  The interprocedural REP10x analyzers live in the
+## separate `analyze` target.
 lint:
-	$(PYTHON) -m repro.devtools.lint src
+	$(PYTHON) -m repro.devtools.lint --ignore REP101,REP102,REP103,REP104 src
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \
 		echo "ruff not installed — skipping (pip install -e '.[dev]')"; \
 	fi
+
+## interprocedural concurrency analysis (stdlib-only, DESIGN.md §15):
+## REP101 guarded-by discipline, REP102 lock-order cycles, REP103 blocking
+## calls under a lock, REP104 fork-unsafe captures
+analyze:
+	$(PYTHON) -m repro.devtools.lint --select REP101,REP102,REP103,REP104 src
 
 ## mypy strict profile (embedding/, parallel/, cascades/, serving/); skipped when absent
 typecheck:
@@ -48,6 +56,7 @@ chaos:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q \
 		tests/unit/serving/test_durability.py \
 		tests/unit/serving/test_server.py \
+		tests/unit/devtools/test_lock_sanitizer.py \
 		tests/property/test_prop_durability.py
 
 ## arena-vs-legacy dispatch benchmark; writes BENCH_parallel.json

@@ -1,0 +1,683 @@
+"""The REP101–REP104 analyzers and the analysis entry points.
+
+``analyze_sources`` builds the symbol table, runs the lock-set tracker
+with the analyzer sinks attached, scans for fork-unsafe captures, and
+returns a standard :class:`~repro.devtools.lint.engine.LintReport` —
+same violation shape, same suppression grammar
+(``# repro: noqa[REP101] reason``), same exit-code conventions as the
+syntactic rules, so the CLI and SARIF writers need no special cases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.analysis.callgraph import (
+    POOL_TYPE,
+    LocalTypes,
+    infer_expr_type,
+    infer_locals,
+)
+from repro.devtools.analysis.lockset import (
+    HeldSet,
+    LockToken,
+    LockTracker,
+    Sink,
+)
+from repro.devtools.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    PackageIndex,
+    build_index,
+)
+from repro.devtools.lint.engine import (
+    ENGINE_RULE_ID,
+    LintReport,
+    Violation,
+    iter_python_files,
+)
+from repro.devtools.lint.rules import _BLOCKING_CALLS
+
+__all__ = [
+    "ANALYSIS_RULE_IDS",
+    "analysis_rule_table",
+    "analyze_paths",
+    "analyze_sources",
+]
+
+ANALYSIS_RULE_IDS: Tuple[str, ...] = ("REP101", "REP102", "REP103", "REP104")
+
+_RULE_META: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "REP101",
+        "guarded-by-violation",
+        "attribute declared guarded (via '# guarded-by: _lock' on its "
+        "__init__ assignment or a _GUARDED_BY registry) read/written on a "
+        "call path where the guarding lock is not held — checked "
+        "interprocedurally across the package call graph",
+    ),
+    (
+        "REP102",
+        "lock-order-inversion",
+        "the global lock-acquisition-order graph (edge per 'acquired B "
+        "while holding A' site, across the call graph) contains a cycle; "
+        "two threads taking the locks in their respective orders deadlock",
+    ),
+    (
+        "REP103",
+        "blocking-under-lock",
+        "await or known thread-blocking call (time.sleep, socket/"
+        "subprocess/...) reached while a threading lock is held — the "
+        "interprocedural extension of REP008; every contending thread "
+        "stalls behind the sleeper",
+    ),
+    (
+        "REP104",
+        "fork-unsafe-capture",
+        "argument shipped to a Process/Pool/executor target is (or "
+        "transitively holds) a threading lock, an open file handle, or an "
+        "asyncio primitive; forked children inherit possibly-locked locks "
+        "and shared file offsets, spawn targets fail to pickle late",
+    ),
+)
+
+
+def analysis_rule_table() -> List[Dict[str, str]]:
+    """Rule metadata rows, shape-compatible with ``rules.rule_table``."""
+    return [
+        {
+            "id": rid,
+            "name": name,
+            "description": desc,
+            "allowed_in": "(applies everywhere)",
+        }
+        for rid, name, desc in _RULE_META
+    ]
+
+
+def _chain_note(chain: Tuple[str, ...]) -> str:
+    if len(chain) <= 1:
+        return ""
+    return " [call path: " + " -> ".join(chain) + "]"
+
+
+def _held_names(held: HeldSet) -> List[str]:
+    return sorted(name for name, _ in held)
+
+
+# --------------------------------------------------------------------- #
+# REP101 / REP102 / REP103 — lock-set sinks
+# --------------------------------------------------------------------- #
+
+
+class _LockDisciplineSink(Sink):
+    """Collects guarded-by, lock-order, and blocking-under-lock events."""
+
+    def __init__(self, index: PackageIndex) -> None:
+        self.index = index
+        self.tracker: LockTracker = None  # type: ignore[assignment]
+        self.violations: List[Violation] = []
+        self._seen: Set[Tuple[str, str, int, int, str]] = set()
+        #: (held lock, acquired lock) -> first witness site
+        self.order_edges: Dict[Tuple[str, str], Tuple[str, int, int, str]] = {}
+
+    def _emit(
+        self, rule: str, path: str, node: ast.AST, message: str, key: str
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        dedupe = (rule, path, line, col, key)
+        if dedupe in self._seen:
+            return
+        self._seen.add(dedupe)
+        self.violations.append(
+            Violation(rule=rule, path=path, line=line, col=col, message=message)
+        )
+
+    # ------------------------------- REP101 --------------------------- #
+
+    def attribute_access(
+        self,
+        fn: FunctionInfo,
+        node: ast.Attribute,
+        owner: ClassInfo,
+        attr: str,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+        on_self: bool,
+    ) -> None:
+        if fn.name == "__init__" and on_self:
+            return  # construction happens-before publication
+        guard = self.index.guard_for(owner, attr)
+        if guard is None:
+            return
+        declaring, lock_attr = guard
+        decl_cls = self.index.classes.get(declaring, owner)
+        required = self.tracker.required_token(decl_cls, lock_attr)
+        if required in {name for name, _ in held}:
+            return
+        self._emit(
+            "REP101",
+            fn.path,
+            node,
+            f"'{owner.name}.{attr}' is declared guarded-by '{lock_attr}' "
+            f"but is accessed in {fn.qualname}() without "
+            f"'{required}' held"
+            + (
+                f" (held: {', '.join(_held_names(held))})"
+                if held
+                else " (no locks held)"
+            )
+            + _chain_note(chain),
+            key=f"{owner.qualname}.{attr}",
+        )
+
+    def global_access(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        name: str,
+        lock_token: str,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        if lock_token in {n for n, _ in held}:
+            return
+        self._emit(
+            "REP101",
+            fn.path,
+            node,
+            f"'{name}' is declared guarded-by '{lock_token}' but is "
+            f"accessed in {fn.qualname}() without it held" + _chain_note(chain),
+            key=name,
+        )
+
+    # ------------------------------- REP102 --------------------------- #
+
+    def acquire(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        token: LockToken,
+        held_before: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        for held_name, _ in held_before:
+            if held_name == token[0]:
+                continue  # reentrant: no ordering constraint
+            self.order_edges.setdefault(
+                (held_name, token[0]), (fn.path, line, col, fn.qualname)
+            )
+
+    # ------------------------------- REP103 --------------------------- #
+
+    def _threading_held(self, held: HeldSet) -> List[str]:
+        return sorted(name for name, kind in held if kind == "threading")
+
+    def await_point(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        locked = self._threading_held(held)
+        if not locked:
+            return
+        self._emit(
+            "REP103",
+            fn.path,
+            node,
+            f"await in {fn.qualname}() while holding threading lock(s) "
+            f"{', '.join(locked)}; the event loop parks the coroutine "
+            "with the lock still held, stalling every contending thread"
+            + _chain_note(chain),
+            key="await",
+        )
+
+    def call(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        resolved: Optional[str],
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        if resolved not in _BLOCKING_CALLS:
+            return
+        locked = self._threading_held(held)
+        if not locked:
+            return
+        self._emit(
+            "REP103",
+            fn.path,
+            node,
+            f"{resolved}(...) blocks in {fn.qualname}() while holding "
+            f"threading lock(s) {', '.join(locked)}; every thread "
+            "contending for the lock stalls behind it" + _chain_note(chain),
+            key=resolved or "blocking",
+        )
+
+
+def _order_cycles(
+    edges: Dict[Tuple[str, str], Tuple[str, int, int, str]],
+) -> List[Violation]:
+    """One REP102 violation per strongly-connected lock-order component."""
+    graph: Dict[str, Set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    # Tarjan SCC, iterative
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work: List[Tuple[str, List[str]]] = [(root, sorted(graph[root]))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, succs = work[-1]
+            advanced = False
+            while succs:
+                w = succs.pop(0)
+                if w not in index_of:
+                    index_of[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, sorted(graph[w])))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index_of[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index_of[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                if len(scc) > 1:
+                    sccs.append(sorted(scc))
+
+    for node in sorted(graph):
+        if node not in index_of:
+            strongconnect(node)
+
+    out: List[Violation] = []
+    for scc in sorted(sccs):
+        members = set(scc)
+        witnesses = sorted(
+            (site, (a, b))
+            for (a, b), site in edges.items()
+            if a in members and b in members
+        )
+        notes = "; ".join(
+            f"'{b}' acquired while holding '{a}' at {path}:{line} in "
+            f"{qual}()"
+            for (path, line, _col, qual), (a, b) in witnesses
+        )
+        path, line, col, _qual = witnesses[0][0]
+        out.append(
+            Violation(
+                rule="REP102",
+                path=path,
+                line=line,
+                col=col,
+                message=(
+                    "lock-order inversion between "
+                    + ", ".join(f"'{name}'" for name in scc)
+                    + ": "
+                    + notes
+                    + "; two threads taking these locks in their "
+                    "respective orders deadlock"
+                ),
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# REP104 — fork-unsafe capture
+# --------------------------------------------------------------------- #
+
+_POOL_SUBMIT_METHODS = frozenset(
+    {
+        "submit",
+        "map",
+        "map_async",
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+    }
+)
+
+_PROCESS_CONSTRUCTORS = frozenset(
+    {"multiprocessing.Process", "multiprocessing.process.Process"}
+)
+
+
+class _ForkSafetyScanner:
+    """Flags locks/files/asyncio primitives shipped across fork/spawn."""
+
+    def __init__(self, index: PackageIndex) -> None:
+        self.index = index
+        self.violations: List[Violation] = []
+        self._seen: Set[Tuple[str, int, int, str]] = set()
+
+    def run(self) -> None:
+        for mod in self.index.modules.values():
+            top_level = [
+                stmt
+                for stmt in mod.tree.body
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+            self._scan_nodes(mod, top_level, {})
+        for fn in self.index.all_functions():
+            mod = self.index.modules.get(fn.module)
+            if mod is None:
+                continue
+            locals_ = infer_locals(self.index, mod, fn)
+            self._scan_nodes(mod, getattr(fn.node, "body", []), locals_)
+
+    def _scan_nodes(
+        self,
+        mod: ModuleInfo,
+        nodes: Sequence[ast.AST],
+        locals_: LocalTypes,
+    ) -> None:
+        for root in nodes:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Call):
+                    self._check_call(mod, node, locals_)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_call(
+        self, mod: ModuleInfo, call: ast.Call, locals_: LocalTypes
+    ) -> None:
+        func = call.func
+        from repro.devtools.analysis.symbols import resolve_dotted
+
+        resolved = resolve_dotted(mod.imports, func)
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        if resolved in _PROCESS_CONSTRUCTORS or attr == "Process":
+            self._check_process_ctor(mod, call, locals_)
+            return
+        if (
+            resolved
+            in (
+                "concurrent.futures.ProcessPoolExecutor",
+                "concurrent.futures.process.ProcessPoolExecutor",
+            )
+            or attr == "ProcessPoolExecutor"
+            or attr == "Pool"
+        ):
+            self._check_pool_ctor(mod, call, locals_)
+            return
+        if attr in _POOL_SUBMIT_METHODS and isinstance(func, ast.Attribute):
+            receiver = infer_expr_type(self.index, mod, locals_, func.value)
+            if receiver == POOL_TYPE:
+                self._check_submit(mod, call, attr, locals_)
+
+    def _check_process_ctor(
+        self, mod: ModuleInfo, call: ast.Call, locals_: LocalTypes
+    ) -> None:
+        for kw in call.keywords:
+            if kw.arg == "target":
+                self._check_bound_target(mod, call, kw.value, locals_)
+            elif kw.arg in ("args", "kwargs"):
+                self._check_packed(mod, call, kw.value, locals_, "Process")
+
+    def _check_pool_ctor(
+        self, mod: ModuleInfo, call: ast.Call, locals_: LocalTypes
+    ) -> None:
+        # Pool(processes, initializer, initargs) — the count is safe by
+        # construction; everything else shipped to workers is checked.
+        for arg in call.args[1:]:
+            self._check_packed(mod, call, arg, locals_, "Pool")
+        for kw in call.keywords:
+            if kw.arg == "initargs":
+                self._check_packed(mod, call, kw.value, locals_, "Pool")
+            elif kw.arg == "initializer":
+                self._check_bound_target(mod, call, kw.value, locals_)
+
+    def _check_submit(
+        self,
+        mod: ModuleInfo,
+        call: ast.Call,
+        method: str,
+        locals_: LocalTypes,
+    ) -> None:
+        if call.args:
+            self._check_bound_target(mod, call, call.args[0], locals_)
+        for arg in call.args[1:]:
+            self._check_packed(mod, call, arg, locals_, method)
+        for kw in call.keywords:
+            if kw.arg in ("args", "kwds", "iterable"):
+                self._check_packed(mod, call, kw.value, locals_, method)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_packed(
+        self,
+        mod: ModuleInfo,
+        site: ast.Call,
+        value: ast.AST,
+        locals_: LocalTypes,
+        via: str,
+    ) -> None:
+        elements = (
+            list(value.elts)
+            if isinstance(value, (ast.Tuple, ast.List))
+            else [value]
+        )
+        for element in elements:
+            t = infer_expr_type(self.index, mod, locals_, element)
+            reason = self._unsafe_reason(t, set())
+            if reason is not None:
+                self._emit(mod, site, element, via, t, reason)
+
+    def _check_bound_target(
+        self,
+        mod: ModuleInfo,
+        site: ast.Call,
+        target: ast.AST,
+        locals_: LocalTypes,
+    ) -> None:
+        """A bound method pickles its ``self`` — check the receiver."""
+        if not isinstance(target, ast.Attribute):
+            return
+        t = infer_expr_type(self.index, mod, locals_, target.value)
+        reason = self._unsafe_reason(t, set())
+        if reason is not None:
+            self._emit(mod, site, target, "target", t, reason)
+
+    def _unsafe_reason(
+        self, type_name: Optional[str], visiting: Set[str]
+    ) -> Optional[str]:
+        """Why *type_name* must not cross a fork, or ``None`` if it may.
+
+        Unknown types are safe by fiat — no false positives on values
+        the index cannot see into.  ``multiprocessing`` locks are fork-
+        safe by design and never enter the index's lock table.
+        """
+        if type_name is None or type_name in visiting:
+            return None
+        if type_name == "file":
+            return "an open file handle (shared offset after fork)"
+        if type_name == "asyncio":
+            return "an asyncio primitive bound to the parent's event loop"
+        if type_name.startswith("lock:"):
+            kind = type_name.split(":", 1)[1]
+            return f"a {kind} lock (forked children inherit its state)"
+        cls = self.index.lookup_class(type_name)
+        if cls is None:
+            return None
+        visiting.add(type_name)
+        for c in self.index._mro(cls):
+            for attr, kind in sorted(c.lock_attrs.items()):
+                return (
+                    f"{cls.name}.{attr}, a {kind} lock "
+                    "(forked children inherit its state)"
+                )
+            for attr, attr_type in sorted(c.attr_types.items()):
+                inner = self._unsafe_reason(attr_type, visiting)
+                if inner is not None:
+                    return f"{cls.name}.{attr} -> {inner}"
+        return None
+
+    def _emit(
+        self,
+        mod: ModuleInfo,
+        site: ast.Call,
+        node: ast.AST,
+        via: str,
+        type_name: Optional[str],
+        reason: str,
+    ) -> None:
+        line = getattr(node, "lineno", getattr(site, "lineno", 1))
+        col = getattr(node, "col_offset", 0)
+        key = (mod.path, line, col, reason)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        shown = type_name or "value"
+        self.violations.append(
+            Violation(
+                rule="REP104",
+                path=mod.path,
+                line=line,
+                col=col,
+                message=(
+                    f"value of type '{shown}' shipped through {via}(...) to "
+                    f"a child process captures {reason}; pass plain data "
+                    "(names, arrays, paths) and rebuild handles/locks in "
+                    "the child"
+                ),
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------- #
+
+
+def _run_analyzers(
+    index: PackageIndex, select: FrozenSet[str]
+) -> List[Violation]:
+    violations: List[Violation] = []
+    if select & {"REP101", "REP102", "REP103"}:
+        sink = _LockDisciplineSink(index)
+        tracker = LockTracker(index, sink)
+        sink.tracker = tracker
+        tracker.run()
+        violations.extend(
+            v for v in sink.violations if v.rule in select
+        )
+        if "REP102" in select:
+            violations.extend(_order_cycles(sink.order_edges))
+    if "REP104" in select:
+        scanner = _ForkSafetyScanner(index)
+        scanner.run()
+        violations.extend(scanner.violations)
+    return violations
+
+
+def analyze_sources(
+    sources: Sequence[Tuple[str, str]],
+    select: Optional[Sequence[str]] = None,
+    report_engine_errors: bool = True,
+) -> LintReport:
+    """Analyze ``(path, source)`` pairs; returns a standard LintReport.
+
+    *select* restricts to a subset of :data:`ANALYSIS_RULE_IDS`.  With
+    ``report_engine_errors=False``, REP000 parse failures are left to a
+    concurrently-run lint pass over the same files (the CLI does this
+    to avoid double-reporting).
+    """
+    selected = frozenset(select) if select is not None else frozenset(
+        ANALYSIS_RULE_IDS
+    )
+    report = LintReport(files_scanned=len(sources))
+    index, errors = build_index(sources)
+    if report_engine_errors:
+        for path, exc in errors:
+            report.violations.append(
+                Violation(
+                    rule=ENGINE_RULE_ID,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"could not parse file: {exc.msg}",
+                )
+            )
+    by_path = {mod.path: mod for mod in index.modules.values()}
+    raw = _run_analyzers(index, selected)
+    for v in sorted(raw, key=lambda v: (v.path, v.line, v.col, v.rule)):
+        mod = by_path.get(v.path)
+        sup = mod.suppressions.get(v.line) if mod is not None else None
+        if sup is not None and v.rule in sup.rules:
+            report.n_suppressed += 1
+            continue
+        report.violations.append(v)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    report_engine_errors: bool = True,
+) -> LintReport:
+    """Analyze every Python file under *paths*."""
+    import tokenize
+
+    sources: List[Tuple[str, str]] = []
+    unreadable: List[Violation] = []
+    for f in iter_python_files(paths):
+        try:
+            with tokenize.open(f) as fh:
+                sources.append((str(f), fh.read()))
+        except (OSError, UnicodeDecodeError, SyntaxError) as exc:
+            unreadable.append(
+                Violation(
+                    rule=ENGINE_RULE_ID,
+                    path=str(f),
+                    line=1,
+                    col=0,
+                    message=f"could not read file: {exc}",
+                )
+            )
+    report = analyze_sources(
+        sources, select=select, report_engine_errors=report_engine_errors
+    )
+    if report_engine_errors:
+        report.violations.extend(unreadable)
+        report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    report.files_scanned += len(unreadable)
+    return report

@@ -1,0 +1,245 @@
+"""Call resolution and lightweight type inference over a PackageIndex.
+
+The resolver answers one question — *which function does this call
+expression reach?* — using only facts the symbol table already holds:
+
+* ``self.method(...)`` → the enclosing class's method (MRO-aware);
+* ``helper(...)`` → a module-level function of the same module, or an
+  imported function resolved through the import map;
+* ``pkg.mod.fn(...)`` / ``SomeClass(...)`` → index lookup by canonical
+  dotted name (a class resolves to its ``__init__``);
+* ``self.attr.method(...)`` / ``local.method(...)`` → the method of the
+  attribute's / local's inferred class.
+
+Anything else — dynamic dispatch through untyped values, ``getattr``,
+callables passed as arguments — resolves to ``None`` and the analyses
+treat the callee as *unknown*: no held-lock propagation, no finding.
+
+Local types come from a single forward pass per function: annotated
+parameters, ``x = SomeClass(...)``, ``x = self.attr``, ``with ... as x``
+bindings, plus the special constructors recognized by
+:mod:`~repro.devtools.analysis.symbols` (locks, ``open``, process
+pools).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from repro.devtools.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    PackageIndex,
+    _call_special_type,
+    _resolve_annotation,
+    resolve_dotted,
+)
+
+__all__ = [
+    "LocalTypes",
+    "called_qualnames",
+    "infer_expr_type",
+    "infer_locals",
+    "resolve_call",
+]
+
+#: expression type marker for process pools / executors
+POOL_TYPE = "pool"
+
+_POOL_CONSTRUCTOR_ATTRS = frozenset({"Pool", "ProcessPoolExecutor"})
+_POOL_CONSTRUCTOR_DOTTED = frozenset(
+    {
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+        "multiprocessing.get_context.Pool",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+    }
+)
+
+LocalTypes = Dict[str, str]
+
+
+def _constructor_type(
+    index: PackageIndex, mod: ModuleInfo, call: ast.Call
+) -> Optional[str]:
+    """Type produced by a call expression, if statically known."""
+    special = _call_special_type(mod.imports, call)
+    if special is not None:
+        return special
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in mod.classes:
+            return f"{mod.name}.{func.id}"
+        resolved = mod.imports.get(func.id)
+        if resolved is not None and index.lookup_class(resolved) is not None:
+            return resolved
+        if resolved in _POOL_CONSTRUCTOR_DOTTED:
+            return POOL_TYPE
+    resolved = resolve_dotted(mod.imports, func)
+    if resolved is not None:
+        if index.lookup_class(resolved) is not None:
+            return resolved
+        if resolved in _POOL_CONSTRUCTOR_DOTTED:
+            return POOL_TYPE
+    # `ctx.Pool(...)` / `ctx.Process(...)`-style: multiprocessing
+    # contexts are plain locals, invisible to import resolution.
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _POOL_CONSTRUCTOR_ATTRS
+    ):
+        return POOL_TYPE
+    return None
+
+
+def infer_expr_type(
+    index: PackageIndex,
+    mod: ModuleInfo,
+    locals_: LocalTypes,
+    expr: ast.AST,
+) -> Optional[str]:
+    """Inferred type of an expression, or ``None`` (unknown).
+
+    Types are dotted class names or the specials ``"file"``,
+    ``"asyncio"``, ``"lock:<kind>"``, ``"pool"``.
+    """
+    if isinstance(expr, ast.Name):
+        local = locals_.get(expr.id)
+        if local is not None:
+            return local
+        if expr.id in locals_:
+            return None
+        kind = mod.module_locks.get(expr.id)
+        if kind is not None:
+            return f"lock:{kind}"
+        # module-level lock imported from a sibling module
+        resolved = mod.imports.get(expr.id)
+        if resolved is not None:
+            owner_mod, _, name = resolved.rpartition(".")
+            other = index.modules.get(owner_mod)
+            if other is not None:
+                kind = other.module_locks.get(name)
+                if kind is not None:
+                    return f"lock:{kind}"
+        return None
+    if isinstance(expr, ast.Call):
+        return _constructor_type(index, mod, expr)
+    if isinstance(expr, ast.Attribute):
+        base_type = infer_expr_type(index, mod, locals_, expr.value)
+        cls = index.lookup_class(base_type)
+        if cls is not None:
+            kind = index.lock_kind(cls, expr.attr)
+            if kind is not None:
+                return f"lock:{kind}"
+            return index.attr_type(cls, expr.attr)
+        return None
+    return None
+
+
+def infer_locals(
+    index: PackageIndex, mod: ModuleInfo, fn: FunctionInfo
+) -> LocalTypes:
+    """Forward-pass local variable types for one function."""
+    locals_: LocalTypes = {}
+    args = getattr(fn.node, "args", None)
+    if args is not None:
+        all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in all_args:
+            resolved = _resolve_annotation(mod.imports, arg.annotation)
+            if resolved is not None:
+                locals_[arg.arg] = resolved
+        if fn.cls is not None and all_args:
+            first = all_args[0].arg
+            if first in ("self", "cls"):
+                locals_[first] = fn.cls
+    body = getattr(fn.node, "body", [])
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(node, ast.Assign):
+            inferred = infer_expr_type(index, mod, locals_, node.value)
+            if inferred is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locals_.setdefault(target.id, inferred)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            inferred = None
+            if node.value is not None:
+                inferred = infer_expr_type(index, mod, locals_, node.value)
+            if inferred is None:
+                inferred = _resolve_annotation(mod.imports, node.annotation)
+            if inferred is not None:
+                locals_.setdefault(node.target.id, inferred)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is None or not isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    continue
+                inferred = infer_expr_type(
+                    index, mod, locals_, item.context_expr
+                )
+                if inferred is not None:
+                    locals_.setdefault(item.optional_vars.id, inferred)
+    return locals_
+
+
+def resolve_call(
+    index: PackageIndex,
+    mod: ModuleInfo,
+    fn: FunctionInfo,
+    call: ast.Call,
+    locals_: LocalTypes,
+) -> Optional[FunctionInfo]:
+    """The FunctionInfo a call expression reaches, or ``None`` (unknown)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        target = mod.functions.get(func.id)
+        if target is not None:
+            return target
+        if func.id in mod.classes:
+            return index.find_method(mod.classes[func.id], "__init__")
+        resolved = mod.imports.get(func.id)
+        if resolved is not None:
+            found = index.lookup_function(resolved)
+            if found is not None:
+                return found
+            cls = index.lookup_class(resolved)
+            if cls is not None:
+                return index.find_method(cls, "__init__")
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    # canonical dotted path first: `mod.fn(...)`, `pkg.mod.Class(...)`
+    resolved = resolve_dotted(mod.imports, func)
+    if resolved is not None:
+        found = index.lookup_function(resolved)
+        if found is not None:
+            return found
+        cls = index.lookup_class(resolved)
+        if cls is not None:
+            return index.find_method(cls, "__init__")
+    # receiver-typed dispatch: `self.m(...)`, `self.attr.m(...)`, `x.m(...)`
+    base_type = infer_expr_type(index, mod, locals_, func.value)
+    cls = index.lookup_class(base_type)
+    if cls is not None:
+        return index.find_method(cls, func.attr)
+    return None
+
+
+def called_qualnames(index: PackageIndex) -> Set[str]:
+    """Qualnames of every function with at least one resolved internal
+    call site — the complement picks out worklist entry points."""
+    called: Set[str] = set()
+    for fn in index.all_functions():
+        mod = index.modules.get(fn.module)
+        if mod is None:
+            continue
+        locals_ = infer_locals(index, mod, fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                target = resolve_call(index, mod, fn, node, locals_)
+                if target is not None:
+                    called.add(target.qualname)
+    return called

@@ -1,0 +1,431 @@
+"""Lock-held-set dataflow over the call graph.
+
+The tracker walks every *entry point* — public functions, dunders, and
+functions with no resolved internal call site — with an empty held set,
+folds ``with <lock>:`` acquisitions into the set as it descends through
+statement bodies, and propagates the current set into every resolved
+callee.  Contexts are memoized on ``(function, held-set)`` so recursion
+and diamond call shapes terminate; a private helper only ever called
+under a lock is therefore only ever *analyzed* under that lock, which
+is exactly the guarded-by semantics REP101 wants.
+
+The walker itself knows nothing about rules.  It reports five kinds of
+event to a :class:`Sink`; the analyzers in
+:mod:`~repro.devtools.analysis.analyzers` turn those into violations:
+
+* ``attribute_access`` — ``<typed expr>.attr`` read or written;
+* ``global_access`` — a module-level (or dotted external) name that
+  appears in a guarded-globals registry;
+* ``acquire`` — a lock token entering the held set (with the set held
+  *before* the acquisition, for lock-order edges);
+* ``await_point`` — an ``await`` expression;
+* ``call`` — every call, resolved or not, with its dotted name when
+  import resolution finds one (for blocking-call checks).
+
+Lock identity is class-level (``pkg.mod.Class._lock``) or module-level
+(``pkg.mod._LOCK``); reentrant re-acquisition of a token already held
+is not re-reported (RLock semantics — mirrored by the runtime
+sanitizer).  ``lock.acquire()``/``release()`` outside ``with`` is out
+of scope here and covered at runtime by
+:mod:`repro.devtools.sanitize`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.analysis.callgraph import (
+    LocalTypes,
+    called_qualnames,
+    infer_expr_type,
+    infer_locals,
+    resolve_call,
+)
+from repro.devtools.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    PackageIndex,
+    resolve_dotted,
+)
+
+__all__ = ["HeldSet", "LockToken", "Sink", "LockTracker"]
+
+#: (token name, kind) — e.g. ("repro.serving.service.ScoringService._lock",
+#: "threading")
+LockToken = Tuple[str, str]
+
+HeldSet = FrozenSet[LockToken]
+
+#: call-chain depth backstop; real chains in this tree are < 10 deep
+_MAX_DEPTH = 40
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class Sink:
+    """Override the events an analyzer cares about; defaults ignore."""
+
+    def attribute_access(
+        self,
+        fn: FunctionInfo,
+        node: ast.Attribute,
+        owner: ClassInfo,
+        attr: str,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+        on_self: bool,
+    ) -> None:
+        """``<expr of type owner>.attr`` read or written."""
+
+    def global_access(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        name: str,
+        lock_token: str,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        """Access to a registry-guarded module-level / external name."""
+
+    def acquire(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        token: LockToken,
+        held_before: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        """A lock token entering the held set."""
+
+    def await_point(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        """An ``await`` expression."""
+
+    def call(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        resolved: Optional[str],
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        """Every call site; *resolved* is the canonical dotted name when
+        import resolution finds one (``None`` for unknown targets)."""
+
+
+class LockTracker:
+    """Worklist traversal driving a :class:`Sink`."""
+
+    def __init__(self, index: PackageIndex, sink: Sink) -> None:
+        self.index = index
+        self.sink = sink
+        self._seen: Set[Tuple[str, HeldSet]] = set()
+        self._locals_cache: Dict[str, LocalTypes] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> None:
+        called = called_qualnames(self.index)
+        for fn in sorted(self.index.all_functions(), key=lambda f: f.qualname):
+            if self._is_entry(fn, called):
+                self._analyze(fn, frozenset(), ())
+
+    @staticmethod
+    def _is_entry(fn: FunctionInfo, called: Set[str]) -> bool:
+        if fn.is_public:
+            return True
+        if fn.name.startswith("__") and fn.name.endswith("__"):
+            return True  # dunders are externally reachable
+        return fn.qualname not in called
+
+    # ------------------------------------------------------------------ #
+
+    def _locals_for(self, fn: FunctionInfo, mod: ModuleInfo) -> LocalTypes:
+        cached = self._locals_cache.get(fn.qualname)
+        if cached is None:
+            cached = infer_locals(self.index, mod, fn)
+            self._locals_cache[fn.qualname] = cached
+        return cached
+
+    def _analyze(
+        self, fn: FunctionInfo, held: HeldSet, chain: Tuple[str, ...]
+    ) -> None:
+        key = (fn.qualname, held)
+        if key in self._seen or len(chain) >= _MAX_DEPTH:
+            return
+        self._seen.add(key)
+        mod = self.index.modules.get(fn.module)
+        if mod is None:
+            return
+        locals_ = self._locals_for(fn, mod)
+        body = getattr(fn.node, "body", [])
+        self._walk_stmts(body, fn, mod, locals_, held, chain + (fn.qualname,))
+
+    # ------------------------------------------------------------------ #
+    # Statement / expression walking
+    # ------------------------------------------------------------------ #
+
+    def _walk_stmts(
+        self,
+        stmts: Sequence[ast.stmt],
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        locals_: LocalTypes,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._walk_with(stmt, fn, mod, locals_, held, chain)
+            elif isinstance(stmt, _SCOPE_NODES):
+                continue  # nested scope: separate analysis unit (or unknown)
+            else:
+                self._visit_exprs(stmt, fn, mod, locals_, held, chain)
+                for body in self._compound_bodies(stmt):
+                    self._walk_stmts(body, fn, mod, locals_, held, chain)
+
+    @staticmethod
+    def _compound_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        bodies: List[List[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if block:
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        for case in getattr(stmt, "cases", []) or []:
+            bodies.append(case.body)
+        return bodies
+
+    def _walk_with(
+        self,
+        stmt: ast.stmt,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        locals_: LocalTypes,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        acquired = held
+        for item in stmt.items:  # type: ignore[attr-defined]
+            # the context expression runs with the *previous* locks held
+            self._visit_exprs_in(
+                item.context_expr, fn, mod, locals_, acquired, chain,
+                skip_lock_attr=True,
+            )
+            token = self._lock_token(item.context_expr, fn, mod, locals_)
+            if token is not None and token not in acquired:
+                self.sink.acquire(fn, item.context_expr, token, acquired, chain)
+                acquired = acquired | {token}
+        self._walk_stmts(
+            stmt.body, fn, mod, locals_, acquired, chain  # type: ignore[attr-defined]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lock tokenization
+    # ------------------------------------------------------------------ #
+
+    def _lock_token(
+        self,
+        expr: ast.AST,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        locals_: LocalTypes,
+    ) -> Optional[LockToken]:
+        """Token for a with-item, or ``None`` for non-lock contexts.
+
+        Only *named* locks are tokenized — attributes of typed objects
+        and module-level lock variables.  Anonymous/local locks have no
+        stable identity across functions and are deliberately skipped.
+        """
+        if isinstance(expr, ast.Name):
+            if expr.id in locals_:
+                return None
+            kind = mod.module_locks.get(expr.id)
+            if kind is not None:
+                return (f"{mod.name}.{expr.id}", kind)
+            # `from other.mod import _LOCK` — token stays owned by the
+            # defining module so both sides of an inversion unify.
+            resolved = mod.imports.get(expr.id)
+            if resolved is not None:
+                owner_mod, _, name = resolved.rpartition(".")
+                other = self.index.modules.get(owner_mod)
+                if other is not None:
+                    kind = other.module_locks.get(name)
+                    if kind is not None:
+                        return (resolved, kind)
+            return None
+        if not isinstance(expr, ast.Attribute):
+            return None
+        # module-level lock referenced from another module
+        resolved = resolve_dotted(mod.imports, expr)
+        if resolved is not None:
+            owner_mod, _, name = resolved.rpartition(".")
+            other = self.index.modules.get(owner_mod)
+            if other is not None:
+                kind = other.module_locks.get(name)
+                if kind is not None:
+                    return (resolved, kind)
+        base_type = infer_expr_type(self.index, mod, locals_, expr.value)
+        cls = self.index.lookup_class(base_type)
+        if cls is None:
+            return None
+        return self._class_lock_token(cls, expr.attr)
+
+    def _class_lock_token(
+        self, cls: ClassInfo, attr: str
+    ) -> Optional[LockToken]:
+        """Token named after the class that *declares* the lock, so a
+        subclass's ``with self._lock:`` unifies with the base's."""
+        for c in self.index._mro(cls):
+            kind = c.lock_attrs.get(attr)
+            if kind is not None:
+                return (f"{c.qualname}.{attr}", kind)
+        return None
+
+    def required_token(self, cls: ClassInfo, lock_attr: str) -> str:
+        """Token a guarded-by declaration requires to be held."""
+        token = self._class_lock_token(cls, lock_attr)
+        if token is not None:
+            return token[0]
+        return f"{cls.qualname}.{lock_attr}"
+
+    # ------------------------------------------------------------------ #
+    # Expression events
+    # ------------------------------------------------------------------ #
+
+    def _visit_exprs(
+        self,
+        stmt: ast.stmt,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        locals_: LocalTypes,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        """Emit events for every expression directly under *stmt* (not
+        descending into its nested statement bodies)."""
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody", "handlers", "cases"):
+                continue
+            nodes = value if isinstance(value, list) else [value]
+            for node in nodes:
+                if isinstance(node, ast.expr):
+                    self._visit_exprs_in(node, fn, mod, locals_, held, chain)
+
+    def _visit_exprs_in(
+        self,
+        root: ast.expr,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        locals_: LocalTypes,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+        skip_lock_attr: bool = False,
+    ) -> None:
+        for node in ast.walk(root):
+            if isinstance(node, _SCOPE_NODES):
+                continue
+            if isinstance(node, ast.Await):
+                self.sink.await_point(fn, node, held, chain)
+            elif isinstance(node, ast.Call):
+                resolved = resolve_dotted(mod.imports, node.func)
+                self.sink.call(fn, node, resolved, held, chain)
+                target = resolve_call(self.index, mod, fn, node, locals_)
+                if target is not None:
+                    self._analyze(target, held, chain)
+            elif isinstance(node, ast.Attribute):
+                self._attribute_event(
+                    node, fn, mod, locals_, held, chain, skip_lock_attr
+                )
+            elif isinstance(node, ast.Name):
+                self._name_event(node, fn, mod, locals_, held, chain)
+
+    def _attribute_event(
+        self,
+        node: ast.Attribute,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        locals_: LocalTypes,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+        skip_lock_attr: bool,
+    ) -> None:
+        # registry-guarded dotted external name (e.g. a monkeypatched
+        # stdlib attribute): matched on the canonical dotted chain
+        resolved = resolve_dotted(mod.imports, node)
+        if resolved is not None:
+            lock_token = self.index.guarded_globals.get(resolved)
+            if lock_token is not None:
+                self.sink.global_access(
+                    fn, node, resolved, lock_token, held, chain
+                )
+        base_type = infer_expr_type(self.index, mod, locals_, node.value)
+        cls = self.index.lookup_class(base_type)
+        if cls is None:
+            return
+        if skip_lock_attr and self._class_lock_token(cls, node.attr) is not None:
+            return  # the lock operand of a with-item is not an access
+        on_self = (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and fn.cls is not None
+        )
+        self.sink.attribute_access(
+            fn, node, cls, node.attr, held, chain, on_self
+        )
+
+    def _name_event(
+        self,
+        node: ast.Name,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        locals_: LocalTypes,
+        held: HeldSet,
+        chain: Tuple[str, ...],
+    ) -> None:
+        name = node.id
+        if name in locals_ or name in self._assigned_names(fn):
+            return  # a local shadows the module-level name
+        lock_token = mod.module_guarded.get(name)
+        if lock_token is not None:
+            self.sink.global_access(
+                fn, node, f"{mod.name}.{name}", lock_token, held, chain
+            )
+
+    def _assigned_names(self, fn: FunctionInfo) -> Set[str]:
+        cached = getattr(fn, "_assigned_cache", None)
+        if cached is not None:
+            return cached
+        names: Set[str] = set()
+        args = getattr(fn.node, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                names.add(arg.arg)
+        declared_global: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(node.id)
+            elif isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        # `global X` makes every X access a module-global access, even
+        # though X also appears in Store context
+        names -= declared_global
+        fn._assigned_cache = names  # type: ignore[attr-defined]
+        return names

@@ -1,0 +1,655 @@
+"""Per-package symbol table: modules, classes, locks, guarded-by declarations.
+
+The table is built once per analysis run from parsed sources — nothing
+is imported or executed.  It records, for every module in the analyzed
+set:
+
+* its **import map** (local name → canonical dotted name, including
+  level-1+ relative imports resolved against the module's own package);
+* its **classes** with their methods, base classes, and three per-class
+  attribute facts inferred from ``__init__`` (and the other methods):
+
+  - *lock attributes* — ``self._lock = threading.RLock()`` (or
+    ``asyncio.Lock()``, or one of the sanitize factories
+    ``guarded_lock``/``guarded_rlock``) marks ``_lock`` as a lock of
+    the recorded kind;
+  - *guarded attributes* — a ``# guarded-by: <lock>`` comment on the
+    attribute's assignment line, or an entry in a class-body
+    ``_GUARDED_BY = {"attr": "<lock>"}`` registry, declares that every
+    read/write of the attribute must happen with the named lock held;
+  - *attribute types* — ``self.x = <annotated param>``,
+    ``self.x = SomeClass(...)``, and ``self.x: SomeClass = ...`` give
+    the flow analyses enough typing to resolve ``self.x.method()``
+    call edges and ``other.x`` guarded accesses across classes.
+
+* its **module-level** functions, lock variables, and guarded globals
+  (comment-annotated assignments or a module-level ``_GUARDED_BY``
+  registry whose keys may be dotted external names, e.g.
+  ``multiprocessing.resource_tracker.register``).
+
+Everything here is deliberately conservative: a name that does not
+resolve stays unresolved (``None``) and downstream analyses treat it as
+"unknown — no finding" rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.devtools.lint.engine import Suppression, parse_suppressions
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "PackageIndex",
+    "build_index",
+    "module_name_for_path",
+]
+
+_GUARD_COMMENT_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][\w]*)")
+
+#: constructor dotted names → lock kind
+_LOCK_CONSTRUCTORS: Dict[str, str] = {
+    "threading.Lock": "threading",
+    "threading.RLock": "threading",
+    "threading.Condition": "threading",
+    "threading.Semaphore": "threading",
+    "threading.BoundedSemaphore": "threading",
+    "asyncio.Lock": "asyncio",
+    "asyncio.Condition": "asyncio",
+    "asyncio.Semaphore": "asyncio",
+    "asyncio.BoundedSemaphore": "asyncio",
+}
+
+#: sanitize factory suffixes → lock kind (repro.devtools.sanitize)
+_SANITIZE_FACTORIES: Dict[str, str] = {
+    "guarded_lock": "threading",
+    "guarded_rlock": "threading",
+}
+
+#: asyncio primitives that must never cross a fork boundary
+_ASYNCIO_PRIMITIVES = frozenset(
+    {"Lock", "Condition", "Semaphore", "BoundedSemaphore", "Event", "Queue", "Future"}
+)
+
+#: io.* annotation roots that mark an attribute as an open file handle
+_FILE_ANNOTATIONS = frozenset(
+    {
+        "io.IOBase",
+        "io.RawIOBase",
+        "io.BufferedIOBase",
+        "io.BufferedReader",
+        "io.BufferedWriter",
+        "io.BufferedRandom",
+        "io.TextIOWrapper",
+        "io.FileIO",
+        "typing.IO",
+        "typing.TextIO",
+        "typing.BinaryIO",
+    }
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method."""
+
+    qualname: str  # "pkg.mod.func" or "pkg.mod.Class.method"
+    module: str  # owning module's dotted name
+    cls: Optional[str]  # owning class qualname, or None
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    path: str
+    is_async: bool
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+
+@dataclass
+class ClassInfo:
+    """One class with its concurrency-relevant facts."""
+
+    qualname: str  # "pkg.mod.Class"
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    bases: List[str] = field(default_factory=list)  # resolved dotted names
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: lock attribute name -> kind ("threading" | "asyncio")
+    lock_attrs: Dict[str, str] = field(default_factory=dict)
+    #: guarded attribute name -> guarding lock attribute name
+    guarded: Dict[str, str] = field(default_factory=dict)
+    #: attribute name -> inferred type: a dotted class name, or one of the
+    #: specials "file", "lock:threading", "lock:asyncio", "asyncio"
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str  # dotted module name
+    path: str
+    tree: ast.Module
+    source: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: module-level lock variable -> kind
+    module_locks: Dict[str, str] = field(default_factory=dict)
+    #: guarded module-level (or dotted external) name -> lock *token*
+    #: (fully qualified, e.g. "repro.parallel._shm._ATTACH_LOCK")
+    module_guarded: Dict[str, str] = field(default_factory=dict)
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    #: lineno -> guard name for `# guarded-by:` comments in this file
+    guard_comments: Dict[int, str] = field(default_factory=dict)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source path.
+
+    ``src/repro/serving/service.py`` → ``repro.serving.service`` (the
+    last ``/src/`` segment anchors the package root when present);
+    fixture paths like ``pkg/mod.py`` map to ``pkg.mod``.
+    """
+    posix = path.replace("\\", "/")
+    if "/src/" in posix:
+        posix = posix.rsplit("/src/", 1)[1]
+    elif posix.startswith("src/"):
+        posix = posix[len("src/") :]
+    posix = posix.lstrip("/")
+    if posix.endswith(".py"):
+        posix = posix[: -len(".py")]
+    if posix.endswith("/__init__"):
+        posix = posix[: -len("/__init__")]
+    return posix.replace("/", ".")
+
+
+def _guard_comments(source: str) -> Dict[int, str]:
+    """``lineno -> lock name`` for every ``# guarded-by:`` comment."""
+    out: Dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _GUARD_COMMENT_RE.search(tok.string)
+            if m is not None:
+                out[tok.start[0]] = m.group("lock")
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        pass
+    return out
+
+
+def _build_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Local name → canonical dotted name, with relative imports resolved."""
+    imports: Dict[str, str] = {}
+    pkg_parts = module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # `from .x import y` inside pkg.sub.mod: drop `level`
+                # trailing components of the module path, append x.
+                base_parts = pkg_parts[: -node.level] if node.level <= len(
+                    pkg_parts
+                ) else []
+                base = ".".join(base_parts)
+                prefix = f"{base}.{node.module}" if node.module else base
+            else:
+                if node.module is None:
+                    continue
+                prefix = node.module
+            if not prefix:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{prefix}.{alias.name}"
+    # The module's own top-level definitions resolve like imports do, so
+    # annotations and calls naming a same-module class need no special
+    # casing downstream.
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            imports[stmt.name] = f"{module}.{stmt.name}"
+    return imports
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` chain as a dotted string, or ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_dotted(imports: Dict[str, str], node: ast.AST) -> Optional[str]:
+    """Canonical dotted name of a Name/Attribute chain via the import map."""
+    raw = _dotted(node)
+    if raw is None:
+        return None
+    head, _, rest = raw.partition(".")
+    base = imports.get(head)
+    if base is None:
+        return None
+    return f"{base}.{rest}" if rest else base
+
+
+def _annotation_names(node: ast.AST) -> Iterator[str]:
+    """Every dotted-name candidate inside an annotation expression.
+
+    Handles ``Optional[X]``, ``"X"`` string annotations, unions, and
+    subscripts by recursing; yields raw (unresolved) dotted strings.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            inner = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return
+        yield from _annotation_names(inner)
+        return
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        raw = _dotted(node)
+        if raw is not None:
+            yield raw
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _annotation_names(child)
+
+
+_TYPING_WRAPPERS = frozenset({"Optional", "Union", "Final", "ClassVar", "Annotated"})
+
+
+def _resolve_annotation(
+    imports: Dict[str, str], node: Optional[ast.AST]
+) -> Optional[str]:
+    """First resolvable, non-typing-wrapper dotted name in an annotation."""
+    if node is None:
+        return None
+    for raw in _annotation_names(node):
+        head, _, rest = raw.partition(".")
+        if head == "typing" or raw in _TYPING_WRAPPERS or head in _TYPING_WRAPPERS:
+            if raw.startswith("typing.") and raw in _FILE_ANNOTATIONS:
+                return raw
+            continue
+        base = imports.get(head)
+        if base is None:
+            continue
+        resolved = f"{base}.{rest}" if rest else base
+        return resolved
+    return None
+
+
+def _call_special_type(imports: Dict[str, str], node: ast.AST) -> Optional[str]:
+    """Special type of a call expression: lock kinds, files, asyncio."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open" and "open" not in imports:
+        return "file"
+    resolved = resolve_dotted(imports, func)
+    if resolved is not None:
+        kind = _LOCK_CONSTRUCTORS.get(resolved)
+        if kind is not None:
+            return f"lock:{kind}"
+        if resolved.startswith("asyncio."):
+            tail = resolved.split(".")[-1]
+            if tail in _ASYNCIO_PRIMITIVES:
+                return "asyncio"
+        if resolved in ("builtins.open", "os.fdopen", "io.open", "gzip.open"):
+            return "file"
+    # sanitize lock factories, matched by terminal name so both
+    # `guarded_rlock(...)` and `sanitize.guarded_rlock(...)` resolve
+    name = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id if isinstance(func, ast.Name) else ""
+    )
+    kind = _SANITIZE_FACTORIES.get(name)
+    if kind is not None:
+        return f"lock:{kind}"
+    return None
+
+
+def _literal_str_dict(node: ast.AST) -> Optional[Dict[str, str]]:
+    """A ``{"k": "v", ...}`` display as a plain dict, else ``None``."""
+    if not isinstance(node, ast.Dict):
+        return None
+    out: Dict[str, str] = {}
+    for k, v in zip(node.keys, node.values):
+        if (
+            isinstance(k, ast.Constant)
+            and isinstance(k.value, str)
+            and isinstance(v, ast.Constant)
+            and isinstance(v.value, str)
+        ):
+            out[k.value] = v.value
+        else:
+            return None
+    return out
+
+
+class _ClassScanner:
+    """Extract lock/guarded/type facts from one class body."""
+
+    def __init__(self, info: ClassInfo, mod: ModuleInfo) -> None:
+        self.info = info
+        self.mod = mod
+
+    def scan(self) -> None:
+        for stmt in self.info.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(
+                    qualname=f"{self.info.qualname}.{stmt.name}",
+                    module=self.mod.name,
+                    cls=self.info.qualname,
+                    name=stmt.name,
+                    node=stmt,
+                    path=self.mod.path,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                )
+                self.info.methods[stmt.name] = fn
+                self._scan_method(stmt)
+            elif isinstance(stmt, ast.Assign):
+                self._scan_class_assign(stmt)
+            elif isinstance(stmt, ast.AnnAssign):
+                self._scan_class_annassign(stmt)
+
+    # ------------------------------------------------------------------ #
+
+    def _scan_class_assign(self, stmt: ast.Assign) -> None:
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == "_GUARDED_BY":
+                registry = _literal_str_dict(stmt.value)
+                if registry:
+                    self.info.guarded.update(registry)
+
+    def _scan_class_annassign(self, stmt: ast.AnnAssign) -> None:
+        if (
+            isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "_GUARDED_BY"
+            and stmt.value is not None
+        ):
+            registry = _literal_str_dict(stmt.value)
+            if registry:
+                self.info.guarded.update(registry)
+
+    def _scan_method(self, fn: ast.AST) -> None:
+        """Record ``self.x = ...`` facts from a method body.
+
+        Local variables are tracked in a single forward pass so
+        ``fh = open(...); self._fh = fh`` still marks ``_fh`` a file.
+        """
+        imports = self.mod.imports
+        local_types: Dict[str, str] = {}
+        args = getattr(fn, "args", None)
+        if args is not None:
+            for arg in list(args.args) + list(args.kwonlyargs):
+                resolved = _resolve_annotation(imports, arg.annotation)
+                if resolved is not None:
+                    local_types[arg.arg] = resolved
+        for node in ast.walk(fn):  # type: ignore[arg-type]
+            if isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                self._record_target(
+                    target,
+                    value,
+                    local_types,
+                    annotation=node.annotation,
+                    lineno=node.lineno,
+                )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._record_target(
+                        target, node.value, local_types, lineno=node.lineno
+                    )
+
+    def _infer_value_type(
+        self,
+        value: Optional[ast.AST],
+        local_types: Dict[str, str],
+        annotation: Optional[ast.AST],
+    ) -> Optional[str]:
+        imports = self.mod.imports
+        if value is not None:
+            special = _call_special_type(imports, value)
+            if special is not None:
+                return special
+            if isinstance(value, ast.Call):
+                resolved = resolve_dotted(imports, value.func)
+                if resolved is not None:
+                    return resolved
+                # same-module class construction: `Inner(...)`
+                if (
+                    isinstance(value.func, ast.Name)
+                    and value.func.id in self.mod.classes
+                ):
+                    return f"{self.mod.name}.{value.func.id}"
+            if isinstance(value, ast.Name):
+                known = local_types.get(value.id)
+                if known is not None:
+                    return known
+        resolved = _resolve_annotation(imports, annotation)
+        if resolved in _FILE_ANNOTATIONS:
+            return "file"
+        return resolved
+
+    def _record_target(
+        self,
+        target: ast.AST,
+        value: Optional[ast.AST],
+        local_types: Dict[str, str],
+        annotation: Optional[ast.AST] = None,
+        lineno: int = 0,
+    ) -> None:
+        inferred = self._infer_value_type(value, local_types, annotation)
+        if isinstance(target, ast.Name):
+            if inferred is not None:
+                local_types[target.id] = inferred
+            return
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        attr = target.attr
+        if inferred is not None and inferred.startswith("lock:"):
+            self.info.lock_attrs.setdefault(attr, inferred.split(":", 1)[1])
+        elif inferred is not None:
+            self.info.attr_types.setdefault(attr, inferred)
+        guard = self.mod.guard_comments.get(lineno)
+        if guard is not None:
+            self.info.guarded.setdefault(attr, guard)
+
+
+def _scan_module_level(mod: ModuleInfo) -> None:
+    """Module-level locks, guarded globals, and the module registry."""
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            value: Optional[ast.AST] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        special = _call_special_type(mod.imports, value) if value is not None else None
+        for target in targets:
+            if target.id == "_GUARDED_BY" and value is not None:
+                registry = _literal_str_dict(value)
+                if registry:
+                    for name, lock in registry.items():
+                        mod.module_guarded[name] = f"{mod.name}.{lock}"
+                continue
+            if special is not None and special.startswith("lock:"):
+                mod.module_locks[target.id] = special.split(":", 1)[1]
+            guard = mod.guard_comments.get(stmt.lineno)
+            if guard is not None:
+                mod.module_guarded[target.id] = f"{mod.name}.{guard}"
+
+
+class PackageIndex:
+    """All modules of one analysis run, with cross-module lookups."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: class qualname -> ClassInfo
+        self.classes: Dict[str, ClassInfo] = {}
+        #: function qualname -> FunctionInfo (module-level and methods)
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: guarded dotted name -> lock token, merged across modules
+        self.guarded_globals: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def add_module(self, mod: ModuleInfo) -> None:
+        self.modules[mod.name] = mod
+        for cls in mod.classes.values():
+            self.classes[cls.qualname] = cls
+            for fn in cls.methods.values():
+                self.functions[fn.qualname] = fn
+        for fn in mod.functions.values():
+            self.functions[fn.qualname] = fn
+        for name, token in mod.module_guarded.items():
+            # Bare registry keys refer to this module's own globals;
+            # dotted keys name external targets (e.g. a monkeypatched
+            # stdlib attribute) and are kept verbatim.
+            key = name if "." in name else f"{mod.name}.{name}"
+            self.guarded_globals[key] = token
+
+    def lookup_class(self, dotted: Optional[str]) -> Optional[ClassInfo]:
+        """ClassInfo for a canonical dotted name, or ``None``."""
+        if dotted is None:
+            return None
+        return self.classes.get(dotted)
+
+    def lookup_function(self, dotted: Optional[str]) -> Optional[FunctionInfo]:
+        if dotted is None:
+            return None
+        return self.functions.get(dotted)
+
+    def all_functions(self) -> List[FunctionInfo]:
+        return list(self.functions.values())
+
+    # ------------------------------------------------------------------ #
+    # Inheritance-aware class fact lookups
+    # ------------------------------------------------------------------ #
+
+    def _mro(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        seen = {cls.qualname}
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            yield current
+            for base in current.bases:
+                info = self.classes.get(base)
+                if info is not None and info.qualname not in seen:
+                    seen.add(info.qualname)
+                    queue.append(info)
+
+    def find_method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        for c in self._mro(cls):
+            fn = c.methods.get(name)
+            if fn is not None:
+                return fn
+        return None
+
+    def guard_for(self, cls: ClassInfo, attr: str) -> Optional[Tuple[str, str]]:
+        """``(declaring class qualname, lock attr)`` guarding *attr*."""
+        for c in self._mro(cls):
+            lock = c.guarded.get(attr)
+            if lock is not None:
+                return c.qualname, lock
+        return None
+
+    def lock_kind(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        for c in self._mro(cls):
+            kind = c.lock_attrs.get(attr)
+            if kind is not None:
+                return kind
+        return None
+
+    def attr_type(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        for c in self._mro(cls):
+            t = c.attr_types.get(attr)
+            if t is not None:
+                return t
+        return None
+
+
+def _index_module(path: str, source: str, tree: ast.Module) -> ModuleInfo:
+    name = module_name_for_path(path)
+    mod = ModuleInfo(name=name, path=path, tree=tree, source=source)
+    mod.imports = _build_imports(tree, name)
+    mod.guard_comments = _guard_comments(source)
+    mod.suppressions, _ = parse_suppressions(path, source)
+    # classes must exist before their scanners run (same-module
+    # constructor inference looks the peer classes up)
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            mod.classes[stmt.name] = ClassInfo(
+                qualname=f"{name}.{stmt.name}",
+                module=name,
+                name=stmt.name,
+                node=stmt,
+                path=path,
+            )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mod.functions[stmt.name] = FunctionInfo(
+                qualname=f"{name}.{stmt.name}",
+                module=name,
+                cls=None,
+                name=stmt.name,
+                node=stmt,
+                path=path,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+            )
+    for cls in mod.classes.values():
+        for base in cls.node.bases:
+            resolved = resolve_dotted(mod.imports, base)
+            if resolved is None and isinstance(base, ast.Name):
+                if base.id in mod.classes:
+                    resolved = f"{name}.{base.id}"
+            if resolved is not None:
+                cls.bases.append(resolved)
+        _ClassScanner(cls, mod).scan()
+    _scan_module_level(mod)
+    return mod
+
+
+def build_index(
+    sources: Sequence[Tuple[str, str]],
+) -> Tuple[PackageIndex, List[Tuple[str, SyntaxError]]]:
+    """Build the index from ``(path, source)`` pairs.
+
+    Returns the index and the list of files that failed to parse (the
+    caller reports those as REP000 engine violations).
+    """
+    index = PackageIndex()
+    errors: List[Tuple[str, SyntaxError]] = []
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            errors.append((path, exc))
+            continue
+        index.add_module(_index_module(path, source, tree))
+    return index, errors

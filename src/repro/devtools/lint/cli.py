@@ -1,5 +1,19 @@
 """Command-line front end: ``python -m repro.devtools.lint [paths...]``.
 
+Runs two tiers behind one flag surface:
+
+* **syntactic rules** (REP001-REP009) — per-file AST scans from
+  :mod:`repro.devtools.lint.rules`;
+* **interprocedural analyzers** (REP101-REP104) — whole-package
+  symbol-table / call-graph / lock-set analysis from
+  :mod:`repro.devtools.analysis` (DESIGN.md §15).
+
+``--select``/``--ignore`` carve the 13-rule universe; when the chosen
+set touches only one tier, only that tier runs (``make analyze`` is
+``--select REP101,REP102,REP103,REP104``).  REP000 engine problems
+(malformed suppressions, unparseable files) are always reported and
+can be neither selected away nor suppressed.
+
 Exit codes (CI contract):
 
 * ``0`` — scanned tree is clean,
@@ -12,10 +26,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.devtools.lint.engine import LintReport, Rule, lint_paths
 from repro.devtools.lint.rules import DEFAULT_RULES, rule_table
+
+# IDs of the interprocedural analyzers (mirrors
+# repro.devtools.analysis.ANALYSIS_RULE_IDS, which cannot be imported at
+# module scope: the analysis package itself imports the lint engine, and
+# this module is pulled in by ``repro.devtools.lint.__init__`` — importing
+# analysis here would close that cycle).  Cross-checked by a test.
+ANALYSIS_RULE_IDS = ("REP101", "REP102", "REP103", "REP104")
 
 __all__ = ["main", "build_parser"]
 
@@ -27,8 +48,9 @@ EXIT_ERROR = 2
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="Project lint: reproducibility/parallel-safety rules "
-        "REP001-REP006 (see DESIGN.md §10).",
+        description="Project lint: syntactic reproducibility/parallel-safety "
+        "rules REP001-REP009 (DESIGN.md §10) plus interprocedural "
+        "concurrency analyzers REP101-REP104 (DESIGN.md §15).",
     )
     parser.add_argument(
         "paths",
@@ -38,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -49,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to drop from the selection",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
@@ -56,18 +84,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _select_rules(spec: Optional[str]) -> List[Rule]:
-    if spec is None:
-        return list(DEFAULT_RULES)
+def _parse_ids(spec: str, known: Set[str], flag: str) -> Set[str]:
     wanted = {s.strip() for s in spec.split(",") if s.strip()}
-    by_id = {r.id: r for r in DEFAULT_RULES}
-    unknown = wanted - set(by_id)
+    unknown = wanted - known
     if unknown:
         raise KeyError(
-            f"unknown rule id(s): {', '.join(sorted(unknown))} "
-            f"(known: {', '.join(sorted(by_id))})"
+            f"unknown rule id(s) in {flag}: {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
         )
-    return [by_id[i] for i in sorted(wanted)]
+    return wanted
+
+
+def _resolve_selection(
+    select: Optional[str], ignore: Optional[str]
+) -> Tuple[List[Rule], Set[str]]:
+    """``(syntactic rules, analysis rule ids)`` after select/ignore."""
+    by_id = {r.id: r for r in DEFAULT_RULES}
+    universe = set(by_id) | set(ANALYSIS_RULE_IDS)
+    chosen = (
+        _parse_ids(select, universe, "--select")
+        if select is not None
+        else set(universe)
+    )
+    if ignore is not None:
+        chosen -= _parse_ids(ignore, universe, "--ignore")
+    syntactic = [by_id[i] for i in sorted(chosen & set(by_id))]
+    return syntactic, chosen & set(ANALYSIS_RULE_IDS)
+
+
+def _merge(reports: List[LintReport]) -> LintReport:
+    merged = LintReport(
+        violations=sorted(
+            (v for r in reports for v in r.violations),
+            key=lambda v: (v.path, v.line, v.col, v.rule),
+        ),
+        # Both passes walk the same file set; don't double-count it.
+        files_scanned=max((r.files_scanned for r in reports), default=0),
+        n_suppressed=sum(r.n_suppressed for r in reports),
+    )
+    return merged
 
 
 def _render_human(report: LintReport, out) -> None:
@@ -90,8 +145,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.devtools.analysis import analysis_rule_table, analyze_paths
+
     if args.list_rules:
-        for row in rule_table():
+        for row in list(rule_table()) + list(analysis_rule_table()):
             print(
                 f"{row['id']} ({row['name']}): {row['description']} "
                 f"[sanctioned in: {row['allowed_in']}]",
@@ -99,17 +156,35 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             )
         return EXIT_CLEAN
     try:
-        rules = _select_rules(args.select)
+        syntactic, analysis = _resolve_selection(args.select, args.ignore)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_ERROR
+    reports: List[LintReport] = []
     try:
-        report = lint_paths(args.paths, rules)
+        if syntactic or not analysis:
+            reports.append(lint_paths(args.paths, syntactic))
+        if analysis:
+            # The lint pass (when it ran) already reported REP000 engine
+            # problems for this same file set; don't report them twice.
+            reports.append(
+                analyze_paths(
+                    args.paths,
+                    select=analysis,
+                    report_engine_errors=not reports,
+                )
+            )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    report = _merge(reports)
     if args.format == "json":
         json.dump(report.to_json(), out, indent=2, sort_keys=True)
+        print(file=out)
+    elif args.format == "sarif":
+        from repro.devtools.lint.sarif import report_to_sarif
+
+        json.dump(report_to_sarif(report), out, indent=2, sort_keys=True)
         print(file=out)
     else:
         _render_human(report, out)

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 export for lint and analysis reports.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format understood by code-scanning UIs (GitHub code scanning, VS Code
+SARIF viewer, ...).  ``python -m repro.devtools.lint --format sarif``
+emits one run per invocation through :func:`report_to_sarif`.
+
+Only the minimal stable subset of the spec is produced:
+
+* ``tool.driver.rules`` carries every known rule (syntactic REP00x and
+  interprocedural REP10x alike) with its short description, so viewers
+  can show rule help without a side channel;
+* each violation becomes one ``result`` with ``ruleId``, a text
+  ``message``, and a single ``physicalLocation``.
+
+Columns: the lint engine records 0-based ``ast`` column offsets; SARIF
+regions are 1-based, so ``startColumn`` is ``col + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devtools.analysis import analysis_rule_table
+from repro.devtools.lint.engine import LintReport
+from repro.devtools.lint.rules import rule_table
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "report_to_sarif"]
+
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://example.invalid/repro-devtools"
+
+
+def _driver_rules() -> List[Dict[str, object]]:
+    rows = list(rule_table()) + list(analysis_rule_table())
+    out: List[Dict[str, object]] = []
+    for row in rows:
+        out.append(
+            {
+                "id": row["id"],
+                "name": row["name"],
+                "shortDescription": {"text": row["description"]},
+            }
+        )
+    return out
+
+
+def report_to_sarif(report: LintReport) -> Dict[str, object]:
+    """Render *report* as a SARIF 2.1.0 log (one run)."""
+    results: List[Dict[str, object]] = []
+    for v in report.violations:
+        results.append(
+            {
+                "ruleId": v.rule,
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": v.path},
+                            "region": {
+                                "startLine": v.line,
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": _driver_rules(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

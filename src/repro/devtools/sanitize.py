@@ -1,4 +1,4 @@
-"""Runtime write-disjointness sanitizer for the parallel engine.
+"""Runtime sanitizers: write disjointness and lock-acquisition order.
 
 Algorithm 1's parallel correctness rests on one invariant: at every
 merge-tree level, community block tasks write **pairwise-disjoint row
@@ -34,22 +34,55 @@ The sanitizer is pure observation: with ``REPRO_SANITIZE`` unset (or
 ``0``), no ledger is built and the engine's hot paths are untouched;
 with it set, recording copies only row-index arrays (never embedding
 data), so a sanitized run remains bit-identical to an unsanitized one.
+
+Lock-order sanitizer
+--------------------
+The second sanitizer is the runtime complement of the static REP102
+analyzer (:mod:`repro.devtools.analysis`): the static pass proves the
+absence of inversions among ``with``-acquired *named* locks, this one
+observes **every** acquisition — including bare ``acquire()`` calls and
+locks reached through paths the call-graph could not resolve.
+
+Lock-bearing classes construct their locks through
+:func:`guarded_lock` / :func:`guarded_rlock`.  Unarmed, those return
+plain :mod:`threading` primitives — zero overhead, no wrapper in the
+hot path.  Armed (``REPRO_SANITIZE=1`` at construction time), they
+return a :class:`TrackedLock` that maintains a per-thread stack of held
+lock names and a process-global acquisition-order graph: acquiring
+``B`` while holding ``A`` records the edge ``A → B``; an acquisition
+that would close a cycle raises :class:`LockOrderViolation` naming the
+cycle path *at the acquisition site of the inversion*, before the
+deadlock can happen.  Re-acquiring a lock already held by the current
+thread (RLock reentrancy) records no edge, mirroring the static rule.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence, Tuple
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+try:  # Protocol landed in 3.8; keep import-time failure impossible
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
 
 __all__ = [
     "ENV_VAR",
     "EXEMPT_MODULES",
     "DisjointnessViolation",
+    "LockLike",
+    "LockOrderViolation",
+    "TrackedLock",
     "WriteLedger",
     "assert_exempt",
     "enabled",
+    "guarded_lock",
+    "guarded_rlock",
+    "lock_order_edges",
+    "reset_lock_order",
     "verify_selection",
 ]
 
@@ -289,3 +322,207 @@ def verify_selection(
         ledger.assign(int(cid), rows)
         ledger.record_write(int(cid), published)
     ledger.verify()
+
+
+# --------------------------------------------------------------------- #
+# Lock-order sanitizer
+# --------------------------------------------------------------------- #
+
+
+class LockLike(Protocol):
+    """Structural type of what :func:`guarded_lock` returns.
+
+    Lock-bearing classes annotate their lock attribute with this so the
+    strict-typed serving tier is indifferent to whether the factory
+    handed back a plain ``threading`` primitive or a
+    :class:`TrackedLock`.
+    """
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, *exc: object) -> object: ...
+
+
+class LockOrderViolation(RuntimeError):
+    """Acquiring this lock would close a cycle in the order graph.
+
+    Attributes
+    ----------
+    cycle:
+        The lock names along the would-be cycle, starting and ending at
+        the lock whose acquisition was refused.
+    """
+
+    def __init__(self, cycle: Sequence[str], holding: Sequence[str]) -> None:
+        self.cycle = tuple(cycle)
+        msg = (
+            "lock-order inversion: acquiring "
+            f"'{self.cycle[0]}' while holding {list(holding)} closes the "
+            "cycle " + " -> ".join(f"'{n}'" for n in self.cycle) + "; "
+            "another thread taking these locks in the recorded order "
+            "deadlocks against this one"
+        )
+        super().__init__(msg)
+
+
+class _OrderGraph:
+    """Process-global lock-acquisition-order graph.
+
+    ``edges[a][b]`` means some thread acquired *b* while holding *a*.
+    The graph itself is guarded by a plain (untracked) lock — it is
+    never acquired while a tracked lock's inner lock is being taken, so
+    it cannot itself participate in an inversion.
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._edges: Dict[str, Dict[str, int]] = {}
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        with self._mu:
+            return {a: tuple(sorted(bs)) for a, bs in self._edges.items()}
+
+    def _path(self, src: str, dst: str) -> Optional[List[str]]:
+        """A directed path src -> ... -> dst in the edge set, or None."""
+        parents: Dict[str, str] = {}
+        stack = [src]
+        seen = {src}
+        while stack:
+            node = stack.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt in seen:
+                    continue
+                parents[nxt] = node
+                if nxt == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                seen.add(nxt)
+                stack.append(nxt)
+        return None
+
+    def record(self, held: Sequence[str], acquiring: str) -> None:
+        """Record ``held[i] → acquiring`` edges; raise on a cycle.
+
+        The check runs *before* the inner lock is taken, so the
+        violation surfaces as an exception at the inversion site rather
+        than as a wedged process.
+        """
+        with self._mu:
+            for h in held:
+                if h == acquiring:
+                    continue
+                cycle_tail = self._path(acquiring, h)
+                if cycle_tail is not None:
+                    raise LockOrderViolation(
+                        cycle_tail + [acquiring], holding=list(held)
+                    )
+            for h in held:
+                if h != acquiring:
+                    self._edges.setdefault(h, {})
+                    self._edges[h][acquiring] = (
+                        self._edges[h].get(acquiring, 0) + 1
+                    )
+
+
+_ORDER_GRAPH = _OrderGraph()
+
+_HELD = threading.local()
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = []
+        _HELD.stack = stack
+    return stack
+
+
+def reset_lock_order() -> None:
+    """Clear the global order graph (test isolation)."""
+    _ORDER_GRAPH.reset()
+
+
+def lock_order_edges() -> Dict[str, Tuple[str, ...]]:
+    """Snapshot of the observed acquisition-order edges (for tests)."""
+    return _ORDER_GRAPH.edges()
+
+
+class TrackedLock:
+    """A named lock wrapper feeding the global order graph.
+
+    Wraps any lock-like object (``Lock``, ``RLock``).  Acquisition
+    order is recorded per thread; closing a cycle raises
+    :class:`LockOrderViolation` *before* blocking on the inner lock.
+    Reentrant re-acquisition (the name already on this thread's held
+    stack) records no edge — RLock semantics, and the same exemption
+    the static REP102 analyzer applies.
+    """
+
+    def __init__(self, inner: LockLike, name: str) -> None:
+        self.inner = inner
+        self.name = name
+
+    def _before_acquire(self) -> None:
+        stack = _held_stack()
+        if self.name not in stack:
+            _ORDER_GRAPH.record(list(stack), self.name)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._before_acquire()
+        got = self.inner.acquire(blocking, timeout)
+        if got:
+            _held_stack().append(self.name)
+        return got
+
+    def release(self) -> None:
+        self.inner.release()
+        stack = _held_stack()
+        # remove the most recent occurrence (reentrant locks stack)
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == self.name:
+                del stack[i]
+                break
+
+    def locked(self) -> bool:
+        probe = getattr(self.inner, "locked", None)
+        return bool(probe()) if callable(probe) else False
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrackedLock({self.name!r}, {self.inner!r})"
+
+
+def guarded_lock(name: str) -> LockLike:
+    """A ``threading.Lock``, order-tracked when the sanitizer is armed.
+
+    The environment is consulted at *construction* time: services built
+    under ``REPRO_SANITIZE=1`` (chaos runs, tests) carry tracked locks
+    for their whole lifetime; production construction pays nothing.
+    """
+    lock = threading.Lock()
+    if enabled():
+        return TrackedLock(lock, name)
+    return lock
+
+
+def guarded_rlock(name: str) -> LockLike:
+    """A ``threading.RLock``, order-tracked when the sanitizer is armed."""
+    rlock = threading.RLock()
+    if enabled():
+        return TrackedLock(rlock, name)
+    return rlock

@@ -31,14 +31,20 @@ microseconds).
 from __future__ import annotations
 
 import os
-import threading
 import weakref
 from multiprocessing import resource_tracker, shared_memory
 
+from repro.devtools.sanitize import guarded_lock
+
 __all__ = ["attach_untracked", "create_segment"]
 
-#: Serializes the resource-tracker monkeypatch across threads.
-_ATTACH_LOCK = threading.Lock()
+#: Serializes the resource-tracker monkeypatch across threads
+#: (order-tracked under REPRO_SANITIZE=1).
+_ATTACH_LOCK = guarded_lock("repro.parallel._shm._ATTACH_LOCK")
+
+#: The REP101 analyzer enforces that the process-global monkeypatch
+#: target is only touched with the attach lock held.
+_GUARDED_BY = {"multiprocessing.resource_tracker.register": "_ATTACH_LOCK"}
 
 
 def _reap_leaked(name: str, owner_pid: int) -> None:

@@ -494,7 +494,7 @@ class EventJournal:
                     f"chaos: torn write ({chaos.torn_bytes} of {len(frame)} bytes)"
                 )
             if chaos.action == "slow":
-                time.sleep(chaos.slow_s)
+                time.sleep(chaos.slow_s)  # repro: noqa[REP103] chaos injection: deliberately stalls the journal write under the service lock to surface contention in tests
         fh.write(frame)
         fh.flush()  # data reaches the OS; fsync policy decides the disk
         self._segment_bytes += len(frame)
@@ -881,7 +881,7 @@ def recover_service(
         policy=policy,  # type: ignore[arg-type]
         clock=clock,
     )
-    service.health.begin_recovery()
+    service.begin_recovery()
     report = RecoveryReport()
 
     if scan.snapshot is not None:
@@ -894,7 +894,7 @@ def recover_service(
         for cid, size in zip(snap.cascade_ids, sizes):
             expanded.extend([cid] * int(size))
         if expanded:
-            service.store.ingest_columns(
+            service.store.ingest_columns(  # repro: noqa[REP101] recovery is single-threaded construction: no front end holds the service yet, and attach_journal/begin_serving below publish it with a happens-before edge
                 expanded, snap.nodes, snap.times, registry.current()
             )
         report.snapshot_loaded = True
@@ -913,7 +913,7 @@ def recover_service(
     def _flush_pending() -> None:
         if not pending_cids:
             return
-        service.store.ingest_columns(
+        service.store.ingest_columns(  # repro: noqa[REP101] recovery is single-threaded construction: replay bypasses ScoringService.ingest_columns so the rebuild does not re-journal or re-count the records it is replaying
             pending_cids,
             np.concatenate(pending_nodes),
             np.concatenate(pending_times),
@@ -960,7 +960,7 @@ def recover_service(
     service.attach_journal(journal)
     if compact:
         service.compact()
-    service.health.begin_serving()
+    service.begin_serving()
     report.elapsed_s = time.perf_counter() - start
     return service, report
 

@@ -28,7 +28,6 @@ the checkpoint directory or the archive file itself), or from a live
 from __future__ import annotations
 
 import hashlib
-import threading
 import zipfile
 import zlib
 from dataclasses import dataclass
@@ -37,6 +36,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.devtools.sanitize import LockLike, guarded_lock
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.online import OnlineEmbeddingInference
 from repro.prediction.pipeline import ViralityPredictor
@@ -109,12 +109,13 @@ class ModelRegistry:
     HISTORY_LIMIT = 32
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._current: Optional[ModelSnapshot] = None
-        self._n_published = 0
-        self._history: List[Tuple[int, str, str]] = []
+        # order-tracked under REPRO_SANITIZE=1 (runtime lock sanitizer)
+        self._lock: LockLike = guarded_lock("ModelRegistry._lock")
+        self._current: Optional[ModelSnapshot] = None  # guarded-by: _lock
+        self._n_published = 0  # guarded-by: _lock
+        self._history: List[Tuple[int, str, str]] = []  # guarded-by: _lock
         #: failed publish_path attempts (artifact missing/corrupt/truncated)
-        self.load_failures = 0
+        self.load_failures = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -128,14 +129,20 @@ class ModelRegistry:
         LookupError
             If nothing has been published yet.
         """
-        snap = self._current  # single reference read: atomic under the GIL
+        snap = self._current  # repro: noqa[REP101] sanctioned lock-free read: the swap in publish() is one atomic reference store, so this sees either the old or the new complete snapshot — never a torn one (the registry's core contract; hammered by the swap-storm test)
         if snap is None:
             raise LookupError("no model published to the registry yet")
         return snap
 
     @property
     def n_published(self) -> int:
-        return self._n_published
+        with self._lock:
+            return self._n_published
+
+    def load_failure_count(self) -> int:
+        """Failed ``publish_path`` attempts so far (locked read)."""
+        with self._lock:
+            return self.load_failures
 
     def history(self) -> List[Tuple[int, str, str]]:
         """Recent ``(version, source, fingerprint)`` rows, oldest first."""

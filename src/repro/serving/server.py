@@ -183,9 +183,8 @@ def build_service(
             )
         )
     snap = registry.publish_path(model_path, predictor=predictor)
-    service._journal_swap(snap)
-    service.health.publish_succeeded()
-    service.health.begin_serving()
+    service._adopt_published(snap)
+    service.begin_serving()
     return service
 
 
@@ -271,7 +270,7 @@ class ScoringServer:
         )
         sock = self._server.sockets[0]
         self.port = sock.getsockname()[1]
-        self.service.health.begin_serving()
+        self.service.begin_serving()
 
     async def stop(self) -> None:
         """Hard stop: close the listener, kill tasks, abort the queue."""
@@ -295,7 +294,7 @@ class ScoringServer:
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, flush pending, seal journal."""
         self._stopping = True
-        self.service.health.begin_draining()
+        self.service.begin_draining()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -345,7 +344,7 @@ class ScoringServer:
         self._flusher = asyncio.create_task(
             self._supervised("flusher", self._flush_loop)
         )
-        if self.service.store.config.ttl is not None:
+        if self.service.ttl_enabled():
             self._sweeper = asyncio.create_task(
                 self._supervised("sweeper", self._sweep_loop)
             )
@@ -368,7 +367,6 @@ class ScoringServer:
         reason ``task:<name>`` — visible to health probes, instead of a
         silent stall.  Cancellation (shutdown) passes through.
         """
-        health = self.service.health
         attempts = 0
         while not self._stopping:
             try:
@@ -385,13 +383,15 @@ class ScoringServer:
             attempts += 1
             self.task_restarts[name] = attempts
             if attempts > self.max_task_restarts:
-                health.record_fault("task_dead", detail)
-                health.degrade(
+                self.service.record_fault("task_dead", detail)
+                self.service.degrade(
                     f"task:{name}",
                     f"abandoned after {self.max_task_restarts} restarts ({detail})",
                 )
                 return
-            health.record_fault("task_restart", f"{detail}; restart #{attempts}")
+            self.service.record_fault(
+                "task_restart", f"{detail}; restart #{attempts}"
+            )
             await asyncio.sleep(self.restart_backoff * (2 ** (attempts - 1)))
 
     async def _flush_loop(self) -> None:
@@ -455,7 +455,7 @@ class ScoringServer:
                     )
                 except asyncio.TimeoutError:
                     self.timeouts += 1
-                    self.service.health.record_fault(
+                    self.service.record_fault(
                         "read_timeout",
                         f"connection idle > {self.read_timeout}s; closing",
                     )
@@ -532,8 +532,7 @@ class ScoringServer:
             elif op == "stats":
                 response = {"ok": True, "stats": self.service.stats()}
             elif op == "health":
-                health = self.service.health.snapshot()
-                response = {"ok": True, **health}
+                response = {"ok": True, **self.service.health_snapshot()}
             elif op == "ping":
                 response = {"ok": True, "pong": True}
             else:
@@ -583,7 +582,7 @@ async def serve_stdio(
     fout = stdout if stdout is not None else sys.stdout
     server = ScoringServer(service)
     server._start_background()
-    service.health.begin_serving()
+    service.begin_serving()
     loop = asyncio.get_running_loop()
     write_lock = asyncio.Lock()
     in_flight: set = set()

@@ -38,13 +38,13 @@ surfaces in :meth:`stats` and the health snapshot).
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.devtools.sanitize import LockLike, guarded_rlock
 from repro.embedding.model import EmbeddingModel
 from repro.prediction.features import PAPER_FEATURES
 from repro.prediction.pipeline import ViralityPredictor
@@ -92,16 +92,19 @@ class ScoringService:
         self.registry = registry
         self.policy = policy if policy is not None else BatchPolicy()
         self._clock = clock
-        self._lock = threading.RLock()
-        self.store = FeatureStore(feature_set, config=store_config, clock=clock)
-        self.queue = PendingQueue(self.policy)
-        self.stats_counters = ServiceStats()
-        self.health = HealthMonitor(clock=clock)
-        self._next_request_id = 0
+        # Reentrant: drain() flushes and seals while already holding it.
+        # Under REPRO_SANITIZE=1 the factory returns an order-tracked
+        # wrapper feeding the runtime lock-order sanitizer.
+        self._lock: LockLike = guarded_rlock("ScoringService._lock")
+        self.store = FeatureStore(feature_set, config=store_config, clock=clock)  # guarded-by: _lock
+        self.queue = PendingQueue(self.policy)  # guarded-by: _lock
+        self.stats_counters = ServiceStats()  # guarded-by: _lock
+        self.health = HealthMonitor(clock=clock)  # guarded-by: _lock
+        self._next_request_id = 0  # guarded-by: _lock
         # one workspace per service, used only under the lock
-        self._ws = ScoringWorkspace()
-        self._journal: Optional["EventJournal"] = None
-        self._journal_suspended = False
+        self._ws = ScoringWorkspace()  # guarded-by: _lock
+        self._journal: Optional["EventJournal"] = None  # guarded-by: _lock
+        self._journal_suspended = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # Durability
@@ -109,7 +112,8 @@ class ScoringService:
 
     @property
     def journal(self) -> Optional["EventJournal"]:
-        return self._journal
+        with self._lock:
+            return self._journal
 
     def attach_journal(self, journal: "EventJournal") -> None:
         """Start journaling every future ingest burst and publish.
@@ -470,6 +474,19 @@ class ScoringService:
             self.health.publish_succeeded()
             return snapshot
 
+    def _adopt_published(self, snapshot: ModelSnapshot) -> None:
+        """Journal an externally-published snapshot and mark it healthy.
+
+        The lock-guarded tail shared by :meth:`swap_path` and the server
+        factory's initial publish: the registry swap already happened
+        (atomically, possibly outside the lock); this folds its
+        consequences — journal record, health bookkeeping — into the
+        service's guarded state.
+        """
+        with self._lock:
+            self._journal_swap(snapshot)
+            self.health.publish_succeeded()
+
     def swap_path(self, path: Union[str, "object"]) -> ModelSnapshot:
         """Hot-swap the model from a filesystem artifact (see registry).
 
@@ -487,13 +504,16 @@ class ScoringService:
             predictor = self.registry.current().predictor
         except LookupError:
             predictor = None
+        # The artifact load runs outside the lock on purpose — a slow or
+        # hung filesystem must not stall ingest/flush — but the health
+        # transitions and journal append are lock-guarded state.
         try:
             snapshot = self.registry.publish_path(path, predictor=predictor)  # type: ignore[arg-type]
         except SnapshotLoadError as exc:
-            self.health.publish_failed(str(exc))
+            with self._lock:
+                self.health.publish_failed(str(exc))
             raise
-        self._journal_swap(snapshot)
-        self.health.publish_succeeded()
+        self._adopt_published(snapshot)
         return snapshot
 
     # ------------------------------------------------------------------ #
@@ -528,6 +548,47 @@ class ScoringService:
             self.stats_counters.aborted += n
             return n
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle / health (the locked front door to ``self.health``)
+    # ------------------------------------------------------------------ #
+    #
+    # ``health`` is guarded by the service lock (HealthMonitor itself is
+    # deliberately unlocked — see its docstring).  Front ends mutate and
+    # read it through these methods instead of reaching into the
+    # attribute, so the REP101 analyzer can prove the discipline.
+
+    def begin_recovery(self) -> None:
+        with self._lock:
+            self.health.begin_recovery()
+
+    def begin_serving(self) -> None:
+        with self._lock:
+            self.health.begin_serving()
+
+    def begin_draining(self) -> None:
+        with self._lock:
+            self.health.begin_draining()
+
+    def record_fault(self, kind: str, detail: str) -> None:
+        """Append to the health monitor's structured fault trail."""
+        with self._lock:
+            self.health.record_fault(kind, detail)
+
+    def degrade(self, reason: str, detail: str) -> None:
+        """Raise a named degraded condition on the health monitor."""
+        with self._lock:
+            self.health.degrade(reason, detail)
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """JSON-friendly health/readiness view (the ``health`` op)."""
+        with self._lock:
+            return self.health.snapshot()
+
+    def ttl_enabled(self) -> bool:
+        """Whether the store expires idle cascades (sweeper needed)."""
+        with self._lock:
+            return self.store.config.ttl is not None
+
     def stats(self) -> Dict[str, object]:
         """One JSON-friendly dict of service/store/queue state."""
         with self._lock:
@@ -553,7 +614,7 @@ class ScoringService:
                 "rejected": self.queue.rejected,
                 "aborted": self.stats_counters.aborted,
                 "journal_faults": self.stats_counters.journal_faults,
-                "load_failures": self.registry.load_failures,
+                "load_failures": self.registry.load_failure_count(),
             }
             if journal is not None:
                 stats = journal.stats_dict()

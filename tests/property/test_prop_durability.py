@@ -88,7 +88,13 @@ def op_stream(draw):
 def crash_plan(draw, ops):
     """A chaos plan aimed at a random append of the given op stream."""
     appends = 1 + sum(1 for kind, _ in ops if kind != "compact")
-    at = draw(st.integers(min_value=1, max_value=appends - 1)) if appends > 1 else 1
+    if appends == 1:
+        # All-compact op stream: the only reachable append is the seed
+        # publish (append 0, 0-based), and killing *before* it would
+        # leave an empty journal with nothing to recover — so crash
+        # right after it.
+        return _ChaosPlan(at_append=0, action="kill", point="after")
+    at = draw(st.integers(min_value=1, max_value=appends - 1))
     action = draw(st.sampled_from(["kill", "kill", "torn"]))
     if action == "torn":
         return _ChaosPlan(

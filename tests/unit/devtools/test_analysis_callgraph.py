@@ -1,0 +1,221 @@
+"""Call resolution and type inference: dispatch, recursion, unknowns."""
+
+import ast
+import textwrap
+
+from repro.devtools.analysis import analyze_sources, build_index
+from repro.devtools.analysis.callgraph import (
+    POOL_TYPE,
+    called_qualnames,
+    infer_expr_type,
+    infer_locals,
+    resolve_call,
+)
+
+
+def _src(text):
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def _index(*mods):
+    index, errors = build_index(list(mods))
+    assert errors == []
+    return index
+
+
+def _first_call(fn):
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            return node
+    raise AssertionError("no call in function")
+
+
+def _resolve_in(index, qualname):
+    fn = index.lookup_function(qualname)
+    mod = index.modules[fn.module]
+    locals_ = infer_locals(index, mod, fn)
+    return resolve_call(index, mod, fn, _first_call(fn), locals_)
+
+
+class TestResolution:
+    SRC = _src(
+        """
+        class Svc:
+            def work(self):
+                return self.step()
+
+            def step(self):
+                return 1
+
+        def helper():
+            return 2
+
+        def top():
+            return helper()
+
+        def build():
+            return Svc()
+        """
+    )
+
+    def test_self_method(self):
+        index = _index(("pkg/a.py", self.SRC))
+        assert _resolve_in(index, "pkg.a.Svc.work").qualname == "pkg.a.Svc.step"
+
+    def test_module_function(self):
+        index = _index(("pkg/a.py", self.SRC))
+        assert _resolve_in(index, "pkg.a.top").qualname == "pkg.a.helper"
+
+    def test_cross_module_import(self):
+        other = _src(
+            """
+            from pkg.a import helper
+
+            def entry():
+                return helper()
+            """
+        )
+        index = _index(("pkg/a.py", self.SRC), ("pkg/b.py", other))
+        assert _resolve_in(index, "pkg.b.entry").qualname == "pkg.a.helper"
+
+    def test_called_qualnames_marks_internal_targets(self):
+        index = _index(("pkg/a.py", self.SRC))
+        called = called_qualnames(index)
+        assert "pkg.a.Svc.step" in called
+        assert "pkg.a.helper" in called
+        # top() has no internal caller: it is an analysis entry point.
+        assert "pkg.a.top" not in called
+
+
+class TestUnknownDispatch:
+    def test_untyped_receiver_resolves_to_none(self):
+        src = _src(
+            """
+            def entry(thing):
+                return thing.work()
+            """
+        )
+        index = _index(("pkg/d.py", src))
+        assert _resolve_in(index, "pkg.d.entry") is None
+
+    def test_dynamic_dispatch_is_not_a_false_positive(self):
+        # A guarded attribute touched behind an *unresolvable* callable
+        # must not be reported: the analyzer stays silent on unknowns.
+        src = _src(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0  # guarded-by: _lock
+
+                def run(self, fn):
+                    return fn(self)
+            """
+        )
+        report = analyze_sources([("pkg/e.py", src)])
+        assert report.clean
+
+    def test_recursion_terminates_without_findings(self):
+        src = _src(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0  # guarded-by: _lock
+
+                def spin(self, k):
+                    with self._lock:
+                        self.n += 1
+                    if k:
+                        self.spin(k - 1)
+            """
+        )
+        report = analyze_sources([("pkg/r.py", src)])
+        assert report.clean
+
+    def test_mutual_recursion_terminates(self):
+        src = _src(
+            """
+            def ping(k):
+                if k:
+                    pong(k - 1)
+
+            def pong(k):
+                if k:
+                    ping(k - 1)
+            """
+        )
+        report = analyze_sources([("pkg/m.py", src)])
+        assert report.clean
+
+
+class TestTypeInference:
+    def test_annotated_parameter(self):
+        src = _src(
+            """
+            class Store:
+                def get(self):
+                    return 1
+
+            def use(store: Store):
+                return store.get()
+            """
+        )
+        index = _index(("pkg/t.py", src))
+        assert _resolve_in(index, "pkg.t.use").qualname == "pkg.t.Store.get"
+
+    def test_constructor_assignment(self):
+        src = _src(
+            """
+            class Store:
+                def get(self):
+                    return 1
+
+            def use():
+                s = Store()
+                return s.get()
+            """
+        )
+        index = _index(("pkg/t.py", src))
+        fn = index.lookup_function("pkg.t.use")
+        mod = index.modules["pkg.t"]
+        assert infer_locals(index, mod, fn)["s"] == "pkg.t.Store"
+
+    def test_pool_constructor_types_as_pool(self):
+        src = _src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def use():
+                pool = ProcessPoolExecutor(2)
+                return pool
+            """
+        )
+        index = _index(("pkg/p.py", src))
+        fn = index.lookup_function("pkg.p.use")
+        mod = index.modules["pkg.p"]
+        assert infer_locals(index, mod, fn)["pool"] == POOL_TYPE
+
+    def test_self_attribute_lock_type(self):
+        src = _src(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def peek(self):
+                    return self._lock
+            """
+        )
+        index = _index(("pkg/q.py", src))
+        fn = index.lookup_function("pkg.q.S.peek")
+        mod = index.modules["pkg.q"]
+        locals_ = infer_locals(index, mod, fn)
+        expr = ast.parse("self._lock", mode="eval").body
+        assert infer_expr_type(index, mod, locals_, expr) == "lock:threading"

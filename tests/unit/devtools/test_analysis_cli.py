@@ -1,0 +1,147 @@
+"""CLI integration for the analyzers: flags, SARIF, budget, clean tree."""
+
+import io
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.devtools.analysis as analysis
+from repro.devtools.analysis import analyze_paths
+from repro.devtools.lint import cli
+from repro.devtools.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_VIOLATIONS, main
+from repro.devtools.lint.engine import LintReport, Violation
+from repro.devtools.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    report_to_sarif,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[3] / "src")
+
+BAD_GUARD = (
+    "import threading\n"
+    "\n"
+    "class Svc:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.count = 0  # guarded-by: _lock\n"
+    "\n"
+    "    def bump(self):\n"
+    "        self.count += 1\n"
+)
+
+BAD_RNG = "import random\nv = random.random()\n"
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestSelectIgnoreFlags:
+    def test_analysis_only_select_flags_rep101(self, tmp_path):
+        f = tmp_path / "svc.py"
+        f.write_text(BAD_GUARD)
+        code, out = _run(["--select", "REP101", str(f)])
+        assert code == EXIT_VIOLATIONS
+        assert "REP101" in out
+
+    def test_ignoring_analysis_rules_runs_lint_only(self, tmp_path):
+        f = tmp_path / "svc.py"
+        f.write_text(BAD_GUARD)
+        code, out = _run(
+            ["--ignore", "REP101,REP102,REP103,REP104", str(f)]
+        )
+        assert code == EXIT_CLEAN
+        assert "REP101" not in out
+
+    def test_syntactic_and_analysis_findings_merge(self, tmp_path):
+        f = tmp_path / "both.py"
+        f.write_text(BAD_RNG + BAD_GUARD)
+        code, out = _run([str(f)])
+        assert code == EXIT_VIOLATIONS
+        assert "REP001" in out and "REP101" in out
+
+    def test_unknown_id_in_ignore_is_usage_error(self, tmp_path):
+        code, _ = _run(["--ignore", "REP999", str(tmp_path)])
+        assert code == EXIT_ERROR
+
+    def test_cli_mirror_of_rule_ids_matches_package(self):
+        # cli.py cannot import the analysis package at module scope
+        # (import cycle); this pins the mirrored constant to the truth.
+        assert tuple(cli.ANALYSIS_RULE_IDS) == tuple(
+            analysis.ANALYSIS_RULE_IDS
+        )
+
+    def test_list_rules_includes_analyzers(self):
+        code, out = _run(["--list-rules"])
+        assert code == EXIT_CLEAN
+        for rid in ("REP001", "REP101", "REP102", "REP103", "REP104"):
+            assert rid in out
+
+
+class TestSarifOutput:
+    def test_sarif_schema_shape(self, tmp_path):
+        f = tmp_path / "svc.py"
+        f.write_text(BAD_GUARD)
+        code, out = _run(["--format", "sarif", "--select", "REP101", str(f)])
+        assert code == EXIT_VIOLATIONS
+        doc = json.loads(out)
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert doc["version"] == SARIF_VERSION
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"REP001", "REP101", "REP102", "REP103", "REP104"} <= rule_ids
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "REP101"
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("svc.py")
+        assert loc["region"]["startLine"] == 9
+
+    def test_sarif_columns_are_one_based(self):
+        report = LintReport(
+            violations=[
+                Violation(
+                    rule="REP101", path="x.py", line=3, col=0, message="m"
+                )
+            ],
+            files_scanned=1,
+        )
+        doc = report_to_sarif(report)
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startColumn"] == 1
+
+    def test_clean_tree_sarif_has_no_results(self, tmp_path):
+        f = tmp_path / "ok.py"
+        f.write_text("x = 1\n")
+        code, out = _run(["--format", "sarif", str(f)])
+        assert code == EXIT_CLEAN
+        assert json.loads(out)["runs"][0]["results"] == []
+
+
+class TestShippedTree:
+    def test_shipped_tree_analyzes_clean(self):
+        code, out = _run(
+            ["--select", "REP101,REP102,REP103,REP104", REPO_SRC]
+        )
+        assert code == EXIT_CLEAN, out
+
+    @pytest.mark.slow
+    def test_analysis_runtime_budget(self):
+        # The interprocedural pass must stay cheap enough for `make
+        # check` on every run: < 5 s over the full src/ tree.
+        start = time.perf_counter()
+        report = analyze_paths([REPO_SRC])
+        elapsed = time.perf_counter() - start
+        assert report.files_scanned > 50
+        assert elapsed < 5.0, f"analysis took {elapsed:.2f}s over src/"

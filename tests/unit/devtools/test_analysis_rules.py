@@ -1,0 +1,505 @@
+"""Analyzer fixtures: each REP10x catches its seeded bug, stays silent
+on the disciplined twin, and honors the suppression grammar."""
+
+import textwrap
+
+from repro.devtools.analysis import analyze_sources
+
+
+def _src(text):
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def _rules(report):
+    return [v.rule for v in report.violations]
+
+
+class TestRep101GuardedBy:
+    BAD = _src(
+        """
+        import threading
+
+        class Svc:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0  # guarded-by: _lock
+
+            def bump(self):
+                self.count += 1
+        """
+    )
+    GOOD = _src(
+        """
+        import threading
+
+        class Svc:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+        """
+    )
+
+    def test_unguarded_access_flagged(self):
+        report = analyze_sources([("pkg/bad.py", self.BAD)])
+        assert _rules(report) == ["REP101"]
+        v = report.violations[0]
+        assert "Svc.count" in v.message
+        assert "_lock" in v.message
+
+    def test_guarded_access_clean(self):
+        report = analyze_sources([("pkg/good.py", self.GOOD)])
+        assert report.clean
+
+    def test_init_publication_exempt(self):
+        # __init__ writes the guarded attribute without the lock — that
+        # is construction, not a race (happens-before publication).
+        report = analyze_sources([("pkg/good.py", self.GOOD)])
+        assert report.clean
+
+    def test_two_calls_deep_interprocedural(self):
+        src = _src(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def entry(self):
+                    self._step()
+
+                def _step(self):
+                    self._leaf()
+
+                def _leaf(self):
+                    self.count += 1
+            """
+        )
+        report = analyze_sources([("pkg/deep.py", src)])
+        assert _rules(report) == ["REP101"]
+        msg = report.violations[0].message
+        # The finding carries the witness call path from the entry point.
+        assert "call path" in msg
+        assert "pkg.deep.Svc.entry" in msg
+
+    def test_two_calls_deep_with_lock_at_entry_clean(self):
+        src = _src(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def entry(self):
+                    with self._lock:
+                        self._step()
+
+                def _step(self):
+                    self._leaf()
+
+                def _leaf(self):
+                    self.count += 1
+            """
+        )
+        report = analyze_sources([("pkg/deep.py", src)])
+        assert report.clean
+
+    def test_guarded_global_via_module_registry(self):
+        src = _src(
+            """
+            import threading
+
+            _MU = threading.Lock()
+            _GUARDED_BY = {"_STATE": "_MU"}
+            _STATE = {}
+
+            def bad():
+                _STATE["k"] = 1
+
+            def good():
+                with _MU:
+                    _STATE["k"] = 1
+            """
+        )
+        report = analyze_sources([("pkg/g.py", src)])
+        assert _rules(report) == ["REP101"]
+        assert report.violations[0].line == 8
+
+
+class TestRep102LockOrder:
+    def test_inversion_within_module_flagged(self):
+        src = _src(
+            """
+            import threading
+
+            _A = threading.Lock()
+            _B = threading.Lock()
+
+            def forward():
+                with _A:
+                    with _B:
+                        pass
+
+            def backward():
+                with _B:
+                    with _A:
+                        pass
+            """
+        )
+        report = analyze_sources([("pkg/o.py", src)])
+        assert _rules(report) == ["REP102"]
+        msg = report.violations[0].message
+        assert "pkg.o._A" in msg and "pkg.o._B" in msg
+
+    def test_consistent_order_clean(self):
+        src = _src(
+            """
+            import threading
+
+            _A = threading.Lock()
+            _B = threading.Lock()
+
+            def one():
+                with _A:
+                    with _B:
+                        pass
+
+            def two():
+                with _A:
+                    with _B:
+                        pass
+            """
+        )
+        report = analyze_sources([("pkg/o.py", src)])
+        assert report.clean
+
+    def test_cycle_spanning_two_modules(self):
+        first = _src(
+            """
+            import threading
+            from pkg.second import grab_b_then_a
+
+            _A = threading.Lock()
+
+            def grab_a_then_b():
+                from pkg.second import _B
+                with _A:
+                    with _B:
+                        pass
+            """
+        )
+        second = _src(
+            """
+            import threading
+            from pkg.first import _A
+
+            _B = threading.Lock()
+
+            def grab_b_then_a():
+                with _B:
+                    with _A:
+                        pass
+            """
+        )
+        report = analyze_sources(
+            [("pkg/first.py", first), ("pkg/second.py", second)]
+        )
+        assert _rules(report) == ["REP102"]
+        msg = report.violations[0].message
+        assert "pkg.first._A" in msg and "pkg.second._B" in msg
+
+    def test_interprocedural_order_through_callee(self):
+        # forward() holds A and calls a helper that takes B; backward()
+        # takes them the other way — the cycle only exists across calls.
+        src = _src(
+            """
+            import threading
+
+            _A = threading.Lock()
+            _B = threading.Lock()
+
+            def _take_b():
+                with _B:
+                    pass
+
+            def forward():
+                with _A:
+                    _take_b()
+
+            def backward():
+                with _B:
+                    with _A:
+                        pass
+            """
+        )
+        report = analyze_sources([("pkg/o.py", src)])
+        assert _rules(report) == ["REP102"]
+
+    def test_reentrant_reacquisition_records_no_edge(self):
+        src = _src(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        report = analyze_sources([("pkg/r.py", src)])
+        assert report.clean
+
+
+class TestRep103BlockingUnderLock:
+    def test_sleep_under_lock_flagged(self):
+        src = _src(
+            """
+            import threading
+            import time
+
+            _MU = threading.Lock()
+
+            def slow():
+                with _MU:
+                    time.sleep(1.0)
+            """
+        )
+        report = analyze_sources([("pkg/s.py", src)])
+        assert _rules(report) == ["REP103"]
+        assert "time.sleep" in report.violations[0].message
+
+    def test_sleep_outside_lock_clean(self):
+        src = _src(
+            """
+            import threading
+            import time
+
+            _MU = threading.Lock()
+
+            def fine():
+                with _MU:
+                    pass
+                time.sleep(1.0)
+            """
+        )
+        report = analyze_sources([("pkg/s.py", src)])
+        assert report.clean
+
+    def test_await_under_threading_lock_flagged(self):
+        src = _src(
+            """
+            import threading
+
+            _MU = threading.Lock()
+
+            async def starve(fut):
+                with _MU:
+                    await fut
+            """
+        )
+        report = analyze_sources([("pkg/a.py", src)])
+        assert _rules(report) == ["REP103"]
+        assert "await" in report.violations[0].message
+
+    def test_blocking_call_reached_through_helper(self):
+        src = _src(
+            """
+            import threading
+            import time
+
+            _MU = threading.Lock()
+
+            def _io():
+                time.sleep(0.5)
+
+            def entry():
+                with _MU:
+                    _io()
+            """
+        )
+        report = analyze_sources([("pkg/h.py", src)])
+        assert _rules(report) == ["REP103"]
+        assert "call path" in report.violations[0].message
+
+
+class TestRep104ForkSafety:
+    def test_lock_in_process_args_flagged(self):
+        src = _src(
+            """
+            import threading
+            from multiprocessing import Process
+
+            _MU = threading.Lock()
+
+            def spawn():
+                p = Process(target=print, args=(_MU,))
+                return p
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert _rules(report) == ["REP104"]
+
+    def test_plain_data_args_clean(self):
+        src = _src(
+            """
+            from multiprocessing import Process
+
+            def spawn(payload):
+                p = Process(target=print, args=(payload, 3))
+                return p
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert report.clean
+
+    def test_file_handle_in_submit_flagged(self):
+        src = _src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def spawn(path):
+                fh = open(path)
+                pool = ProcessPoolExecutor(2)
+                pool.submit(print, fh)
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert _rules(report) == ["REP104"]
+
+    def test_transitively_unsafe_object_flagged(self):
+        # Carrier has no lock itself, but holds a Svc that does.
+        src = _src(
+            """
+            import threading
+            from multiprocessing import Process
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+            class Carrier:
+                def __init__(self):
+                    self.svc = Svc()
+
+            def spawn():
+                c = Carrier()
+                return Process(target=print, args=(c,))
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert _rules(report) == ["REP104"]
+
+    def test_bound_method_target_checks_receiver(self):
+        src = _src(
+            """
+            import threading
+            from multiprocessing import Process
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def work(self):
+                    pass
+
+            def spawn():
+                s = Svc()
+                return Process(target=s.work)
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert _rules(report) == ["REP104"]
+
+    def test_unknown_type_is_not_flagged(self):
+        src = _src(
+            """
+            from multiprocessing import Process
+
+            def spawn(mystery):
+                return Process(target=print, args=(mystery,))
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert report.clean
+
+
+class TestSuppressionGrammar:
+    BAD_LINE = (
+        "        self.count += 1"
+        "  # repro: noqa[REP101] single-threaded setup path\n"
+    )
+
+    def _with_comment(self, comment):
+        return _src(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    self.count += 1{comment}
+            """
+        ).format(comment=comment)
+
+    def test_reasoned_suppression_silences(self):
+        src = self._with_comment(
+            "  # repro: noqa[REP101] single-threaded setup path"
+        )
+        report = analyze_sources([("pkg/sup.py", src)])
+        assert report.clean
+        assert report.n_suppressed == 1
+
+    def test_wrong_rule_id_does_not_apply(self):
+        src = self._with_comment("  # repro: noqa[REP103] wrong rule cited")
+        report = analyze_sources([("pkg/sup.py", src)])
+        assert _rules(report) == ["REP101"]
+        assert report.n_suppressed == 0
+
+    def test_parse_error_is_rep000(self):
+        report = analyze_sources([("pkg/broken.py", "def broken(:\n")])
+        assert _rules(report) == ["REP000"]
+
+    def test_parse_error_silenced_when_lint_pass_owns_it(self):
+        report = analyze_sources(
+            [("pkg/broken.py", "def broken(:\n")], report_engine_errors=False
+        )
+        assert report.clean
+
+    def test_select_restricts_rules(self):
+        src = _src(
+            """
+            import threading
+            import time
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    self.count += 1
+                    with self._lock:
+                        time.sleep(1.0)
+            """
+        )
+        both = analyze_sources([("pkg/sel.py", src)])
+        assert sorted(_rules(both)) == ["REP101", "REP103"]
+        only = analyze_sources([("pkg/sel.py", src)], select=["REP103"])
+        assert _rules(only) == ["REP103"]

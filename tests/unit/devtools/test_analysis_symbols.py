@@ -1,0 +1,176 @@
+"""Symbol table construction: locks, guards, MRO, registries, types."""
+
+import textwrap
+
+from repro.devtools.analysis import PackageIndex, build_index
+from repro.devtools.analysis.symbols import module_name_for_path
+
+
+def _index(*mods):
+    index, errors = build_index(list(mods))
+    assert errors == []
+    return index
+
+
+def _src(text):
+    return textwrap.dedent(text).lstrip("\n")
+
+
+class TestModuleNames:
+    def test_src_anchored(self):
+        assert (
+            module_name_for_path("src/repro/serving/service.py")
+            == "repro.serving.service"
+        )
+
+    def test_absolute_src_anchored(self):
+        assert (
+            module_name_for_path("/root/repo/src/repro/parallel/_shm.py")
+            == "repro.parallel._shm"
+        )
+
+    def test_fixture_relative(self):
+        assert module_name_for_path("pkg/mod.py") == "pkg.mod"
+
+    def test_init_is_the_package(self):
+        assert module_name_for_path("src/repro/serving/__init__.py") == (
+            "repro.serving"
+        )
+
+
+class TestClassFacts:
+    SRC = _src(
+        """
+        import threading
+
+        class Service:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0  # guarded-by: _lock
+                self.store = Store()
+
+        class Store:
+            pass
+        """
+    )
+
+    def test_lock_attr_detected(self):
+        index = _index(("pkg/svc.py", self.SRC))
+        cls = index.lookup_class("pkg.svc.Service")
+        assert index.lock_kind(cls, "_lock") == "threading"
+
+    def test_guard_comment_binds_attr(self):
+        index = _index(("pkg/svc.py", self.SRC))
+        cls = index.lookup_class("pkg.svc.Service")
+        assert index.guard_for(cls, "count") == ("pkg.svc.Service", "_lock")
+        assert index.guard_for(cls, "store") is None
+
+    def test_attr_type_inferred_from_init(self):
+        index = _index(("pkg/svc.py", self.SRC))
+        cls = index.lookup_class("pkg.svc.Service")
+        assert index.attr_type(cls, "store") == "pkg.svc.Store"
+
+
+class TestGuardedByRegistry:
+    def test_class_registry(self):
+        src = _src(
+            """
+            import threading
+
+            class S:
+                _GUARDED_BY = {"items": "_mu"}
+
+                def __init__(self):
+                    self._mu = threading.Lock()
+                    self.items = []
+            """
+        )
+        index = _index(("pkg/m.py", src))
+        cls = index.lookup_class("pkg.m.S")
+        assert index.guard_for(cls, "items") == ("pkg.m.S", "_mu")
+
+    def test_module_registry_dotted_key_kept_verbatim(self):
+        src = _src(
+            """
+            import threading
+
+            _PATCH_LOCK = threading.Lock()
+            _GUARDED_BY = {"other.module.target": "_PATCH_LOCK"}
+            """
+        )
+        index = _index(("pkg/m.py", src))
+        assert index.guarded_globals["other.module.target"] == (
+            "pkg.m._PATCH_LOCK"
+        )
+
+    def test_module_registry_bare_key_prefixed(self):
+        src = _src(
+            """
+            import threading
+
+            _MU = threading.Lock()
+            _GUARDED_BY = {"_STATE": "_MU"}
+            _STATE = {}
+            """
+        )
+        index = _index(("pkg/m.py", src))
+        assert index.guarded_globals["pkg.m._STATE"] == "pkg.m._MU"
+
+
+class TestInheritance:
+    SRC = _src(
+        """
+        import threading
+
+        class Base:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self.state = "idle"  # guarded-by: _lock
+
+        class Child(Base):
+            def poke(self):
+                return self.state
+        """
+    )
+
+    def test_guard_named_after_declaring_class(self):
+        index = _index(("pkg/h.py", self.SRC))
+        child = index.lookup_class("pkg.h.Child")
+        # The token is owned by the *declaring* class, so Base and Child
+        # instances share one discipline.
+        assert index.guard_for(child, "state") == ("pkg.h.Base", "_lock")
+        assert index.lock_kind(child, "_lock") == "threading"
+
+    def test_find_method_walks_mro(self):
+        index = _index(("pkg/h.py", self.SRC))
+        child = index.lookup_class("pkg.h.Child")
+        assert index.find_method(child, "__init__").qualname == (
+            "pkg.h.Base.__init__"
+        )
+        assert index.find_method(child, "poke").qualname == "pkg.h.Child.poke"
+        assert index.find_method(child, "missing") is None
+
+
+class TestBuildIndexErrors:
+    def test_syntax_error_collected_not_raised(self):
+        index, errors = build_index(
+            [("pkg/ok.py", "x = 1\n"), ("pkg/bad.py", "def broken(:\n")]
+        )
+        assert isinstance(index, PackageIndex)
+        assert "pkg.ok" in index.modules
+        assert [path for path, _ in errors] == ["pkg/bad.py"]
+
+    def test_sanitize_factories_count_as_locks(self):
+        src = _src(
+            """
+            from repro.devtools.sanitize import guarded_lock
+
+            class S:
+                def __init__(self):
+                    self._lock = guarded_lock("S._lock")
+                    self.n = 0  # guarded-by: _lock
+            """
+        )
+        index = _index(("pkg/s.py", src))
+        cls = index.lookup_class("pkg.s.S")
+        assert index.lock_kind(cls, "_lock") == "threading"

@@ -1,0 +1,206 @@
+"""Runtime lock-order sanitizer: edge recording, inversion detection,
+reentrancy, factory arming, and the serving tier under REPRO_SANITIZE=1."""
+
+import threading
+
+import pytest
+
+from repro.devtools.sanitize import (
+    ENV_VAR,
+    LockOrderViolation,
+    TrackedLock,
+    guarded_lock,
+    guarded_rlock,
+    lock_order_edges,
+    reset_lock_order,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_graph():
+    reset_lock_order()
+    yield
+    reset_lock_order()
+
+
+def _make_model(seed, n=8, k=2):
+    import numpy as np
+
+    from repro.embedding.model import EmbeddingModel
+
+    rng = np.random.default_rng(seed)
+    return EmbeddingModel(rng.uniform(0, 1, (n, k)), rng.uniform(0, 1, (n, k)))
+
+
+def _tracked(name):
+    return TrackedLock(threading.Lock(), name)
+
+
+def _tracked_r(name):
+    return TrackedLock(threading.RLock(), name)
+
+
+class TestOrderGraph:
+    def test_nested_acquisition_records_edge(self):
+        a, b = _tracked("A"), _tracked("B")
+        with a:
+            with b:
+                pass
+        assert lock_order_edges() == {"A": ("B",)}
+
+    def test_consistent_order_never_raises(self):
+        a, b = _tracked("A"), _tracked("B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert lock_order_edges() == {"A": ("B",)}
+
+    def test_inversion_raises_before_blocking(self):
+        a, b = _tracked("A"), _tracked("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation) as exc_info:
+                a.acquire()
+        assert exc_info.value.cycle == ("A", "B", "A")
+        assert "deadlock" in str(exc_info.value)
+
+    def test_inversion_detected_across_threads(self):
+        # Thread 1 establishes A -> B; the main thread then tries
+        # B -> A.  No actual deadlock is needed: the graph is global,
+        # so the second order raises immediately.
+        a, b = _tracked("A"), _tracked("B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        t = threading.Thread(target=forward)
+        t.start()
+        t.join()
+        with b:
+            with pytest.raises(LockOrderViolation):
+                with a:
+                    pass
+
+    def test_three_lock_cycle(self):
+        a, b, c = _tracked("A"), _tracked("B"), _tracked("C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with pytest.raises(LockOrderViolation) as exc_info:
+                a.acquire()
+        assert exc_info.value.cycle == ("A", "B", "C", "A")
+
+    def test_failed_acquire_not_pushed(self):
+        a = _tracked("A")
+        assert a.acquire() is True
+        assert a.acquire(blocking=False) is False
+        a.release()
+        b = _tracked("B")
+        with b:  # held stack must be empty: no bogus A -> B edge
+            pass
+        assert lock_order_edges() == {}
+
+
+class TestReentrancy:
+    def test_reentrant_reacquisition_records_no_edge(self):
+        r = _tracked_r("R")
+        with r:
+            with r:
+                pass
+        assert lock_order_edges() == {}
+
+    def test_reentrant_hold_still_orders_other_locks(self):
+        r, b = _tracked_r("R"), _tracked("B")
+        with r:
+            with r:
+                with b:
+                    pass
+        assert lock_order_edges() == {"R": ("B",)}
+
+    def test_release_pops_most_recent_occurrence(self):
+        r = _tracked_r("R")
+        r.acquire()
+        r.acquire()
+        r.release()
+        # still held once: a nested acquisition of B records R -> B
+        b = _tracked("B")
+        with b:
+            pass
+        assert lock_order_edges() == {"R": ("B",)}
+        r.release()
+
+
+class TestFactories:
+    def test_disabled_factory_returns_plain_lock(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        lock = guarded_lock("plain")
+        assert not isinstance(lock, TrackedLock)
+        with lock:
+            pass
+        assert lock_order_edges() == {}
+
+    def test_armed_factory_returns_tracked_lock(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        lock = guarded_lock("armed")
+        rlock = guarded_rlock("armed-r")
+        assert isinstance(lock, TrackedLock)
+        assert isinstance(rlock, TrackedLock)
+        with lock:
+            with rlock:
+                pass
+        assert lock_order_edges() == {"armed": ("armed-r",)}
+
+    def test_falsey_values_disarm(self, monkeypatch):
+        for value in ("", "0", "false", "no", "off"):
+            monkeypatch.setenv(ENV_VAR, value)
+            assert not isinstance(guarded_lock("x"), TrackedLock)
+
+
+class TestServingTierIntegration:
+    def test_service_locks_are_tracked_when_armed(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        from repro.serving.registry import ModelRegistry
+        from repro.serving.service import ScoringService
+
+        service = ScoringService(ModelRegistry())
+        assert isinstance(service._lock, TrackedLock)
+        assert isinstance(service.registry._lock, TrackedLock)
+
+    def test_injected_inversion_is_detected(self, monkeypatch):
+        # Simulate a registry method that grabs the service lock: the
+        # shipped order is service -> registry (publish under swap), so
+        # the injected registry -> service order must raise.
+        monkeypatch.setenv(ENV_VAR, "1")
+        from repro.serving.registry import ModelRegistry
+        from repro.serving.service import ScoringService
+
+        service = ScoringService(ModelRegistry())
+        with service._lock:  # the shipped order: service, then registry
+            service.registry.publish(_make_model(0))
+        with pytest.raises(LockOrderViolation):
+            with service.registry._lock:  # injected inversion
+                with service._lock:
+                    pass
+
+    def test_service_normal_operation_clean_when_armed(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        from repro.serving.registry import ModelRegistry
+        from repro.serving.service import ScoringService
+
+        registry = ModelRegistry()
+        service = ScoringService(registry)
+        registry.publish(_make_model(0))
+        service.ingest("c1", 0, 0.0)
+        service.ingest("c1", 1, 1.0)
+        service.stats()
+        service.health_snapshot()
+        assert service.registry.n_published == 1
