@@ -50,12 +50,15 @@ bench:
 	$(PYTHON) -m pytest -x -q benchmarks
 
 ## chaos suite: crash-kill / torn-write / slow-disk / task-death injection
-## against the journal, recovery, and the supervised server — run with the
-## runtime sanitizer armed so dispatch-side invariants are checked too
+## against the journal, recovery, the supervised server, and the sharded
+## tier (SIGKILL a shard mid-burst → watchdog restart + journal replay to
+## bit-identical state) — run with the runtime sanitizer armed so
+## dispatch-side invariants are checked too
 chaos:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q \
 		tests/unit/serving/test_durability.py \
 		tests/unit/serving/test_server.py \
+		tests/unit/serving/test_sharding.py \
 		tests/unit/devtools/test_lock_sanitizer.py \
 		tests/property/test_prop_durability.py
 
@@ -69,7 +72,7 @@ bench-kernel:
 	$(PYTHON) -m pytest -x -q benchmarks/test_perf_kernel.py
 
 ## scoring-service benchmark (micro-batched vs one-at-a-time scoring,
-## burst vs scalar ingest, flush allocation audit, latency percentiles);
-## writes BENCH_serving.json
+## burst vs scalar ingest, flush allocation audit, latency percentiles,
+## sharded scale-out + zero-copy publish gates); writes BENCH_serving.json
 bench-serving:
 	$(PYTHON) -m pytest -x -q benchmarks/test_perf_serving.py

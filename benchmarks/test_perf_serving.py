@@ -20,7 +20,16 @@ vectorized SVM) on a synthetic workload and records:
   throughput;
 * recovery replay rate: rebuild a service from a snapshot + journal
   tail and gate the replayed events/second (the number that bounds
-  restart downtime).
+  restart downtime);
+* sharded scale-out: the same bulk scoring stream through the
+  multi-process router at 1 shard and 4 shards — wall-clock speedup
+  (gated ≥3× only on boxes with ≥4 cores; on smaller boxes the
+  core-count-independent *ideal overlap speedup* — the per-shard
+  compute ratio ``sum/max`` that pipelined fan-out converges to once
+  cores exist — carries the gate, as in ``test_perf_dispatch``), router
+  fan-out overhead, and zero-copy model publish latency, which must
+  stay flat in shard count (one shared segment, N attaches — never N
+  serialized copies).
 
 Acceptance gates: the best micro-batched configuration must sustain at
 least **5×** the baseline requests/sec, batched ingest at least **10×**
@@ -84,6 +93,17 @@ MIN_JOURNAL_RETENTION = 0.85
 JOURNAL_TARGET_RETENTION = 0.90  # stop the rounds early with margin
 #: acceptance gate: recovery replay rate at CI scale
 MIN_RECOVERY_EPS = 100_000
+
+#: acceptance gates for the sharded tier: batched req/s at 4 shards vs
+#: the 1-shard router (wall-clock where cores allow it, otherwise the
+#: ideal overlap speedup), router fan-out overhead vs serialized
+#: per-shard compute, and publish-latency flatness in shard count
+MIN_SHARD_SPEEDUP = 3.0
+SHARD_COUNTS = (1, 4)
+SHARD_OVERHEAD_BOUND = 1.35
+SHARD_SWAP_FLATNESS = 1.6  # wall gate, needs cores to overlap attaches
+SHARD_SWAP_SLOPE_RATIO = 2.0  # zero-copy proof, core-count independent
+SHARD_PUBLISH_REPEATS = 20
 
 
 def _update_bench_json(sections):
@@ -168,7 +188,18 @@ def _run_baseline(service, cids, n_requests):
 
 
 def _run_batched(service, cids, n_requests, max_batch):
-    """Saturated micro-batching: submit a full batch, flush, repeat."""
+    """Saturated micro-batching: submit a full batch, flush, repeat.
+
+    The request count scales with ``max_batch``: every request in a
+    flushed block shares one ``enqueued_at`` and one ``compute_s``, so a
+    block contributes a single distinct latency value.  With a fixed
+    4000-request workload at ``max_batch=256`` that is ~16 distinct
+    values — p95 and p99 then select the *same* order statistic and the
+    tail columns degenerate.  128 blocks per configuration keep the
+    upper percentiles honest; throughput is a rate, so the larger count
+    does not skew the speedup ratio.
+    """
+    n_requests = max(n_requests, max_batch * 128)
     blocks = []
     done = 0
     while done < n_requests:
@@ -603,6 +634,219 @@ class TestJournalDurability:
                 f"recovery replayed only {best_eps:,.0f} events/s "
                 f"(gate {MIN_RECOVERY_EPS:,.0f})"
             )
+
+
+def _sharded_workload(scale):
+    if scale.name == "paper":
+        return {"n_nodes": 2000, "cascades": 512, "events_per": 30, "requests": 16384}
+    return {"n_nodes": 500, "cascades": 256, "events_per": 20, "requests": 8192}
+
+
+class TestShardedScaling:
+    """The multi-process router: scale-out ratio + zero-copy swap cost.
+
+    Both router configurations ride :meth:`score_columns` — the
+    columnar wire shape the shards speak — so 1-shard and 4-shard
+    differ *only* in fan-out width.  On a box with fewer than 4 cores
+    the wall-clock ratio is physically capped near 1×, so the gate
+    follows the ``test_perf_dispatch`` precedent: measure wall-clock
+    always, gate it only when ``os.cpu_count() >= 4``, and otherwise
+    gate the core-count-independent decomposition — per-shard compute
+    must overlap ≥3× ideally (``sum/max``) and the router's fan-out
+    must not eat the headroom (bounded overhead vs the serialized
+    per-shard sum).
+    """
+
+    def test_shard_scaling_and_swap_cost(self):
+        import os
+
+        from repro.serving.sharding import ShardedScoringService, shard_of
+
+        scale = current_scale()
+        wl = _sharded_workload(scale)
+        model, predictor = _make_parts(23, wl["n_nodes"])
+        events = _events(
+            np.random.default_rng(23), wl["n_nodes"], wl["cascades"], wl["events_per"]
+        )
+        cids = [cid for cid, _, _ in events]
+        stream = []
+        for cid, nodes, times in events:
+            stream.extend((cid, int(n), float(t)) for n, t in zip(nodes, times))
+        stream.sort(key=lambda e: e[2])
+        col_cids, col_nodes, col_times = zip(*stream)
+        col_cids = list(col_cids)
+        col_nodes = np.asarray(col_nodes, dtype=np.int64)
+        col_times = np.asarray(col_times, dtype=np.float64)
+        blocks = []
+        done = 0
+        while done < wl["requests"]:
+            n = min(256, wl["requests"] - done)
+            blocks.append([cids[(done + j) % len(cids)] for j in range(n)])
+            done += n
+
+        services = {}
+        try:
+            for n_shards in SHARD_COUNTS:
+                svc = ShardedScoringService(n_shards=n_shards)
+                svc.publish(model, predictor=predictor)
+                svc.ingest_columns(col_cids, col_nodes, col_times)
+                cols = svc.score_columns(blocks[0])  # warm every path
+                assert bool(np.all(cols.ok))
+                services[n_shards] = svc
+
+            # --- batched scoring throughput, interleaved best-of ------ #
+            def run(svc):
+                t0 = time.perf_counter()
+                for block in blocks:
+                    svc.score_columns(block)
+                return time.perf_counter() - t0
+
+            best = {n: float("inf") for n in SHARD_COUNTS}
+            for _ in range(max(MIN_ROUNDS, REPEATS)):
+                for n_shards, svc in services.items():
+                    best[n_shards] = min(best[n_shards], run(svc))
+            wall_speedup = best[1] / best[SHARD_COUNTS[-1]]
+            rps = {n: wl["requests"] / s for n, s in best.items()}
+
+            # --- per-shard decomposition (core-count independent) ----- #
+            # Serialize each shard's share of the same request stream
+            # through the 4-shard router: sum/max is the speedup the
+            # fan-out converges to once a core exists per shard, and
+            # the full-fan-out wall time must stay within
+            # SHARD_OVERHEAD_BOUND of the serialized sum.
+            wide = services[SHARD_COUNTS[-1]]
+            shard_blocks = {s: [] for s in range(SHARD_COUNTS[-1])}
+            for block in blocks:
+                by = {s: [] for s in range(SHARD_COUNTS[-1])}
+                for cid in block:
+                    by[shard_of(cid, SHARD_COUNTS[-1])].append(cid)
+                for s, sub in by.items():
+                    if sub:
+                        shard_blocks[s].append(sub)
+            per_shard_s = []
+            for s in range(SHARD_COUNTS[-1]):
+                t_best = float("inf")
+                for _ in range(REPEATS):
+                    t0 = time.perf_counter()
+                    for sub in shard_blocks[s]:
+                        wide.score_columns(sub)
+                    t_best = min(t_best, time.perf_counter() - t0)
+                per_shard_s.append(t_best)
+            ideal_overlap = sum(per_shard_s) / max(per_shard_s)
+            overhead_ratio = best[SHARD_COUNTS[-1]] / sum(per_shard_s)
+
+            # --- zero-copy publish latency vs shard count ------------- #
+            # Two probes.  (1) wall flatness: publish at 4 shards vs 1
+            # shard — each worker's O(1) attach overlaps given cores, so
+            # this is gated (like wall speedup) only with >= 4 cores.
+            # (2) the core-count-independent zero-copy proof: the
+            # *model-size slope* of publish latency.  Publishing an 80x
+            # bigger model costs one extra O(plane-bytes) encode at the
+            # router; each shard's attach stays O(1).  A copying swap
+            # pays the plane bytes per shard, so its slope grows with
+            # shard count — the ratio of slopes is the gate.
+            big_rng = np.random.default_rng(29)
+            big_model = EmbeddingModel(
+                big_rng.uniform(0, 1, (40_000, 10)),
+                big_rng.uniform(0, 1, (40_000, 10)),
+            )
+            publish_s = {}
+            publish_big_s = {}
+            for n_shards, svc in services.items():
+                t_small = t_big = float("inf")
+                for _ in range(SHARD_PUBLISH_REPEATS):
+                    t0 = time.perf_counter()
+                    svc.publish(model, predictor=predictor)
+                    t_small = min(t_small, time.perf_counter() - t0)
+                    t0 = time.perf_counter()
+                    svc.publish(big_model, predictor=predictor)
+                    t_big = min(t_big, time.perf_counter() - t0)
+                publish_s[n_shards] = t_small
+                publish_big_s[n_shards] = t_big
+            swap_flatness = publish_s[SHARD_COUNTS[-1]] / publish_s[1]
+            slope = {
+                n: max(publish_big_s[n] - publish_s[n], 1e-9)
+                for n in SHARD_COUNTS
+            }
+            slope_ratio = slope[SHARD_COUNTS[-1]] / slope[1]
+        finally:
+            for svc in services.values():
+                svc.close()
+
+        cores = os.cpu_count() or 1
+        lines = [
+            f"scale={scale.name}  cores={cores}  requests={wl['requests']}  "
+            f"cascades={wl['cascades']}x{wl['events_per']}ev",
+        ]
+        for n_shards in SHARD_COUNTS:
+            lines.append(
+                f"shards={n_shards}: {rps[n_shards]:>12,.0f} req/s   "
+                f"publish {publish_s[n_shards] * 1e3:.2f} ms "
+                f"(80x model: {publish_big_s[n_shards] * 1e3:.2f} ms)"
+            )
+        lines += [
+            f"wall-clock speedup: {wall_speedup:.2f}x "
+            f"(gated >= {MIN_SHARD_SPEEDUP}x only with >= 4 cores)",
+            f"ideal overlap speedup: {ideal_overlap:.2f}x "
+            f"(gate: >= {MIN_SHARD_SPEEDUP}x)",
+            f"router overhead: {overhead_ratio:.2f}x serialized shard sum "
+            f"(gate: <= {SHARD_OVERHEAD_BOUND}x)",
+            f"publish flatness: {swap_flatness:.2f}x the 1-shard publish "
+            f"(gated <= {SHARD_SWAP_FLATNESS}x only with >= 4 cores)",
+            f"publish size-slope ratio: {slope_ratio:.2f}x "
+            f"(gate: <= {SHARD_SWAP_SLOPE_RATIO}x — plane bytes cross "
+            "once, not per shard)",
+        ]
+        save_result("perf_serving_sharded", "\n".join(lines))
+        _update_bench_json(
+            {
+                "sharded": {
+                    "scale": scale.name,
+                    "cores": cores,
+                    "workload": wl,
+                    "throughput_rps": {str(n): rps[n] for n in SHARD_COUNTS},
+                    "publish_s": {str(n): publish_s[n] for n in SHARD_COUNTS},
+                    "publish_big_s": {
+                        str(n): publish_big_s[n] for n in SHARD_COUNTS
+                    },
+                    "wall_speedup": wall_speedup,
+                    "ideal_overlap_speedup": ideal_overlap,
+                    "router_overhead_ratio": overhead_ratio,
+                    "publish_flatness": swap_flatness,
+                    "publish_size_slope_ratio": slope_ratio,
+                    "min_speedup_gate": MIN_SHARD_SPEEDUP,
+                    "overhead_bound_gate": SHARD_OVERHEAD_BOUND,
+                    "publish_flatness_gate": SHARD_SWAP_FLATNESS,
+                    "publish_slope_ratio_gate": SHARD_SWAP_SLOPE_RATIO,
+                    "wall_clock_gated": cores >= 4,
+                }
+            }
+        )
+
+        if cores >= 4:
+            assert wall_speedup >= MIN_SHARD_SPEEDUP, (
+                f"4-shard router only {wall_speedup:.2f}x the 1-shard router "
+                f"(gate {MIN_SHARD_SPEEDUP}x on a {cores}-core box)"
+            )
+            assert swap_flatness <= SHARD_SWAP_FLATNESS, (
+                f"publish at 4 shards costs {swap_flatness:.2f}x the 1-shard "
+                f"publish (bound {SHARD_SWAP_FLATNESS}x on a {cores}-core "
+                "box) — the per-shard attaches are not overlapping"
+            )
+        assert ideal_overlap >= MIN_SHARD_SPEEDUP, (
+            f"per-shard compute overlaps only {ideal_overlap:.2f}x ideally "
+            f"(gate {MIN_SHARD_SPEEDUP}x) — the hash ranges are unbalanced"
+        )
+        assert overhead_ratio <= SHARD_OVERHEAD_BOUND, (
+            f"router fan-out costs {overhead_ratio:.2f}x the serialized "
+            f"per-shard sum (bound {SHARD_OVERHEAD_BOUND}x)"
+        )
+        assert slope_ratio <= SHARD_SWAP_SLOPE_RATIO, (
+            f"publish latency grows {slope_ratio:.2f}x faster with model "
+            f"size at 4 shards than at 1 (bound {SHARD_SWAP_SLOPE_RATIO}x) "
+            "— plane bytes are crossing the wire per shard instead of "
+            "through one shared segment"
+        )
 
 
 def _traced_bytes(fn):

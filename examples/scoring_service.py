@@ -1,5 +1,5 @@
 """Real-time scoring: train → checkpoint → serve → hot-swap → crash →
-recover (DESIGN.md §12, §14).
+recover → scale out (DESIGN.md §12, §14, §16).
 
 The paper's predictor is an offline artifact; this example runs the
 deployment half.  It trains embeddings and a virality SVM, saves both as
@@ -8,13 +8,18 @@ service from them — with a write-ahead journal armed — replays held-out
 cascades' early adopters as a live event stream, scores them through the
 micro-batched path, hot-swaps in a refit model mid-stream without
 dropping a request, then kills the service without ceremony and rebuilds
-it from the journal: the recovered scores are bit-identical.
+it from the journal: the recovered scores are bit-identical.  Finally it
+stands the same artifacts up behind a sharded multi-process tier and
+shows the scores don't change — sharding is a deployment knob, not a
+semantics knob.
 
 The same service speaks newline-JSON over TCP or stdio::
 
     repro serve --model model.npz --predictor svm.npz --port 7569 \
         --journal-dir wal/
     repro serve --journal-dir wal/ --recover --port 7569   # after a crash
+    repro serve --model model.npz --predictor svm.npz --port 7569 \
+        --shards 4                                         # sharded tier
 
 Usage::
 
@@ -29,7 +34,13 @@ import numpy as np
 from repro import infer_embeddings, make_sbm_experiment
 from repro.bench import format_table
 from repro.prediction.pipeline import ViralityPredictor, build_dataset
-from repro.serving import JournalConfig, ScoringClient, build_service, recover_service
+from repro.serving import (
+    JournalConfig,
+    ScoringClient,
+    build_service,
+    build_sharded_service,
+    recover_service,
+)
 
 
 def main() -> None:
@@ -158,6 +169,49 @@ def main() -> None:
     print(f"  recovered scores bit-identical to pre-crash: {identical}")
     assert identical
     recovered.drain()  # graceful this time: flush, seal, stop
+
+    print("\n=== 6. Scale out: the same artifacts behind a sharded tier")
+    # DESIGN.md §16: ``--shards N`` splits tracker state across N worker
+    # processes by cascade-id hash.  The router fans each burst out over
+    # per-shard pipes and merges replies in request order; a model
+    # publish crosses the plane bytes once, through a shared-memory
+    # segment every shard attaches read-only.  Same client, same wire
+    # protocol, same scores.
+    sharded = build_sharded_service(
+        str(workdir / "model.npz"),
+        n_shards=2,
+        predictor_path=str(workdir / "svm.npz"),
+        max_batch=32,
+        max_delay=0.002,
+    )
+    try:
+        sh_client = ScoringClient(sharded)
+        for i, cascade in enumerate(exp.test):
+            cutoff = cascade.times[0] + exp.early_fraction * exp.window
+            prefix = cascade.prefix_by_time(cutoff)
+            sh_client.ingest_columns(
+                [cascade_ids[i]] * len(prefix.nodes),
+                np.asarray(prefix.nodes),
+                np.asarray(prefix.times),
+            )
+        sh_results = sh_client.score_many(cascade_ids)
+        same_v1 = all(a.score == b.score for a, b in zip(sh_results, results))
+        # One zero-copy publish swaps every shard to the refit model.
+        sharded.publish(model2, predictor=predictor2, source="refit")
+        sh_results2 = sh_client.score_many(cascade_ids)
+        same_v2 = all(r.score == reference[r.cascade_id] for r in sh_results2)
+        sh_stats = sharded.stats()
+        per_shard = "+".join(
+            str(s["tracked_cascades"]) for s in sh_stats["shards"]
+        )
+        print(
+            f"  {sh_stats['n_shards']} shard processes tracking "
+            f"{per_shard} cascades; scores bit-identical to the "
+            f"in-process tier (v1: {same_v1}, after swap: {same_v2})"
+        )
+        assert same_v1 and same_v2
+    finally:
+        sharded.close()
 
 
 if __name__ == "__main__":

@@ -155,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
                    "(--model/--predictor not needed; the journal holds them)")
     p.add_argument("--read-timeout", type=float, default=None,
                    help="close a TCP connection idle this many seconds")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard cascade state across N worker processes "
+                   "(1 = in-process, the default); model hot-swaps are "
+                   "broadcast zero-copy through one shared-memory segment")
+    p.add_argument("--shard-backlog", type=int, default=None,
+                   help="per-shard pending-queue bound under --shards "
+                   "(default: --max-pending; must be >= --max-batch)")
 
     return parser
 
@@ -353,6 +360,10 @@ def _cmd_serve(args) -> int:
     feature_set = (
         EXTENDED_FEATURES if args.features == "extended" else PAPER_FEATURES
     )
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    sharded = args.shards > 1
     policy = BatchPolicy(
         max_batch=args.max_batch,
         max_delay=args.max_delay,
@@ -363,16 +374,41 @@ def _cmd_serve(args) -> int:
         if args.journal_dir is None:
             print("--recover requires --journal-dir", file=sys.stderr)
             return 2
-        service, report = recover_service(
-            JournalConfig(
-                directory=args.journal_dir,
-                fsync=args.fsync,
-                fsync_interval=args.fsync_interval,
-            ),
-            feature_set=feature_set,
-            store_config=StoreConfig(capacity=args.capacity, ttl=args.ttl),
-            policy=policy,
-        )
+        if sharded:
+            from repro.serving.sharding import (
+                ShardStartupError,
+                recover_sharded_service,
+            )
+
+            try:
+                service, report = recover_sharded_service(
+                    args.journal_dir,
+                    n_shards=args.shards,
+                    feature_set=feature_set,
+                    max_batch=args.max_batch,
+                    max_delay=args.max_delay,
+                    max_pending=args.max_pending,
+                    overflow=args.overflow,
+                    shard_backlog=args.shard_backlog,
+                    capacity=args.capacity,
+                    ttl=args.ttl,
+                    fsync=args.fsync,
+                    fsync_interval=args.fsync_interval,
+                )
+            except ShardStartupError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        else:
+            service, report = recover_service(
+                JournalConfig(
+                    directory=args.journal_dir,
+                    fsync=args.fsync,
+                    fsync_interval=args.fsync_interval,
+                ),
+                feature_set=feature_set,
+                store_config=StoreConfig(capacity=args.capacity, ttl=args.ttl),
+                policy=policy,
+            )
         print(
             f"recovered {report.snapshot_cascades} cascades from snapshot "
             f"(+{report.events_replayed} events, {report.swaps_replayed} swaps "
@@ -385,20 +421,47 @@ def _cmd_serve(args) -> int:
         if args.model is None:
             print("--model is required (or use --recover)", file=sys.stderr)
             return 2
-        service = build_service(
-            args.model,
-            predictor_path=args.predictor,
-            feature_set=feature_set,
-            max_batch=args.max_batch,
-            max_delay=args.max_delay,
-            max_pending=args.max_pending,
-            overflow=args.overflow,
-            capacity=args.capacity,
-            ttl=args.ttl,
-            journal_dir=args.journal_dir,
-            fsync=args.fsync,
-            fsync_interval=args.fsync_interval,
-        )
+        if sharded:
+            from repro.serving.sharding import (
+                ShardStartupError,
+                build_sharded_service,
+            )
+
+            try:
+                service = build_sharded_service(
+                    args.model,
+                    n_shards=args.shards,
+                    predictor_path=args.predictor,
+                    feature_set=feature_set,
+                    max_batch=args.max_batch,
+                    max_delay=args.max_delay,
+                    max_pending=args.max_pending,
+                    overflow=args.overflow,
+                    shard_backlog=args.shard_backlog,
+                    capacity=args.capacity,
+                    ttl=args.ttl,
+                    journal_dir=args.journal_dir,
+                    fsync=args.fsync,
+                    fsync_interval=args.fsync_interval,
+                )
+            except ShardStartupError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        else:
+            service = build_service(
+                args.model,
+                predictor_path=args.predictor,
+                feature_set=feature_set,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+                max_pending=args.max_pending,
+                overflow=args.overflow,
+                capacity=args.capacity,
+                ttl=args.ttl,
+                journal_dir=args.journal_dir,
+                fsync=args.fsync,
+                fsync_interval=args.fsync_interval,
+            )
     snap = service.registry.current()
     scorer = "with fitted predictor" if snap.predictor is not None else "features only"
     durable = (
@@ -406,8 +469,9 @@ def _cmd_serve(args) -> int:
         if args.journal_dir
         else "no journal"
     )
+    tier = f"{args.shards} shard processes" if sharded else "in-process"
     print(
-        f"serving model v{snap.version} ({snap.source}; {scorer}); "
+        f"serving model v{snap.version} ({snap.source}; {scorer}); {tier}; "
         f"batch<= {args.max_batch}, delay {args.max_delay * 1e3:.1f} ms, "
         f"queue {args.max_pending} ({args.overflow}); {durable}",
         file=sys.stderr,

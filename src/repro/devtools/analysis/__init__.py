@@ -27,9 +27,13 @@ REP103    *await / blocking call while holding a lock* — the
 REP104    *fork-unsafe capture* — an argument shipped to a
           ``Process``/``Pool``/executor target is (or transitively
           holds) a threading lock, an open file handle, an asyncio
-          primitive, or a live lock-owning service object; after
-          ``fork`` the child inherits a possibly-locked lock or a
-          shared file offset, after ``spawn`` pickling fails late.
+          primitive, a shared-memory handle
+          (``create_segment``/``attach_untracked``/``SharedMemory``),
+          or a live lock-owning service object; after ``fork`` the
+          child inherits a possibly-locked lock, a shared file offset,
+          or a duplicated shm fd whose unlink finalizer can fire twice,
+          after ``spawn`` pickling fails late.  Children should receive
+          the segment *name* and attach themselves.
 ========  ==============================================================
 
 Soundness limits (see DESIGN.md §15): lock identity is class-level

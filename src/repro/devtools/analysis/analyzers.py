@@ -77,9 +77,10 @@ _RULE_META: Tuple[Tuple[str, str, str], ...] = (
         "REP104",
         "fork-unsafe-capture",
         "argument shipped to a Process/Pool/executor target is (or "
-        "transitively holds) a threading lock, an open file handle, or an "
-        "asyncio primitive; forked children inherit possibly-locked locks "
-        "and shared file offsets, spawn targets fail to pickle late",
+        "transitively holds) a threading lock, an open file handle, an "
+        "asyncio primitive, or a SharedMemory handle; forked children "
+        "inherit possibly-locked locks, shared file offsets, and "
+        "duplicated shm fds, spawn targets fail to pickle late",
     ),
 )
 
@@ -531,6 +532,11 @@ class _ForkSafetyScanner:
             return "an open file handle (shared offset after fork)"
         if type_name == "asyncio":
             return "an asyncio primitive bound to the parent's event loop"
+        if type_name == "shm":
+            return (
+                "a SharedMemory handle (duplicated fd + unlink finalizer "
+                "after fork); pass the segment *name* and attach in the child"
+            )
         if type_name.startswith("lock:"):
             kind = type_name.split(":", 1)[1]
             return f"a {kind} lock (forked children inherit its state)"

@@ -78,6 +78,14 @@ _ASYNCIO_PRIMITIVES = frozenset(
     {"Lock", "Condition", "Semaphore", "BoundedSemaphore", "Event", "Queue", "Future"}
 )
 
+#: shared-memory handle factories, matched by terminal name (the repo's
+#: sanctioned wrappers in repro.parallel._shm plus the raw stdlib
+#: constructor).  The handle owns an mmap + fd and, for create_segment,
+#: a PID-guarded unlink finalizer — shipping it through fork duplicates
+#: the fd and can double-unlink the segment; children must receive the
+#: segment *name* and attach themselves.
+_SHM_FACTORIES = frozenset({"create_segment", "attach_untracked", "SharedMemory"})
+
 #: io.* annotation roots that mark an attribute as an open file handle
 _FILE_ANNOTATIONS = frozenset(
     {
@@ -325,6 +333,8 @@ def _call_special_type(imports: Dict[str, str], node: ast.AST) -> Optional[str]:
     kind = _SANITIZE_FACTORIES.get(name)
     if kind is not None:
         return f"lock:{kind}"
+    if name in _SHM_FACTORIES:
+        return "shm"
     return None
 
 

@@ -282,7 +282,13 @@ class BareMultiprocessingRule(Rule):
         "and parallel/hogwild.py; worker processes must be owned by the "
         "supervised backends (deadlines, liveness, retry ladder)"
     )
-    allowed_in = ("repro/parallel/backends.py", "repro/parallel/hogwild.py")
+    #: The sharded serving router owns its worker processes directly —
+    #: its watchdog (restart + journal replay) is the supervision story.
+    allowed_in = (
+        "repro/parallel/backends.py",
+        "repro/parallel/hogwild.py",
+        "repro/serving/sharding.py",
+    )
 
     _ATTRS = frozenset({"Pool", "Process"})
 

@@ -59,6 +59,7 @@ __all__ = [
     "CorpusArena",
     "LevelSelection",
     "attach_arrays",
+    "layout_fields",
 ]
 
 _ALIGN = 64
@@ -81,6 +82,13 @@ def _layout(counts_dtypes: _FieldSpec) -> Tuple[Tuple[int, ...], int]:
         offsets.append(cursor)
         cursor += _aligned(count * np.dtype(dtype).itemsize)
     return tuple(offsets), max(cursor, 1)
+
+
+#: Public face of the aligned-field planner, paired with
+#: :func:`attach_arrays`.  Other shared-memory blocks in the package
+#: (the serving tier's shared model snapshots) reuse the arena's layout
+#: discipline through these two names instead of re-deriving alignment.
+layout_fields = _layout
 
 
 @dataclass(frozen=True)

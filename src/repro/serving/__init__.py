@@ -25,7 +25,13 @@ adoption events arrive:
   bit-identical crash recovery (``repro serve --journal-dir``);
 * :mod:`repro.serving.health` — lifecycle state machine
   (starting→recovering→serving→draining), degraded-mode reasons, and
-  the structured fault trail behind the ``health`` protocol op.
+  the structured fault trail behind the ``health`` protocol op;
+* :mod:`repro.serving.sharding` — multi-process scale-out: cascade
+  state sharded across worker processes by stable id hash, an asyncio-
+  friendly router speaking the same service surface, zero-copy model
+  hot-swap through one shared-memory segment per publish, per-shard
+  journals, and a watchdog that restarts + journal-recovers a dead
+  shard (``repro serve --shards N``).
 """
 
 from repro.serving.batching import (
@@ -33,6 +39,7 @@ from repro.serving.batching import (
     LatencyBreakdown,
     PendingQueue,
     QueueFullError,
+    ScoreColumns,
     ScoreRequest,
     ScoreResult,
 )
@@ -43,16 +50,28 @@ from repro.serving.durability import (
     JournalCorruptError,
     JournalError,
     RecoveryReport,
+    coalesce_reports,
     recover_service,
+    shard_journal_dir,
 )
-from repro.serving.health import FaultRecord, HealthMonitor
+from repro.serving.health import FaultRecord, HealthMonitor, aggregate_health
 from repro.serving.registry import (
     ModelRegistry,
     ModelSnapshot,
+    SharedSnapshotMeta,
     SnapshotLoadError,
+    encode_shared_snapshot,
 )
 from repro.serving.server import ScoringServer, build_service, serve_stdio
 from repro.serving.service import ScoringService, ServiceStats
+from repro.serving.sharding import (
+    ShardDeadError,
+    ShardedScoringService,
+    ShardStartupError,
+    build_sharded_service,
+    recover_sharded_service,
+    shard_of,
+)
 from repro.serving.tracker import CascadeTracker, FeatureStore, StoreConfig, StoreStats
 from repro.serving.workspace import ScoringWorkspace
 
@@ -72,6 +91,7 @@ __all__ = [
     "PendingQueue",
     "QueueFullError",
     "RecoveryReport",
+    "ScoreColumns",
     "ScoreRequest",
     "ScoreResult",
     "ScoringClient",
@@ -79,10 +99,21 @@ __all__ = [
     "ScoringService",
     "ScoringWorkspace",
     "ServiceStats",
+    "ShardDeadError",
+    "ShardStartupError",
+    "ShardedScoringService",
+    "SharedSnapshotMeta",
     "SnapshotLoadError",
     "StoreConfig",
     "StoreStats",
+    "aggregate_health",
     "build_service",
+    "build_sharded_service",
+    "coalesce_reports",
+    "encode_shared_snapshot",
     "recover_service",
+    "recover_sharded_service",
     "serve_stdio",
+    "shard_journal_dir",
+    "shard_of",
 ]

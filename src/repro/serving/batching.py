@@ -28,6 +28,7 @@ __all__ = [
     "LatencyBreakdown",
     "PendingQueue",
     "QueueFullError",
+    "ScoreColumns",
     "ScoreRequest",
     "ScoreResult",
 ]
@@ -145,6 +146,35 @@ class ScoreResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+@dataclass(slots=True)
+class ScoreColumns:
+    """Columnar outcome of one bulk scoring call, aligned per request.
+
+    The struct-of-arrays twin of a list of :class:`ScoreResult`: row *i*
+    of every column answers request *i*.  This is the wire shape the
+    sharded router exchanges with its workers (one pickle of a few
+    arrays instead of one dataclass per request) and the shape
+    :meth:`ScoringService.score_columns` returns.
+
+    ``ok[i]`` is ``False`` for an untracked cascade; ``scores``/
+    ``labels`` are ``None`` when the active snapshot carries no fitted
+    predictor, and hold ``NaN``/``0`` at rows where ``ok`` is ``False``.
+    ``features`` (only when requested) is a dense ``(n, F)`` matrix with
+    zero rows at unknown cascades.
+    """
+
+    ok: np.ndarray  # bool, per request
+    scores: Optional[np.ndarray]  # float64 per request, or None
+    labels: Optional[np.ndarray]  # int64 per request, or None
+    n_early: np.ndarray  # int64 per request
+    model_version: int
+    compute_s: float
+    features: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self.ok.shape[0])
 
 
 class PendingQueue:

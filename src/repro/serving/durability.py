@@ -96,8 +96,10 @@ __all__ = [
     "RecoveryReport",
     "StoreSnapshot",
     "SwapRecord",
+    "coalesce_reports",
     "recover_service",
     "scan_journal",
+    "shard_journal_dir",
 ]
 
 #: segment file header: magic + format version + reserved
@@ -837,6 +839,42 @@ class RecoveryReport:
     torn_tail_repaired: bool = False
     elapsed_s: float = 0.0
     faults: List[str] = field(default_factory=list)
+
+
+def shard_journal_dir(base: Union[str, Path], shard_id: int) -> Path:
+    """Journal directory of one shard under a sharded service's base.
+
+    Every shard owns a private ``shard-NN/`` subdirectory — writers
+    never share segments, so per-shard journal order stays exactly that
+    shard's apply order and shards recover independently (and
+    concurrently) after a crash.
+    """
+    if shard_id < 0:
+        raise ValueError("shard_id must be >= 0")
+    return Path(base) / f"shard-{shard_id:02d}"
+
+
+def coalesce_reports(reports: Sequence[RecoveryReport]) -> RecoveryReport:
+    """Merge per-shard recovery reports into one service-level view.
+
+    Counters sum across shards; ``elapsed_s`` is the maximum (shards
+    recover concurrently at spawn, so the slowest one bounds the wall
+    time); fault strings are carried over with a ``shard i:`` prefix so
+    the aggregate stays attributable.
+    """
+    out = RecoveryReport()
+    for i, report in enumerate(reports):
+        out.snapshot_loaded = out.snapshot_loaded or report.snapshot_loaded
+        out.snapshot_cascades += report.snapshot_cascades
+        out.snapshot_events += report.snapshot_events
+        out.segments_replayed += report.segments_replayed
+        out.records_replayed += report.records_replayed
+        out.events_replayed += report.events_replayed
+        out.swaps_replayed += report.swaps_replayed
+        out.torn_tail_repaired = out.torn_tail_repaired or report.torn_tail_repaired
+        out.elapsed_s = max(out.elapsed_s, report.elapsed_s)
+        out.faults.extend(f"shard {i}: {fault}" for fault in report.faults)
+    return out
 
 
 def recover_service(

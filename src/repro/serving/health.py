@@ -35,9 +35,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["FaultRecord", "HealthMonitor"]
+__all__ = ["FaultRecord", "HealthMonitor", "aggregate_health"]
 
 #: lifecycle phases, in forward order
 _PHASES = ("starting", "recovering", "serving", "draining", "stopped")
@@ -192,3 +192,49 @@ class HealthMonitor:
                 for f in self._faults[-8:]
             ],
         }
+
+
+def aggregate_health(
+    router: Dict[str, object], shards: Sequence[Dict[str, object]]
+) -> Dict[str, object]:
+    """Fold a router's and its shards' health snapshots into one view.
+
+    The aggregate a load balancer should act on: ``ready`` only when
+    the router *and every shard* can score (a shard mid-restart takes
+    the whole hash range it owns out of service), ``healthy`` only when
+    nothing anywhere is degraded.  Shard conditions surface in the
+    aggregate ``degraded_reasons`` under a ``shard<i>:`` prefix — a
+    shard that is alive but not ready contributes ``shard<i>:not_ready``
+    — and the full per-shard snapshots ride along under ``"shards"`` so
+    an operator can attribute the aggregate without a second probe.
+    """
+    shard_ready = all(bool(s.get("ready")) for s in shards)
+    shard_healthy = all(bool(s.get("healthy")) for s in shards)
+    ready = bool(router.get("ready")) and shard_ready
+    healthy = bool(router.get("healthy")) and shard_healthy
+    if not bool(router.get("ready")):
+        # the router's own lifecycle (starting/draining/stopped) rules
+        state = str(router.get("state"))
+    else:
+        state = "serving" if healthy else "degraded"
+    reasons: Dict[str, object] = dict(router.get("degraded_reasons", {}))  # type: ignore[arg-type]
+    for i, shard in enumerate(shards):
+        shard_reasons = shard.get("degraded_reasons") or {}
+        for key, detail in shard_reasons.items():  # type: ignore[union-attr]
+            reasons[f"shard{i}:{key}"] = detail
+        if not bool(shard.get("ready")):
+            reasons[f"shard{i}:not_ready"] = (
+                f"shard {i} is {shard.get('state')!s} (its hash range "
+                "cannot score until it is back)"
+            )
+    return {
+        "state": state,
+        "ready": ready,
+        "healthy": healthy,
+        "n_shards": len(shards),
+        "degraded_reasons": reasons,
+        "faults_total": int(router.get("faults_total", 0) or 0)
+        + sum(int(s.get("faults_total", 0) or 0) for s in shards),
+        "router": dict(router),
+        "shards": [dict(s) for s in shards],
+    }

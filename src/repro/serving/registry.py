@@ -28,23 +28,29 @@ the checkpoint directory or the archive file itself), or from a live
 from __future__ import annotations
 
 import hashlib
+import io
 import zipfile
 import zlib
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.devtools.sanitize import LockLike, guarded_lock
 from repro.embedding.model import EmbeddingModel
 from repro.embedding.online import OnlineEmbeddingInference
+from repro.parallel._shm import attach_untracked, create_segment
+from repro.parallel.arena import attach_arrays, layout_fields
 from repro.prediction.pipeline import ViralityPredictor
 
 __all__ = [
     "ModelSnapshot",
     "ModelRegistry",
+    "SharedSnapshotMeta",
     "SnapshotLoadError",
+    "encode_shared_snapshot",
     "model_fingerprint",
 ]
 
@@ -98,6 +104,79 @@ class ModelSnapshot:
     fingerprint: str
 
 
+@dataclass(frozen=True)
+class SharedSnapshotMeta:
+    """Everything a shard needs to map a published snapshot segment.
+
+    The sharded router broadcasts *this* — a name plus scalar shape
+    facts — instead of the snapshot itself; the segment layout is
+    recomputed deterministically on the attach side from the same
+    fields, so no offsets cross the wire.  ``fingerprint`` was computed
+    once by the publisher over the exact bytes written to the segment;
+    attachers trust it rather than re-hashing ``O(n_nodes * n_topics)``
+    planes per shard (the hash covers the same memory either way).
+    """
+
+    name: str
+    n_nodes: int
+    n_topics: int
+    predictor_bytes: int
+    source: str
+    fingerprint: str
+
+
+def _shared_fields(
+    n_nodes: int, n_topics: int, predictor_bytes: int
+) -> List[Tuple[int, type]]:
+    """Aligned-field plan of a snapshot segment (A, B, predictor blob)."""
+    plane = n_nodes * n_topics
+    return [
+        (plane, np.float64),  # A, row-major
+        (plane, np.float64),  # B, row-major
+        (predictor_bytes, np.uint8),  # ViralityPredictor .npz archive
+    ]
+
+
+def encode_shared_snapshot(
+    snapshot: ModelSnapshot,
+) -> Tuple[shared_memory.SharedMemory, SharedSnapshotMeta]:
+    """Serialize a snapshot into one shared-memory segment.
+
+    The caller (the sharded router) owns the returned segment: it must
+    stay alive — not unlinked — for as long as any shard may still need
+    to attach (a restarted shard re-attaches the *current* segment), and
+    is closed + unlinked when a later publish supersedes it.  The
+    ``create_segment`` finalizer backstops a crashed owner.
+    """
+    model = snapshot.model
+    blob = b""
+    if snapshot.predictor is not None:
+        sink = io.BytesIO()
+        snapshot.predictor.save(sink)
+        blob = sink.getvalue()
+    fields = _shared_fields(model.n_nodes, model.n_topics, len(blob))
+    offsets, total = layout_fields(fields)
+    seg = create_segment(total)
+    a_view, b_view, blob_view = attach_arrays(seg.buf, offsets, fields)
+    a_view[:] = np.ascontiguousarray(model.A).reshape(-1)
+    b_view[:] = np.ascontiguousarray(model.B).reshape(-1)
+    if blob:
+        blob_view[:] = np.frombuffer(blob, dtype=np.uint8)
+    # drop the exported views before returning: the owner must be able
+    # to close() the segment later without a BufferError from our
+    # scratch mappings
+    del a_view, b_view, blob_view
+    meta = SharedSnapshotMeta(
+        name=seg.name,
+        n_nodes=model.n_nodes,
+        n_topics=model.n_topics,
+        predictor_bytes=len(blob),
+        source=snapshot.source,
+        fingerprint=snapshot.fingerprint,
+    )
+    return seg, meta
+
+
 class ModelRegistry:
     """Owns the sequence of published snapshots; readers see one at a time.
 
@@ -116,6 +195,9 @@ class ModelRegistry:
         self._history: List[Tuple[int, str, str]] = []  # guarded-by: _lock
         #: failed publish_path attempts (artifact missing/corrupt/truncated)
         self.load_failures = 0  # guarded-by: _lock
+        #: shared-segment attachments still pinned by a published
+        #: version's live array views (version -> attached segment)
+        self._retained: Dict[int, shared_memory.SharedMemory] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -180,6 +262,88 @@ class ModelRegistry:
             del self._history[: -self.HISTORY_LIMIT]
             self._current = snap  # the atomic swap
         return snap
+
+    def publish_shared(self, meta: SharedSnapshotMeta) -> ModelSnapshot:
+        """Publish from a shared-memory segment: attach, never copy.
+
+        The zero-copy twin of :meth:`publish` for sharded serving: the
+        embedding planes become read-only ndarray views straight into
+        the broadcast segment (the predictor blob — a handful of SVM
+        coefficients — is deserialized normally).  Version numbering,
+        history, and the atomic swap are identical to :meth:`publish`,
+        so a shard that replays the same publish sequence as a
+        single-process service lands on the same version counter.
+
+        The attachment is retained per version and detached once a
+        later publish supersedes it *and* no reader still holds the old
+        snapshot's views (a pinned mapping is re-tried at the next
+        publish rather than invalidating a reader mid-batch).
+        """
+        seg = attach_untracked(meta.name)
+        fields = _shared_fields(meta.n_nodes, meta.n_topics, meta.predictor_bytes)
+        offsets, _ = layout_fields(fields)
+        a_view, b_view, blob_view = attach_arrays(seg.buf, offsets, fields)
+        A = a_view.reshape(meta.n_nodes, meta.n_topics)
+        B = b_view.reshape(meta.n_nodes, meta.n_topics)
+        A.setflags(write=False)
+        B.setflags(write=False)
+        model = EmbeddingModel(A, B)
+        predictor = (
+            ViralityPredictor.load(io.BytesIO(blob_view.tobytes()))
+            if meta.predictor_bytes
+            else None
+        )
+        del a_view, b_view, blob_view
+        with self._lock:
+            self._n_published += 1
+            snap = ModelSnapshot(
+                version=self._n_published,
+                model=model,
+                predictor=predictor,
+                source=meta.source,
+                fingerprint=meta.fingerprint,
+            )
+            self._history.append((snap.version, snap.source, snap.fingerprint))
+            del self._history[: -self.HISTORY_LIMIT]
+            self._retained[snap.version] = seg
+            self._current = snap  # the atomic swap
+            self._prune_retained(keep=snap.version)
+        return snap
+
+    def _prune_retained(self, keep: int) -> None:
+        """Detach superseded segment mappings; called under ``_lock``.
+
+        A mapping whose array views are still referenced (a reader
+        mid-batch on the old snapshot) raises ``BufferError`` on close
+        and is kept for the next prune — correctness first, the segment
+        costs address space, not copies.
+        """
+        for version in sorted(self._retained):
+            if version == keep:
+                continue
+            seg = self._retained[version]
+            try:
+                seg.close()
+            except BufferError:
+                continue
+            del self._retained[version]
+
+    def release_shared(self) -> None:
+        """Best-effort detach of every retained mapping (shutdown path).
+
+        Drops the current snapshot reference first so its views no
+        longer pin their segment.  After this the registry is empty —
+        only a shard worker about to exit calls it.
+        """
+        with self._lock:
+            self._current = None  # the atomic swap (to empty)
+            for version in sorted(self._retained):
+                seg = self._retained[version]
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover - stray reader
+                    continue
+                del self._retained[version]
 
     def publish_online(
         self,

@@ -60,6 +60,7 @@ Robustness (DESIGN.md §14):
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import signal
 import sys
@@ -242,6 +243,12 @@ class ScoringServer:
         restart_backoff: float = 0.05,
     ):
         self.service = service
+        # A sharded service's synchronous calls block on worker pipes
+        # (and its router lock can be held across a pipe round-trip), so
+        # every service touch must leave the event loop.  The in-process
+        # service stays inline: its calls are sub-millisecond and a
+        # thread hop per request would cost more than it saves.
+        self._offload = bool(getattr(service, "wants_executor_offload", False))
         self.host = host
         self.port = port
         self.read_timeout = read_timeout
@@ -262,6 +269,19 @@ class ScoringServer:
     # Lifecycle
     # ------------------------------------------------------------------ #
 
+    async def _call_service(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Invoke one service call where it belongs.
+
+        Inline for the in-process service; through the default executor
+        when the service asked for offload (``wants_executor_offload``)
+        — a pipe round-trip, or merely waiting on a router lock held
+        across one, must never stall the event loop.
+        """
+        if not self._offload:
+            return fn(*args, **kwargs)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, functools.partial(fn, *args, **kwargs))
+
     async def start(self) -> None:
         """Bind the TCP listener and start the background flusher."""
         self._start_background()
@@ -270,7 +290,7 @@ class ScoringServer:
         )
         sock = self._server.sockets[0]
         self.port = sock.getsockname()[1]
-        self.service.begin_serving()
+        await self._call_service(self.service.begin_serving)
 
     async def stop(self) -> None:
         """Hard stop: close the listener, kill tasks, abort the queue."""
@@ -289,12 +309,18 @@ class ScoringServer:
         self._flusher = None
         self._sweeper = None
         # release any waiter still parked on the batcher
-        self.service.abort_pending()
+        await self._call_service(self.service.abort_pending)
+        # a sharded service also owns worker processes and a shared
+        # segment; a hard stop must reap them (no-op for the in-process
+        # service, which has no close)
+        closer = getattr(self.service, "close", None)
+        if closer is not None:
+            await self._call_service(closer)
 
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, flush pending, seal journal."""
         self._stopping = True
-        self.service.begin_draining()
+        await self._call_service(self.service.begin_draining)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -308,7 +334,7 @@ class ScoringServer:
                     pass
         self._flusher = None
         self._sweeper = None
-        self.service.drain()
+        await self._call_service(self.service.drain)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -410,14 +436,14 @@ class ScoringServer:
             except asyncio.TimeoutError:
                 pass
             self._wake.clear()
-            while self.service.due():
-                self.service.flush()
-            self.service.journal_tick()
+            while await self._call_service(self.service.due):
+                await self._call_service(self.service.flush)
+            await self._call_service(self.service.journal_tick)
 
     async def _sweep_loop(self) -> None:
         while True:
             await asyncio.sleep(_SWEEP_INTERVAL)
-            self.service.sweep()
+            await self._call_service(self.service.sweep)
 
     # ------------------------------------------------------------------ #
     # Protocol
@@ -503,7 +529,8 @@ class ScoringServer:
         op = message.get("op")
         try:
             if op == "event":
-                applied = self.service.ingest(
+                applied = await self._call_service(
+                    self.service.ingest,
                     str(message["cascade"]),
                     int(message["node"]),
                     float(message["t"]),
@@ -514,15 +541,17 @@ class ScoringServer:
                     (str(cascade), int(node), float(t))
                     for cascade, node, t in message["events"]
                 ]
-                count = self.service.ingest_many(burst)
+                count = await self._call_service(self.service.ingest_many, burst)
                 response = {"ok": True, "applied": count, "count": len(burst)}
             elif op == "score":
                 response = await self._score(message)
             elif op == "flush":
-                results = self.service.flush()
+                results = await self._call_service(self.service.flush)
                 response = {"ok": True, "flushed": len(results)}
             elif op == "swap":
-                snap = self.service.swap_path(str(message["path"]))
+                snap = await self._call_service(
+                    self.service.swap_path, str(message["path"])
+                )
                 response = {
                     "ok": True,
                     "model_version": snap.version,
@@ -530,9 +559,15 @@ class ScoringServer:
                     "fingerprint": snap.fingerprint,
                 }
             elif op == "stats":
-                response = {"ok": True, "stats": self.service.stats()}
+                response = {
+                    "ok": True,
+                    "stats": await self._call_service(self.service.stats),
+                }
             elif op == "health":
-                response = {"ok": True, **self.service.health_snapshot()}
+                response = {
+                    "ok": True,
+                    **await self._call_service(self.service.health_snapshot),
+                }
             elif op == "ping":
                 response = {"ok": True, "pong": True}
             else:
@@ -556,12 +591,13 @@ class ScoringServer:
                 lambda: future.done() or future.set_result(result)
             )
 
-        self.service.submit(
+        await self._call_service(
+            self.service.submit,
             str(message["cascade"]),
             include_features=bool(message.get("features", False)),
             on_done=on_done,
         )
-        if self.service.pending() >= self.service.policy.max_batch:
+        if await self._call_service(self.service.pending) >= self.service.policy.max_batch:
             self._wake.set()  # full batch: flush now, don't wait out the timer
         result = await future
         return result_to_dict(result)
@@ -582,7 +618,7 @@ async def serve_stdio(
     fout = stdout if stdout is not None else sys.stdout
     server = ScoringServer(service)
     server._start_background()
-    service.begin_serving()
+    await server._call_service(service.begin_serving)
     loop = asyncio.get_running_loop()
     write_lock = asyncio.Lock()
     in_flight: set = set()

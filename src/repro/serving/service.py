@@ -52,6 +52,7 @@ from repro.serving.batching import (
     BatchPolicy,
     LatencyBreakdown,
     PendingQueue,
+    ScoreColumns,
     ScoreRequest,
     ScoreResult,
 )
@@ -436,6 +437,57 @@ class ScoringService:
             while request.result is None:
                 self.flush()
             return request.result
+
+    def score_columns(
+        self, cascade_ids: Sequence[str], include_features: bool = False
+    ) -> ScoreColumns:
+        """Bulk synchronous scoring: columns in, columns out.
+
+        The request-object-free twin of :meth:`flush` for callers that
+        already hold a batch of cascade ids (the sharded router's
+        workers, the benchmarks): one snapshot read, one gather, one
+        ``decision_function`` over the whole batch, no queue and no
+        per-request dataclass.  Row *i* of every returned column is
+        bit-identical to what :meth:`score` would report for
+        ``cascade_ids[i]`` — both ride the same gather + predict path,
+        and per-row SVM margins are independent of batch composition.
+        """
+        with self._lock:
+            start = self._clock()
+            n = len(cascade_ids)
+            snapshot = self.registry.current()
+            x, row_of, n_events = self.store.gather_batch(
+                cascade_ids, snapshot, self._ws
+            )
+            ok = row_of >= 0  # allocates: the result outlives the workspace
+            rows = row_of[ok]
+            scores: Optional[np.ndarray] = None
+            labels: Optional[np.ndarray] = None
+            if snapshot.predictor is not None:
+                scores = np.full(n, np.nan)
+                labels = np.zeros(n, dtype=np.int64)
+                if x.shape[0]:
+                    margins = snapshot.predictor.decision_function(x)
+                    picked = margins[rows]
+                    scores[ok] = picked
+                    labels[ok] = np.where(picked >= 0.0, 1, -1)
+            features: Optional[np.ndarray] = None
+            if include_features:
+                features = np.zeros((n, x.shape[1]), dtype=np.float64)
+                features[ok] = x[rows]
+            n_ok = int(np.count_nonzero(ok))
+            self.stats_counters.unknown += n - n_ok
+            self.stats_counters.scored += n_ok
+            self.stats_counters.batches += 1
+            return ScoreColumns(
+                ok=ok,
+                scores=scores,
+                labels=labels,
+                n_early=n_events.copy(),
+                model_version=snapshot.version,
+                compute_s=self._clock() - start,
+                features=features,
+            )
 
     # ------------------------------------------------------------------ #
     # Maintenance

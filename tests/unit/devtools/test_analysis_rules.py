@@ -436,6 +436,71 @@ class TestRep104ForkSafety:
         report = analyze_sources([("pkg/f.py", src)])
         assert report.clean
 
+    def test_shm_handle_in_process_args_flagged(self):
+        src = _src(
+            """
+            from multiprocessing import Process
+            from repro.parallel._shm import create_segment
+
+            def spawn(nbytes):
+                seg = create_segment(nbytes)
+                return Process(target=print, args=(seg,))
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert _rules(report) == ["REP104"]
+        assert "SharedMemory handle" in report.violations[0].message
+        assert "segment *name*" in report.violations[0].message
+
+    def test_raw_shared_memory_in_submit_flagged(self):
+        src = _src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing.shared_memory import SharedMemory
+
+            def spawn(name):
+                shm = SharedMemory(name=name)
+                pool = ProcessPoolExecutor(2)
+                pool.submit(print, shm)
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert _rules(report) == ["REP104"]
+
+    def test_object_holding_shm_handle_flagged(self):
+        # Carrier has no lock, but owns an attached segment handle.
+        src = _src(
+            """
+            from multiprocessing import Process
+            from repro.parallel._shm import attach_untracked
+
+            class Carrier:
+                def __init__(self, name):
+                    self._seg = attach_untracked(name)
+
+            def spawn(name):
+                c = Carrier(name)
+                return Process(target=print, args=(c,))
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert _rules(report) == ["REP104"]
+
+    def test_segment_name_string_is_clean(self):
+        # The sanctioned pattern: ship the name, attach in the child.
+        src = _src(
+            """
+            from multiprocessing import Process
+            from repro.parallel._shm import create_segment
+
+            def spawn(nbytes):
+                seg = create_segment(nbytes)
+                return Process(target=print, args=(seg.name, nbytes))
+            """
+        )
+        report = analyze_sources([("pkg/f.py", src)])
+        assert report.clean
+
 
 class TestSuppressionGrammar:
     BAD_LINE = (

@@ -16,6 +16,7 @@ from repro.prediction.pipeline import PredictionDataset, ViralityPredictor
 from repro.serving.registry import (
     ModelRegistry,
     SnapshotLoadError,
+    encode_shared_snapshot,
     model_fingerprint,
 )
 
@@ -258,3 +259,99 @@ class TestSwapStorm:
             t.join()
         assert failures == []
         assert reg.n_published == 1 + 3 * 50
+
+
+def make_predictor(seed=0, d=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(60, d))
+    sizes = np.where(X[:, 0] + 0.3 * rng.normal(size=60) > 0, 30, 3).astype(np.int64)
+    ds = PredictionDataset(X=X, final_sizes=sizes, feature_names=tuple("xyz"))
+    return ViralityPredictor(threshold=10, seed=seed).fit(ds)
+
+
+class TestSharedSegment:
+    """encode_shared_snapshot / publish_shared — the sharded swap path."""
+
+    def _encode(self, seed=0, predictor=True):
+        reg = ModelRegistry()
+        snap = reg.publish(
+            make_model(seed), predictor=make_predictor(seed) if predictor else None
+        )
+        return snap, encode_shared_snapshot(snap)
+
+    def test_round_trip_is_bit_identical(self):
+        snap, (seg, meta) = self._encode(seed=3)
+        try:
+            attacher = ModelRegistry()
+            twin = attacher.publish_shared(meta)
+            assert np.array_equal(twin.model.A, snap.model.A)
+            assert np.array_equal(twin.model.B, snap.model.B)
+            assert twin.fingerprint == snap.fingerprint == model_fingerprint(
+                twin.model
+            )
+            X = np.random.default_rng(0).normal(size=(5, 3))
+            assert np.array_equal(
+                twin.predictor.decision_function(X),
+                snap.predictor.decision_function(X),
+            )
+            attacher.release_shared()
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_attached_planes_are_views_not_copies(self):
+        # the zero-copy contract: the attached model's planes are
+        # read-only windows into the segment, not per-shard copies
+        snap, (seg, meta) = self._encode(seed=4)
+        try:
+            attacher = ModelRegistry()
+            twin = attacher.publish_shared(meta)
+            assert not twin.model.A.flags.owndata
+            assert not twin.model.B.flags.owndata
+            assert not twin.model.A.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                twin.model.A[0, 0] = 99.0
+            attacher.release_shared()
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_attacher_trusts_publisher_fingerprint(self):
+        snap, (seg, meta) = self._encode(seed=5)
+        try:
+            attacher = ModelRegistry()
+            assert attacher.publish_shared(meta).fingerprint == meta.fingerprint
+            attacher.release_shared()
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_predictor_free_snapshot_encodes(self):
+        snap, (seg, meta) = self._encode(seed=6, predictor=False)
+        try:
+            assert meta.predictor_bytes == 0
+            attacher = ModelRegistry()
+            twin = attacher.publish_shared(meta)
+            assert twin.predictor is None
+            assert np.array_equal(twin.model.A, snap.model.A)
+            attacher.release_shared()
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_superseded_segment_is_pruned(self):
+        _, (seg1, meta1) = self._encode(seed=7)
+        _, (seg2, meta2) = self._encode(seed=8)
+        try:
+            attacher = ModelRegistry()
+            attacher.publish_shared(meta1)
+            assert len(attacher._retained) == 1
+            attacher.publish_shared(meta2)
+            # v1's mapping is detached as soon as no reader pins it
+            assert list(attacher._retained) == [2]
+            attacher.release_shared()
+            assert attacher._retained == {}
+        finally:
+            for seg in (seg1, seg2):
+                seg.close()
+                seg.unlink()
