@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # wedging the suite.
 export REPRO_TEST_TIMEOUT ?= 600
 
-.PHONY: check fast test bench bench-dispatch bench-kernel bench-serving chaos lint analyze typecheck
+.PHONY: check fast test bench bench-dispatch bench-kernel bench-serving bench-ingest chaos lint analyze typecheck
 
 ## tier-1 gate: lint, analyze, typecheck, then the full test suite (what CI runs)
 check: lint analyze typecheck
@@ -31,7 +31,7 @@ lint:
 analyze:
 	$(PYTHON) -m repro.devtools.lint --select REP101,REP102,REP103,REP104 src
 
-## mypy strict profile (embedding/, parallel/, cascades/, serving/); skipped when absent
+## mypy strict profile (embedding/, parallel/, cascades/, serving/, ingest/); skipped when absent
 typecheck:
 	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy; \
@@ -52,13 +52,16 @@ bench:
 ## chaos suite: crash-kill / torn-write / slow-disk / task-death injection
 ## against the journal, recovery, the supervised server, and the sharded
 ## tier (SIGKILL a shard mid-burst → watchdog restart + journal replay to
-## bit-identical state) — run with the runtime sanitizer armed so
-## dispatch-side invariants are checked too
+## bit-identical state), plus the replay legs (slow consumer, scoring
+## server restart mid-replay, SIGKILL a shard mid-replay) — run with the
+## runtime sanitizer armed so dispatch-side invariants are checked too
 chaos:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q \
 		tests/unit/serving/test_durability.py \
 		tests/unit/serving/test_server.py \
 		tests/unit/serving/test_sharding.py \
+		tests/unit/serving/test_tcp_client.py \
+		tests/unit/ingest/test_replay_chaos.py \
 		tests/unit/devtools/test_lock_sanitizer.py \
 		tests/property/test_prop_durability.py
 
@@ -76,3 +79,9 @@ bench-kernel:
 ## sharded scale-out + zero-copy publish gates); writes BENCH_serving.json
 bench-serving:
 	$(PYTHON) -m pytest -x -q benchmarks/test_perf_serving.py
+
+## recorded-stream replay benchmark (flat-out throughput, replay/direct
+## bit-identity, paced 10x+ replay vs the sharded tier with SLO gates);
+## writes BENCH_ingest.json
+bench-ingest:
+	$(PYTHON) -m pytest -x -q benchmarks/test_perf_ingest.py

@@ -15,12 +15,16 @@ stages compose through the filesystem:
     repro gdelt        --sites 800 --events 500 --out events.jsonl
     repro speedup      --corpus corpus.jsonl --cores 1,2,4,8,16,32,64
     repro serve        --model model.npz --predictor svm.npz --port 7569
+    repro record       --sites 800 --events 500 --out stream.evs
+    repro replay       stream.evs --model model.npz --speed 10 --shards 4 \\
+                       --slo-p99-ms 50
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -65,7 +69,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sites", type=int, default=800)
     p.add_argument("--events", type=int, default=500)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--out", required=True)
+    p.add_argument("--out", default=None,
+                   help="write the corpus as cascade JSONL here")
+    p.add_argument("--stream", default=None,
+                   help="also/instead export a timestamped event stream "
+                   "consumable by 'repro replay'")
+    p.add_argument("--span", type=float, default=60.0,
+                   help="stream seconds the corpus is spread over "
+                   "(--stream only)")
+    p.add_argument("--chunk", type=int, default=256,
+                   help="events per recorded burst (--stream only)")
+
+    p = sub.add_parser(
+        "record", help="record an event source into a replayable stream file"
+    )
+    p.add_argument("--out", required=True,
+                   help="recording path (crc-framed, versioned)")
+    p.add_argument("--corpus", default=None,
+                   help="cascade JSONL to stream (default: sample a "
+                   "synthetic GDELT corpus)")
+    p.add_argument("--sites", type=int, default=800,
+                   help="synthetic world size (without --corpus)")
+    p.add_argument("--events", type=int, default=500,
+                   help="synthetic events to sample (without --corpus)")
+    p.add_argument("--span", type=float, default=60.0,
+                   help="stream seconds the corpus is spread over")
+    p.add_argument("--start-fraction", type=float, default=0.75,
+                   help="fraction of --span in which cascades may start")
+    p.add_argument("--chunk", type=int, default=256,
+                   help="events per recorded burst")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "replay",
+        help="replay a recorded stream against a scoring tier at Nx "
+        "real-time, emitting a structured SLO report",
+    )
+    p.add_argument("recording", help="stream file written by 'repro record'")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="feed a running 'repro serve' over TCP "
+                   "(default: build an in-process tier from --model)")
+    p.add_argument("--model", default=None,
+                   help="embedding .npz for the in-process tier")
+    p.add_argument("--predictor", default=None)
+    p.add_argument("--features", choices=("paper", "extended"), default="paper")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard the in-process tier across N worker processes")
+    p.add_argument("--capacity", type=int, default=100_000)
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="real-time multiple (10 = ten recorded seconds per "
+                   "wall second); 0 = flat out, no pacing")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="re-chunk recorded bursts to at most N events")
+    p.add_argument("--max-inflight", type=int, default=4,
+                   help="bursts in flight between pacer and folder "
+                   "(the backpressure window)")
+    p.add_argument("--max-retries", type=int, default=8,
+                   help="backoff ladder depth on a backpressure reject")
+    p.add_argument("--overload", choices=("block", "shed"), default="block",
+                   help="past the retry budget: fail the run or drop "
+                   "the burst")
+    p.add_argument("--score-every", type=int, default=None,
+                   help="score each burst's cascades every Nth burst")
+    p.add_argument("--window", type=float, default=1.0,
+                   help="SLO meter window seconds")
+    p.add_argument("--slo-p99-ms", type=float, default=None,
+                   help="gate: fail (exit 1) if p99 ingest+score latency "
+                   "exceeds this many milliseconds")
 
     p = sub.add_parser("infer", help="infer influence/selectivity embeddings")
     p.add_argument("--corpus", required=True)
@@ -198,16 +268,169 @@ def _cmd_gdelt(args) -> int:
     from repro.cascades.io import save_cascades_jsonl
     from repro.datasets.gdelt import GDELTConfig, SyntheticGDELT
 
+    if args.out is None and args.stream is None:
+        print("nothing to do: pass --out and/or --stream", file=sys.stderr)
+        return 2
     world = SyntheticGDELT(GDELTConfig(n_sites=args.sites), seed=args.seed)
     events = world.sample_events(args.events, seed=args.seed + 1)
-    save_cascades_jsonl(events, args.out)
     sizes = events.sizes()
+    if args.out is not None:
+        save_cascades_jsonl(events, args.out)
+        print(
+            f"wrote {len(events)} events over {args.sites} sites to {args.out} "
+            f"(sizes: median {np.median(sizes):.0f}, max {sizes.max()}; "
+            f"window {world.config.window_hours:.0f}h)"
+        )
+    if args.stream is not None:
+        from repro.ingest import StreamWriter, batches_from_cascades
+
+        batches = batches_from_cascades(
+            list(events), span_s=args.span, chunk=args.chunk, seed=args.seed
+        )
+        with StreamWriter(args.stream) as writer:
+            for batch in batches:
+                writer.write_batch(batch)
+        print(
+            f"recorded {writer.n_events} adoption events in "
+            f"{writer.n_records} bursts over {args.span:.0f}s of stream "
+            f"time to {args.stream}"
+        )
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from repro.ingest import CascadeFileSource, SyntheticGDELTSource, record_source
+
+    if args.corpus is not None:
+        source = CascadeFileSource(
+            args.corpus,
+            span_s=args.span,
+            start_fraction=args.start_fraction,
+            chunk=args.chunk,
+            seed=args.seed,
+        )
+        origin = args.corpus
+    else:
+        from repro.datasets.gdelt import GDELTConfig
+
+        source = SyntheticGDELTSource(
+            args.events,
+            config=GDELTConfig(n_sites=args.sites),
+            seed=args.seed,
+            span_s=args.span,
+            start_fraction=args.start_fraction,
+            chunk=args.chunk,
+        )
+        origin = f"synthetic GDELT ({args.sites} sites, {args.events} events)"
+    try:
+        info = record_source(source, args.out)
+    except (OSError, ValueError) as exc:
+        # a bad corpus must not leave a header-only .evs behind
+        Path(args.out).unlink(missing_ok=True)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(
-        f"wrote {len(events)} events over {args.sites} sites to {args.out} "
-        f"(sizes: median {np.median(sizes):.0f}, max {sizes.max()}; "
-        f"window {world.config.window_hours:.0f}h)"
+        f"recorded {info.n_events} adoption events across "
+        f"{info.n_cascades} cascades ({info.n_records} bursts, "
+        f"{info.duration_s:.1f}s of stream time) from {origin} to {info.path}"
     )
     return 0
+
+
+def _cmd_replay(args) -> int:
+    import json as _json
+
+    from repro.ingest import ReplayConfig, ReplayOverloadError, replay_recording
+    from repro.ingest.recorder import RecordingError, stream_info
+    from repro.serving.client import ServerUnreachableError, TCPScoringClient
+
+    try:
+        info = stream_info(args.recording)
+    except (OSError, RecordingError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    speed = None if args.speed == 0 else args.speed
+    pacing = f"{speed:g}x real-time" if speed is not None else "flat out"
+    print(
+        f"replaying {info.n_events} events / {info.n_cascades} cascades "
+        f"({info.duration_s:.1f}s recorded) at {pacing}",
+        file=sys.stderr,
+    )
+    config = ReplayConfig(
+        speed=speed,
+        chunk_events=args.chunk,
+        max_inflight=args.max_inflight,
+        max_retries=args.max_retries,
+        overload=args.overload,
+        score_every=args.score_every,
+        window_s=args.window,
+        slo_p99_ms=args.slo_p99_ms,
+    )
+
+    target = None
+    service = None
+    try:
+        if args.connect is not None:
+            host, _, port_text = args.connect.rpartition(":")
+            if not host or not port_text.isdigit():
+                print(
+                    f"error: --connect expects HOST:PORT, got {args.connect!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            target = TCPScoringClient(host, int(port_text))
+        else:
+            if args.model is None:
+                print("--model is required (or use --connect)", file=sys.stderr)
+                return 2
+            from repro.prediction.features import (
+                EXTENDED_FEATURES,
+                PAPER_FEATURES,
+            )
+
+            feature_set = (
+                EXTENDED_FEATURES if args.features == "extended" else PAPER_FEATURES
+            )
+            if args.shards > 1:
+                from repro.serving.sharding import build_sharded_service
+
+                service = build_sharded_service(
+                    args.model,
+                    n_shards=args.shards,
+                    predictor_path=args.predictor,
+                    feature_set=feature_set,
+                    capacity=args.capacity,
+                )
+            else:
+                from repro.serving.server import build_service
+
+                service = build_service(
+                    args.model,
+                    predictor_path=args.predictor,
+                    feature_set=feature_set,
+                    capacity=args.capacity,
+                )
+            target = service
+        try:
+            report = replay_recording(args.recording, target, config)
+        except ServerUnreachableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except ReplayOverloadError as exc:
+            print(f"error: {exc} (try --overload shed or a lower --speed)",
+                  file=sys.stderr)
+            return 1
+    finally:
+        if isinstance(target, TCPScoringClient):
+            target.close()
+        if service is not None:
+            closer = getattr(service, "close", None)
+            if closer is not None:
+                closer()
+    for line in report.format_lines():
+        print(f"  {line}", file=sys.stderr)
+    print(_json.dumps(report.to_dict(), indent=2))
+    return 0 if report.ok else 1
 
 
 def _cmd_infer(args) -> int:
@@ -501,6 +724,8 @@ def _cmd_serve(args) -> int:
 _COMMANDS = {
     "simulate-sbm": _cmd_simulate_sbm,
     "gdelt": _cmd_gdelt,
+    "record": _cmd_record,
+    "replay": _cmd_replay,
     "infer": _cmd_infer,
     "predict": _cmd_predict,
     "influencers": _cmd_influencers,

@@ -16,7 +16,9 @@ adoption events arrive:
   backpressure and per-request latency accounting;
 * :mod:`repro.serving.service` — the synchronous, thread-safe scoring
   core tying the three together;
-* :mod:`repro.serving.client` — in-process synchronous client;
+* :mod:`repro.serving.client` — in-process synchronous client, plus a
+  reconnecting TCP client speaking the server's wire protocol (the
+  replay harness's remote feed point);
 * :mod:`repro.serving.server` — asyncio newline-JSON front end
   (TCP or stdio) with bounded reads, per-connection timeouts, and
   supervised background tasks; wired into the CLI as ``repro serve``;
@@ -43,7 +45,12 @@ from repro.serving.batching import (
     ScoreRequest,
     ScoreResult,
 )
-from repro.serving.client import ScoringClient
+from repro.serving.client import (
+    RemoteError,
+    ScoringClient,
+    ServerUnreachableError,
+    TCPScoringClient,
+)
 from repro.serving.durability import (
     EventJournal,
     JournalConfig,
@@ -91,6 +98,7 @@ __all__ = [
     "PendingQueue",
     "QueueFullError",
     "RecoveryReport",
+    "RemoteError",
     "ScoreColumns",
     "ScoreRequest",
     "ScoreResult",
@@ -98,6 +106,7 @@ __all__ = [
     "ScoringServer",
     "ScoringService",
     "ScoringWorkspace",
+    "ServerUnreachableError",
     "ServiceStats",
     "ShardDeadError",
     "ShardStartupError",
@@ -106,6 +115,7 @@ __all__ = [
     "SnapshotLoadError",
     "StoreConfig",
     "StoreStats",
+    "TCPScoringClient",
     "aggregate_health",
     "build_service",
     "build_sharded_service",

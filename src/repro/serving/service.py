@@ -221,6 +221,16 @@ class ScoringService:
             except OSError as exc:
                 self._journal_fault(exc, "seal")
 
+    def state_fingerprint(self) -> str:
+        """Content hash of the tracked store state (DESIGN.md §17).
+
+        The replay harness gates on it: a recorded stream replayed at
+        any speed/chunking must leave the store fingerprint-identical
+        to direct columnar ingest of the same events.
+        """
+        with self._lock:
+            return self.store.state_fingerprint()
+
     # ------------------------------------------------------------------ #
     # Ingest
     # ------------------------------------------------------------------ #

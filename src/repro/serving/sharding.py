@@ -50,6 +50,7 @@ complete, and the replies drain behind them.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import time
 import zlib
@@ -236,6 +237,8 @@ def _handle_op(service: ScoringService, msg: Tuple[Any, ...]) -> Tuple[Any, ...]
         return ("ok", service.sweep())
     if op == "compact":
         return ("ok", service.compact())
+    if op == "state_fingerprint":
+        return ("ok", service.state_fingerprint())
     if op == "fingerprint":
         try:
             snap = service.registry.current()
@@ -1102,6 +1105,23 @@ class ShardedScoringService:
         with self._lock:
             replies = self._fanout([(i, ("compact",)) for i in range(self.n_shards)])
             return all(bool(reply[1]) for reply in replies)
+
+    def state_fingerprint(self) -> str:
+        """Combined content hash of every shard's tracked state.
+
+        Hashes the per-shard store fingerprints in shard order, so two
+        sharded tiers (same shard count) fingerprint equal iff every
+        shard's state matches bit-for-bit — the replay≡direct-ingest
+        gate evaluated across the whole tier (DESIGN.md §17).
+        """
+        with self._lock:
+            replies = self._fanout(
+                [(i, ("state_fingerprint",)) for i in range(self.n_shards)]
+            )
+            h = hashlib.blake2b(digest_size=16)
+            for reply in replies:
+                h.update(str(reply[1]).encode("utf-8"))
+            return h.hexdigest()
 
     def journal_tick(self) -> None:
         """No-op: shard workers self-tick their journals between ops."""

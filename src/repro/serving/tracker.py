@@ -56,7 +56,9 @@ never pay for swaps they don't observe.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import json
 import time
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
@@ -802,3 +804,21 @@ class FeatureStore:
             nodes[offsets[i] : offsets[i + 1]] = nb
             times[offsets[i] : offsets[i + 1]] = tb
         return cids, offsets, nodes, times
+
+    def state_fingerprint(self) -> str:
+        """Content hash of the tracked state (blake2b over the columnar
+        dump of :meth:`export_state`).
+
+        Two stores fingerprint equal iff they track the same cascades in
+        the same LRU order with bit-identical observed event logs — the
+        equivalence the replay harness gates on: replaying a recorded
+        stream must leave the store indistinguishable from direct
+        columnar ingest of the same events (DESIGN.md §17).
+        """
+        cids, offsets, nodes, times = self.export_state()
+        h = hashlib.blake2b(digest_size=16)
+        h.update(json.dumps(cids).encode("utf-8"))
+        h.update(offsets.tobytes())
+        h.update(nodes.tobytes())
+        h.update(times.tobytes())
+        return h.hexdigest()
